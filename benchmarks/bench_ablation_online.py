@@ -1,0 +1,89 @@
+"""Ablation -- online (streaming) vs. batch detection.
+
+The streaming detector trades alarm latency for compute via its
+``stride``.  This bench measures, over a batch of illustrative runs:
+
+* detection parity -- the streaming detector catches campaigns the
+  batch detector catches;
+* alarm latency -- how many days after the campaign onset the first
+  alarm fires, per stride.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.detectors.online import OnlineARDetector
+from repro.evaluation.montecarlo import monte_carlo
+from repro.experiments.fig4 import build_illustrative_detector
+from repro.evaluation.detection import interval_detected
+from repro.simulation.illustrative import IllustrativeConfig, generate_illustrative
+
+from benchmarks.conftest import emit, run_once
+
+N_RUNS = 30
+STRIDES = (1, 5, 10)
+
+
+def sweep():
+    config = IllustrativeConfig()
+    batch_detector = build_illustrative_detector()
+
+    def one_run(rng: np.random.Generator):
+        trace = generate_illustrative(config, rng)
+        batch_hit = interval_detected(
+            batch_detector.window_errors(trace.attacked),
+            config.attack_start,
+            config.attack_end,
+        )
+        latencies = {}
+        hits = {}
+        for stride in STRIDES:
+            online = OnlineARDetector(
+                window_size=50, stride=stride, threshold=0.10
+            )
+            online.observe_many(trace.attacked)
+            in_window_alarms = [
+                v
+                for v in online.alarms
+                if v.window.end_time >= config.attack_start
+            ]
+            hits[stride] = bool(in_window_alarms)
+            latencies[stride] = (
+                in_window_alarms[0].window.end_time - config.attack_start
+                if in_window_alarms
+                else None
+            )
+        return batch_hit, hits, latencies
+
+    results = monte_carlo(one_run, n_runs=N_RUNS, master_seed=0)
+    batch_rate = results.fraction(lambda o: o[0])
+    online_rates = {
+        stride: results.fraction(lambda o, s=stride: o[1][s]) for stride in STRIDES
+    }
+    mean_latency = {}
+    for stride in STRIDES:
+        values = [
+            o[2][stride] for o in results.outcomes if o[2][stride] is not None
+        ]
+        mean_latency[stride] = float(np.mean(values)) if values else float("nan")
+    return batch_rate, online_rates, mean_latency
+
+
+def test_online_vs_batch(benchmark):
+    batch_rate, online_rates, mean_latency = run_once(benchmark, sweep)
+    body = [f"batch detection rate: {batch_rate:.2f}"]
+    for stride in STRIDES:
+        body.append(
+            f"stride {stride:2d}: detection {online_rates[stride]:.2f}, "
+            f"mean first-alarm latency {mean_latency[stride]:.1f} days "
+            "after campaign onset"
+        )
+    emit("Ablation -- online vs. batch detection", "\n".join(body))
+
+    # Streaming detection stays within a small margin of batch...
+    for stride in STRIDES:
+        assert online_rates[stride] >= batch_rate - 0.15, stride
+    # ...and finer strides never detect less or alarm later.
+    assert online_rates[1] >= online_rates[10] - 1e-9
+    assert mean_latency[1] <= mean_latency[10] + 1.0

@@ -1,0 +1,33 @@
+"""Extension -- adaptive attacks against the AR detector.
+
+The paper's future work ("study the possible attacks to the proposed
+solutions") quantified: each detector-aware strategy's evasion (ROC
+AUC, lower evades better) and damage (achieved mean shift in the attack
+window).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import adaptive_attacks
+
+from benchmarks.conftest import emit, run_once
+
+N_RUNS = 30
+
+
+def test_adaptive_attacks(benchmark):
+    result = run_once(benchmark, lambda: adaptive_attacks.run(n_runs=N_RUNS, seed=0))
+    emit(
+        "Extension -- adaptive attacks vs. the AR detector",
+        adaptive_attacks.format_report(result),
+    )
+    outcomes = result.outcomes
+    # The paper's channel is near-perfectly detectable.
+    assert outcomes["naive_tight"].auc > 0.9
+    # Camouflage trades damage for evasion; ramping barely evades.
+    assert outcomes["camouflage"].auc < outcomes["naive_tight"].auc - 0.1
+    assert outcomes["camouflage"].damage < outcomes["naive_tight"].damage
+    assert outcomes["ramp"].auc > outcomes["camouflage"].auc
+    # Every strategy still moves the aggregate (the attacks are real).
+    for name, outcome in outcomes.items():
+        assert outcome.damage > 0.02, name

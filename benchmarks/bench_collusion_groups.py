@@ -1,0 +1,26 @@
+"""Extension -- collusion-group recovery from co-suspicion structure.
+
+The full 12-month marketplace: flagged windows feed a co-suspicion
+graph whose strong components recover the recruited group at ~0.94
+precision / ~0.86 recall -- pairwise evidence complements Procedure 2's
+per-rater trust (0.81 detection on the same run).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import collusion_groups
+
+from benchmarks.conftest import emit, run_once
+
+
+def test_collusion_group_recovery(benchmark):
+    result = run_once(benchmark, lambda: collusion_groups.run(seed=3))
+    emit(
+        "Extension -- collusion-group recovery",
+        collusion_groups.format_report(result),
+    )
+    assert result.membership_precision > 0.8
+    assert result.membership_recall > 0.7
+    assert result.largest_group_purity > 0.8
+    # The group route is competitive with per-rater trust detection.
+    assert result.membership_recall > result.per_rater_detection - 0.15

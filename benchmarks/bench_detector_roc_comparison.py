@@ -1,0 +1,83 @@
+"""Consolidated ROC comparison of the temporal detectors.
+
+One figure-style summary: full ROC curves (AUC) for every detector
+with a continuous window statistic -- the AR model error (all three
+estimators) against the variance-ratio oracle -- on the moderate-bias
+illustrative scenario.  Complements the fixed-threshold baseline table
+with the threshold-free view.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.detectors.ar_detector import ARModelErrorDetector
+from repro.evaluation.montecarlo import monte_carlo
+from repro.evaluation.roc import roc_from_scores
+from repro.signal.windows import CountWindower
+from repro.simulation.illustrative import IllustrativeConfig, generate_illustrative
+
+from benchmarks.conftest import emit, run_once
+
+N_RUNS = 40
+
+
+def window_variances(stream, size=50, step=10):
+    values = stream.values
+    return [
+        float(np.var(w.values(values), ddof=1))
+        for w in CountWindower(size=size, step=step).windows(stream.times)
+    ]
+
+
+def sweep():
+    config = IllustrativeConfig()
+    detectors = {
+        f"ar_{method}": ARModelErrorDetector(
+            order=4,
+            threshold=0.10,
+            method=method,
+            windower=CountWindower(size=50, step=10),
+        )
+        for method in ("covariance", "autocorrelation", "burg")
+    }
+
+    def one_run(rng: np.random.Generator):
+        trace = generate_illustrative(config, rng)
+        outcome = {}
+        for name, detector in detectors.items():
+            attacked = min(
+                (v.statistic for v in detector.window_errors(trace.attacked)),
+                default=1.0,
+            )
+            honest = min(
+                (v.statistic for v in detector.window_errors(trace.honest)),
+                default=1.0,
+            )
+            outcome[name] = (attacked, honest)
+        outcome["variance_min"] = (
+            min(window_variances(trace.attacked)),
+            min(window_variances(trace.honest)),
+        )
+        return outcome
+
+    results = monte_carlo(one_run, n_runs=N_RUNS, master_seed=0)
+    aucs = {}
+    for name in list(detectors) + ["variance_min"]:
+        attacked = [o[name][0] for o in results.outcomes]
+        honest = [o[name][1] for o in results.outcomes]
+        aucs[name] = roc_from_scores(attacked, honest).auc()
+    return aucs
+
+
+def test_detector_roc_comparison(benchmark):
+    aucs = run_once(benchmark, sweep)
+    emit(
+        "Detector ROC comparison (moderate-bias scenario)",
+        "\n".join(f"  {name:<16} AUC {auc:.3f}" for name, auc in aucs.items()),
+    )
+    # All AR estimators separate nearly perfectly...
+    for method in ("ar_covariance", "ar_autocorrelation", "ar_burg"):
+        assert aucs[method] > 0.9, method
+    # ...and carry information beyond the raw window-variance minimum.
+    assert aucs["ar_covariance"] >= aucs["variance_min"] - 0.05

@@ -1,0 +1,54 @@
+"""Figs. 10-12 -- marketplace aggregation robustness.
+
+Fig. 10: honest products (bias 0.15) -- all three schemes track quality.
+Fig. 11: dishonest products (bias 0.15) -- simple and beta averages are
+inflated; the modified weighted average stays near quality.
+Fig. 12: dishonest products (bias 0.2) -- the baselines' inflation
+grows toward ~0.1 while the proposed scheme stays within a few
+hundredths ("an order of magnitude" smaller in the paper).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import marketplace_aggregation
+
+from benchmarks.conftest import emit, run_once
+
+
+def test_fig10_fig11_bias_015(benchmark):
+    result = run_once(
+        benchmark, lambda: marketplace_aggregation.run(bias_shift=0.15, seed=0)
+    )
+    emit(
+        "Figs. 10/11 -- aggregation, bias 0.15",
+        marketplace_aggregation.format_report(result),
+    )
+    # Fig. 10: honest products agree across schemes.
+    for errors in result.honest_errors.values():
+        assert errors.mean_abs_error < 0.05
+    # Fig. 11: baselines inflated, proposed close to quality.
+    proposed = result.dishonest_errors["modified_weighted_average"]
+    simple = result.dishonest_errors["simple_average"]
+    assert simple.mean_signed_error > 0.03
+    assert abs(proposed.mean_signed_error) < 0.03
+    assert abs(proposed.mean_signed_error) < simple.mean_signed_error
+
+
+def test_fig12_bias_02(benchmark):
+    result = run_once(
+        benchmark, lambda: marketplace_aggregation.run(bias_shift=0.2, seed=0)
+    )
+    emit(
+        "Fig. 12 -- aggregation, bias 0.2",
+        marketplace_aggregation.format_report(result),
+    )
+    proposed = result.dishonest_errors["modified_weighted_average"]
+    simple = result.dishonest_errors["simple_average"]
+    beta = result.dishonest_errors["beta_function"]
+    # Baselines drift toward ~0.1 above quality; proposed stays small.
+    assert simple.mean_signed_error > 0.05
+    assert beta.mean_signed_error > 0.05
+    assert abs(proposed.mean_signed_error) < 0.03
+    # The paper's headline gap: baselines' worst-case error is several
+    # times the proposed scheme's average deviation.
+    assert simple.max_abs_error > 2.5 * abs(proposed.mean_signed_error) + 0.02

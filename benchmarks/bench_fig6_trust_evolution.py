@@ -1,0 +1,36 @@
+"""Fig. 6 -- mean rater trust by class over 12 marketplace months.
+
+Paper shape: starting from the 0.5 prior, reliable and careless raters
+climb toward ~0.85+, while potential-collaborative raters sink toward
+~0.4 within a few months and stay there.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import marketplace_detection
+from repro.ratings.models import RaterClass
+
+from benchmarks.conftest import emit, run_once
+
+
+def test_fig6_trust_evolution(benchmark):
+    result = run_once(benchmark, lambda: marketplace_detection.run(seed=3))
+    emit(
+        "Fig. 6 -- mean trust by rater class",
+        marketplace_detection.format_report(result).split("  Fig. 7")[0],
+    )
+    series = result.mean_trust
+    reliable = series[RaterClass.RELIABLE]
+    careless = series[RaterClass.CARELESS]
+    pc = series[RaterClass.POTENTIAL_COLLABORATIVE]
+
+    # Honest classes rise well above the prior; PC raters sink below it.
+    assert reliable[-1] > 0.8
+    assert careless[-1] > 0.75
+    assert pc[-1] < 0.45
+    # The separation is monotone-ish: PC trust never recrosses honest.
+    assert np.all(pc < reliable)
+    # PC trust trends down over the year.
+    assert pc[-1] < pc[0]

@@ -1,0 +1,38 @@
+"""Figs. 7/8 -- per-rater trust snapshots at months 6 and 12.
+
+Paper: at month 6, 72 % of PC raters are detected (trust below
+threshold_sus = 0.5) with false alarms of 1 % (reliable) and 3 %
+(careless); by month 12 detection reaches 87 % with zero false alarms.
+Reproduced shape: detection grows month-over-month into the high
+70s-90s while honest false alarms stay at (or near) zero.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import marketplace_detection
+
+from benchmarks.conftest import emit, run_once
+
+
+def test_fig7_fig8_trust_snapshots(benchmark):
+    result = run_once(benchmark, lambda: marketplace_detection.run(seed=3))
+    d6, d12 = result.detection_month6, result.detection_month12
+    body = "\n".join(
+        [
+            f"month 6 : detection paper 0.72 | measured {d6.detection_rate:.2f}; "
+            f"false alarms {[round(v, 3) for v in d6.false_alarm_rates.values()]} "
+            "(paper: 0.01 reliable, 0.03 careless)",
+            f"month 12: detection paper 0.87 | measured {d12.detection_rate:.2f}; "
+            f"false alarms {[round(v, 3) for v in d12.false_alarm_rates.values()]} "
+            "(paper: 0.00)",
+            f"trust snapshot sizes: {len(result.snapshot_month6)} raters",
+        ]
+    )
+    emit("Figs. 7/8 -- rater trust snapshots and detection", body)
+
+    # Detection improves (or holds) from month 6 to month 12 and ends
+    # in the paper's band.
+    assert d12.detection_rate >= d6.detection_rate - 0.05
+    assert d12.detection_rate > 0.7
+    # False alarms at month 12 are near zero for both honest classes.
+    assert max(d12.false_alarm_rates.values()) <= 0.03

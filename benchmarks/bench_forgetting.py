@@ -1,0 +1,43 @@
+"""Extension -- the forgetting scheme under a behaviour switch.
+
+Fig. 1's Record Maintenance module, exercised: potential-collaborative
+raters build honest trust capital for half a year, then start
+campaigning.  Without forgetting the capital shields them; exponential
+forgetting restores detection.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import forgetting
+
+from benchmarks.conftest import emit, run_once
+
+
+def test_forgetting_behaviour_switch(benchmark):
+    result = run_once(benchmark, lambda: forgetting.run(seed=0, switch_month=6))
+    emit(
+        "Extension -- forgetting under a behaviour switch",
+        forgetting.format_report(result),
+    )
+    no_forget = result.outcomes[1.0]
+    strong_forget = result.outcomes[0.5]
+    switch = result.switch_month
+
+    # Before the switch nobody is (correctly) detected.
+    for outcome in result.outcomes.values():
+        assert np.all(outcome.detection_by_month[:switch] < 0.1)
+    # Without forgetting the pre-built trust shields the colluders to
+    # the end of the year; with factor 0.5 detection recovers strongly.
+    assert no_forget.detection_by_month[-1] < 0.2
+    assert strong_forget.detection_by_month[-1] > 0.6
+    # Forgetting does not create false alarms.
+    for outcome in result.outcomes.values():
+        assert outcome.final_false_alarm <= 0.05
+    # Monotone in the factor: more forgetting, faster recovery.
+    assert (
+        strong_forget.detection_by_month[-1]
+        >= result.outcomes[0.8].detection_by_month[-1]
+        >= no_forget.detection_by_month[-1]
+    )

@@ -1,0 +1,36 @@
+"""Section II-B's damage claim -- individual vs. collaborative unfairness.
+
+"Compared with collaborative unfair ratings, individual unfair ratings
+usually cause much less damage.  First, individual high ratings and
+individual low ratings can cancel each other..."  Quantified: the same
+unfair mass at the same bias, allocated three ways.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import individual_unfair
+
+from benchmarks.conftest import emit, run_once
+
+N_RUNS = 30
+
+
+def test_individual_vs_collaborative(benchmark):
+    result = run_once(
+        benchmark, lambda: individual_unfair.run(n_runs=N_RUNS, seed=0)
+    )
+    emit(
+        "Section II-B -- individual vs. collaborative unfairness",
+        individual_unfair.format_report(result),
+    )
+    campaign = result.outcomes["collaborative_campaign"]
+    symmetric = result.outcomes["individual_symmetric"]
+    one_sided = result.outcomes["individual_one_sided"]
+    # Cancellation: symmetric dispositions shift the mean far less.
+    assert abs(symmetric.mean_shift) < 0.4 * abs(campaign.mean_shift)
+    # Concentration: the campaign's transient damage dominates.
+    assert campaign.peak_window_shift > one_sided.peak_window_shift + 0.02
+    # The temporal detector fires on coordination, not disposition.
+    assert campaign.detection_rate > 0.6
+    assert one_sided.detection_rate < campaign.detection_rate - 0.3
+    assert symmetric.detection_rate < 0.3

@@ -1,0 +1,46 @@
+"""Extension -- the detectability surface over attack bias and power.
+
+Maps detection ratio and achieved damage over a grid of campaign
+parameters.  The paper's structural claim appears as the grid's shape:
+detection is driven by recruitment *volume*, nearly independent of the
+bias magnitude, so lowering the bias buys the attacker almost no
+stealth -- while the volume needed for real damage is exactly what the
+detector keys on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import sensitivity
+
+from benchmarks.conftest import emit, run_once
+
+N_RUNS = 20
+
+
+def test_sensitivity_surface(benchmark):
+    result = run_once(benchmark, lambda: sensitivity.run(n_runs=N_RUNS, seed=0))
+    emit("Extension -- detectability surface", sensitivity.format_report(result))
+
+    biases, powers = result.biases, result.powers
+    # Detection grows strongly with power at every bias level.
+    for bias in biases:
+        low = result.detection[(bias, powers[0])]
+        high = result.detection[(bias, powers[-1])]
+        assert high > low + 0.4
+    # ...but is nearly flat in the bias at fixed high power.
+    at_full_power = [result.detection[(b, 1.0)] for b in biases]
+    assert max(at_full_power) - min(at_full_power) < 0.35
+    # Damage grows with both axes (the attack grid is monotone).
+    for bias in biases:
+        assert (
+            result.damage[(bias, powers[-1])] > result.damage[(bias, powers[0])]
+        )
+    for power in powers:
+        assert (
+            result.damage[(biases[-1], power)]
+            >= result.damage[(biases[0], power)] - 0.01
+        )
+    # The attacker's quiet corner does little damage.
+    assert result.damage[(biases[0], powers[0])] < 0.05

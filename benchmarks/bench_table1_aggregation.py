@@ -1,0 +1,31 @@
+"""Section III-B.2 table -- the four aggregation methods, 500 runs.
+
+Paper values: simple average 0.6365, beta aggregation 0.6138, modified
+weighted average 0.7445, Sun et al. trust model 0.5985; desired 0.8.
+Reproduced shape: method 3 lands far closer to the honest consensus
+than every alternative, which all collapse toward ~0.6 under the 50 %
+collaborator mix.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import table1
+from repro.experiments.table1 import PAPER_TABLE1
+
+from benchmarks.conftest import emit, run_once
+
+N_RUNS = 500
+
+
+def test_table1_aggregation_comparison(benchmark):
+    result = run_once(benchmark, lambda: table1.run(n_runs=N_RUNS, seed=0))
+    emit("Section III-B.2 -- aggregation comparison", table1.format_report(result))
+
+    assert result.best_method() == 3
+    # Method 3 clears the pack by a visible margin.
+    others = [value for method, value in result.aggregates.items() if method != 3]
+    assert result.aggregates[3] > max(others) + 0.04
+    # Every method lands within 0.10 of the paper (the residual gap
+    # comes from the variance-vs-std reading of the setup; see DESIGN.md).
+    for method, paper_value in PAPER_TABLE1.items():
+        assert abs(result.aggregates[method] - paper_value) < 0.10, method

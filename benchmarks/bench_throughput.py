@@ -1,0 +1,78 @@
+"""Micro-benchmarks -- component throughput.
+
+Unlike the figure benches (run-once experiment regenerations), these
+use pytest-benchmark's repeated timing to track the hot paths a
+deployment cares about: AR fitting, windowed detection, filtering, the
+streaming detector, and a full marketplace month through the pipeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detectors.ar_detector import ARModelErrorDetector
+from repro.detectors.online import OnlineARDetector
+from repro.filters.beta_quantile import BetaQuantileFilter
+from repro.ratings.models import Rating
+from repro.ratings.stream import RatingStream
+from repro.signal.ar import arburg, arcov, aryule
+from repro.signal.windows import CountWindower
+from repro.simulation.illustrative import IllustrativeConfig, generate_illustrative
+from repro.simulation.marketplace import MarketplaceConfig, generate_marketplace
+from repro.simulation.pipeline import PipelineConfig, run_marketplace
+
+
+@pytest.fixture(scope="module")
+def window_50(rng_module=np.random.default_rng(0)):
+    return np.clip(rng_module.normal(0.7, 0.3, size=50), 0, 1)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_illustrative(IllustrativeConfig(), np.random.default_rng(0))
+
+
+@pytest.mark.parametrize("fit", [arcov, aryule, arburg], ids=lambda f: f.__name__)
+def test_ar_fit_throughput(benchmark, fit, window_50):
+    model = benchmark(fit, window_50, 4)
+    assert 0.0 <= model.normalized_error <= 1.0
+
+
+def test_detector_throughput(benchmark, trace):
+    detector = ARModelErrorDetector(
+        order=4, threshold=0.10, windower=CountWindower(size=50, step=10)
+    )
+    report = benchmark(detector.detect, trace.attacked)
+    assert report.verdicts
+
+
+def test_filter_throughput(benchmark, trace):
+    rating_filter = BetaQuantileFilter(sensitivity=0.1)
+    result = benchmark(rating_filter.filter, trace.attacked)
+    assert len(result.kept) + len(result.removed) == len(trace.attacked)
+
+
+def test_online_detector_throughput(benchmark, trace):
+    ratings = list(trace.attacked)
+
+    def stream_all():
+        detector = OnlineARDetector(window_size=50, stride=5, threshold=0.10)
+        detector.observe_many(ratings)
+        return detector
+
+    detector = benchmark(stream_all)
+    assert detector.n_seen == len(ratings)
+
+
+def test_marketplace_month_throughput(benchmark):
+    config = MarketplaceConfig(
+        n_reliable=120, n_careless=60, n_pc=60, n_months=1, p_rate=0.04
+    )
+
+    def one_month():
+        world = generate_marketplace(config, np.random.default_rng(1))
+        return run_marketplace(world, PipelineConfig())
+
+    run = benchmark.pedantic(one_month, rounds=3, iterations=1)
+    assert len(run.monthly_trust) == 1

@@ -1,0 +1,32 @@
+"""Extension -- self-promotion rings vs. bridge attacks on indirect trust.
+
+Exercises the Fig. 1 Recommendation Buffer path the paper never
+evaluates: a collusion ring vouching for itself earns exactly nothing
+until an honest veteran is fooled, and even then multipath averaging
+caps the ring's standing below honestly vouched newcomers.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import vouching
+
+from benchmarks.conftest import emit, run_once
+
+N_RUNS = 20
+
+
+def test_vouching_ring_resistance(benchmark):
+    result = run_once(benchmark, lambda: vouching.run(n_runs=N_RUNS, seed=0))
+    emit(
+        "Extension -- vouching ring vs. bridge attacks",
+        vouching.format_report(result),
+    )
+    # Isolated ring: exactly inert.
+    assert result.ring_trust(0) == 0.0
+    # One bridge unlocks the ring...
+    assert result.ring_trust(1) > 0.05
+    # ...but averaging caps it below honest newcomers at every sweep point,
+    # and additional bridges do not multiply the leak.
+    for n_bridges, trusts in result.by_bridges.items():
+        assert trusts["ring"] < trusts["newcomers"], n_bridges
+    assert result.ring_trust(8) < 2.0 * result.ring_trust(1)

@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark suite.
+
+Every bench regenerates one paper artifact (table or figure), times it
+with pytest-benchmark, and prints the paper-vs-measured report so the
+numbers land in the bench log.  Heavy experiments run exactly once
+(``pedantic(rounds=1)``); the timing is informative, the printed series
+are the point.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def emit(title: str, body: str) -> None:
+    """Print a bench report block with a recognizable banner."""
+    bar = "=" * 72
+    print(f"\n{bar}\n{title}\n{bar}\n{body}")

@@ -1,0 +1,97 @@
+"""Scenario: what does it cost to manipulate a rating, and what gets caught?
+
+Walks the paper's Section II-B economics (equation 1): how many
+colluders an owner must hire to push an aggregate past a target, as a
+function of how extreme their ratings are -- then shows the detection
+flip side by running each strategy through the AR detector and the
+classic quantile filter.
+
+Run:  python examples/attack_cost_analysis.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    ARModelErrorDetector,
+    BetaQuantileFilter,
+    IllustrativeConfig,
+    generate_illustrative,
+    required_colluders,
+)
+from repro.evaluation import rating_detection
+from repro.signal.windows import CountWindower
+from dataclasses import replace
+
+
+def cost_table() -> None:
+    """Equation (1): colluders needed vs. the rating value they submit."""
+    n_honest, quality, target = 30, 0.6, 0.7
+    print(
+        f"goal: push a product with true quality {quality} past {target} "
+        f"against {n_honest} honest ratings\n"
+    )
+    print("  colluder rating | colluders needed | note")
+    for value in (1.0, 0.9, 0.8, 0.75, 0.72):
+        needed = required_colluders(n_honest, quality, target, value)
+        note = ""
+        if value == 1.0:
+            note = "strategy 1: cheap but value-outliers"
+        elif value == 0.8:
+            note = "strategy 2: expensive but hides in the crowd"
+        elif needed == float("inf"):
+            note = "cannot reach the target at any size"
+        needed_str = "impossible" if needed == float("inf") else f"> {needed:.0f}"
+        print(f"  {value:15.2f} | {needed_str:>16} | {note}")
+
+
+def detection_table() -> None:
+    """Who catches which strategy (one seed; see benches for batches)."""
+    detector = ARModelErrorDetector(
+        order=4, threshold=0.10, windower=CountWindower(size=50, step=10)
+    )
+    quantile_filter = BetaQuantileFilter(sensitivity=0.1)
+    scenarios = {
+        "strategy 1 (extreme downgrade)": dict(
+            bias_shift1=-0.4, bias_shift2=-0.5,
+            recruit_power1=0.15, recruit_power2=0.3,
+        ),
+        "strategy 2 (moderate boost)": dict(bias_shift1=0.2, bias_shift2=0.15),
+    }
+    print("\n  scenario                        | AR detector | quantile filter")
+    for name, overrides in scenarios.items():
+        config = replace(IllustrativeConfig(), **overrides)
+        detections_ar, detections_filter = [], []
+        for seed in range(10):
+            trace = generate_illustrative(config, np.random.default_rng(seed))
+            ar = rating_detection(
+                trace.attacked, detector.detect(trace.attacked).flagged_rating_ids
+            )
+            filt = rating_detection(
+                trace.attacked,
+                quantile_filter.filter(trace.attacked).removed_ids,
+            )
+            detections_ar.append(ar.detection_ratio)
+            detections_filter.append(filt.detection_ratio)
+        print(
+            f"  {name:<31} | {np.mean(detections_ar):11.2f} | "
+            f"{np.mean(detections_filter):15.2f}"
+        )
+    print(
+        "\nThe two defenses are complementary: the quantile filter sees "
+        "value outliers, so it clips the extreme strategy but lets the "
+        "moderate one walk through; the AR detector keys on the temporal "
+        "signature a high-volume campaign leaves, so it catches the "
+        "moderate flood while a handful of extreme ratings barely move "
+        "its window statistics."
+    )
+
+
+def main() -> None:
+    cost_table()
+    detection_table()
+
+
+if __name__ == "__main__":
+    main()

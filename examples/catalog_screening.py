@@ -1,0 +1,110 @@
+"""Scenario: screening a whole catalog for manipulated titles.
+
+A streaming service has a catalog of movies with organic rating
+traffic; one title's distributor has quietly bought ratings for a
+launch window.  The auditor does not know which title (or whether any)
+was touched.  This example generates a 12-title catalog, attacks one,
+and ranks every title by its minimum windowed AR model error relative
+to its own typical level -- the manipulated title should surface at the
+top of the ranking.
+
+Run:  python examples/catalog_screening.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    ARModelErrorDetector,
+    CollusionCampaign,
+    FIVE_STAR,
+    NetflixTraceConfig,
+    estimate_trace_statistics,
+    generate_netflix_trace,
+    inject_campaign,
+)
+from repro.evaluation import sparkline
+from repro.signal.windows import CountWindower
+
+N_TITLES = 12
+ATTACKED_TITLE = 7
+ATTACK_START, ATTACK_END = 180.0, 240.0
+
+
+def build_catalog(rng):
+    """Generate the catalog; title ATTACKED_TITLE gets the campaign."""
+    catalog = {}
+    for title_id in range(N_TITLES):
+        config = NetflixTraceConfig(
+            n_days=500.0,
+            peak_rate=float(rng.uniform(3.0, 9.0)),
+            ramp_days=float(rng.uniform(30.0, 90.0)),
+            half_life_days=float(rng.uniform(200.0, 500.0)),
+            star_probabilities=tuple(
+                (lambda p: p / p.sum())(rng.dirichlet(np.ones(5) * 8.0))
+            ),
+            product_id=title_id,
+        )
+        trace = generate_netflix_trace(config, rng)
+        if title_id == ATTACKED_TITLE:
+            stats = estimate_trace_statistics(trace)
+            campaign = CollusionCampaign(
+                start=ATTACK_START,
+                end=ATTACK_END,
+                type1_bias=0.2,
+                type1_power=0.3,
+                type2_bias=0.2,
+                type2_variance=0.25 * stats.variance,
+                type2_power=1.0,
+            )
+            trace = inject_campaign(trace, campaign, FIVE_STAR, rng)
+        catalog[title_id] = trace
+    return catalog
+
+
+def suspicion_score(detector, trace) -> tuple:
+    """(score, error series): relative depth of the deepest error dip."""
+    _, errors = detector.error_series(trace)
+    if errors.size < 4:
+        return 0.0, errors
+    typical = float(np.median(errors))
+    deepest = float(np.min(errors))
+    return (typical - deepest) / typical, errors
+
+
+def main() -> None:
+    rng = np.random.default_rng(seed=2)
+    print(f"generating a {N_TITLES}-title catalog (one secretly manipulated)...")
+    catalog = build_catalog(rng)
+
+    detector = ARModelErrorDetector(
+        order=4, threshold=0.05, windower=CountWindower(size=50, step=10)
+    )
+    ranking = []
+    for title_id, trace in catalog.items():
+        score, errors = suspicion_score(detector, trace)
+        ranking.append((score, title_id, errors))
+    ranking.sort(reverse=True)
+
+    print("\nrank  title  dip score  model error over time")
+    for rank, (score, title_id, errors) in enumerate(ranking, start=1):
+        marker = "  <-- the manipulated title" if title_id == ATTACKED_TITLE else ""
+        print(
+            f"{rank:4d}  #{title_id:<4d}  {score:9.2f}  "
+            f"{sparkline(errors)}{marker}"
+        )
+
+    top_score, top_title, _ = ranking[0]
+    if top_title == ATTACKED_TITLE:
+        runner_up = ranking[1][0]
+        print(
+            f"\nThe manipulated title tops the ranking with dip score "
+            f"{top_score:.2f} vs {runner_up:.2f} for the cleanest runner-up."
+        )
+    else:
+        print("\n(The attacked title did not rank first on this seed.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Scenario: live campaign monitoring on a rating firehose.
+
+A rating service wants an alarm *while* a campaign is running, not in
+next month's batch job.  `OnlineARDetector` keeps a sliding buffer per
+object, refits the AR model every few arrivals, and raises alarms with
+bounded latency -- this example replays the illustrative trace as a
+live stream, prints the alarm timeline, and measures how long after
+the campaign's onset the first alarm fired.
+
+Run:  python examples/live_monitoring.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import IllustrativeConfig, OnlineARDetector, generate_illustrative
+
+
+def main() -> None:
+    config = IllustrativeConfig()
+    trace = generate_illustrative(config, np.random.default_rng(seed=3))
+    print(
+        f"replaying {len(trace.attacked)} ratings as a live stream "
+        f"(hidden campaign: days {config.attack_start:.0f}-{config.attack_end:.0f})\n"
+    )
+
+    detector = OnlineARDetector(
+        window_size=50,
+        stride=5,        # evaluate every 5 arrivals
+        threshold=0.10,
+    )
+
+    first_alarm = None
+    day_cursor = 0
+    for rating in trace.attacked:
+        verdict = detector.observe(rating)
+        # Narrate day boundaries sparsely.
+        if int(rating.time) >= day_cursor + 10:
+            day_cursor = int(rating.time) // 10 * 10
+            state = "ALARM ACTIVE" if detector.alarms and (
+                detector.alarms[-1].window.end_time > rating.time - 5
+            ) else "quiet"
+            print(f"  day {day_cursor:3d}: {detector.n_seen:4d} ratings seen, {state}")
+        if verdict is not None and verdict.suspicious and first_alarm is None:
+            first_alarm = verdict
+            print(
+                f"  >>> first alarm at day {rating.time:.1f} "
+                f"(model error {verdict.statistic:.3f}, window "
+                f"days {verdict.window.start_time:.1f}-{verdict.window.end_time:.1f})"
+            )
+
+    print(f"\ntotal alarms: {len(detector.alarms)}")
+    if first_alarm is not None:
+        latency = first_alarm.window.end_time - config.attack_start
+        print(
+            f"first-alarm latency: {latency:.1f} days after campaign onset "
+            f"(the batch pipeline would wait for the interval close)"
+        )
+        suspicion = detector.suspicious_raters()
+        unfair = {r.rater_id for r in trace.attacked if r.unfair}
+        caught = len(set(suspicion) & unfair)
+        print(
+            f"raters charged so far: {len(suspicion)} "
+            f"({caught} of {len(unfair)} true colluders among them)"
+        )
+    else:
+        print("no alarm on this seed -- rerun with another seed")
+
+
+if __name__ == "__main__":
+    main()

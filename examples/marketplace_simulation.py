@@ -1,0 +1,83 @@
+"""Scenario: a year-long product marketplace under monthly campaigns.
+
+Reproduces the paper's Section IV world -- 800 raters, 60 products,
+one dishonest product per month hiring potential-collaborative raters
+for a 10-day campaign -- and runs the full trust-enhanced pipeline
+(quantile filter -> AR detector -> Procedure 2 trust -> modified
+weighted average).  Prints the trust trajectories, detection rates, and
+the final aggregation comparison.
+
+Run:  python examples/marketplace_simulation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import MarketplaceConfig, PipelineConfig, generate_marketplace, run_marketplace
+from repro.aggregation import (
+    BetaFunctionAggregator,
+    ModifiedWeightedAverage,
+    SimpleAverage,
+)
+from repro.ratings.models import RaterClass
+
+
+def main() -> None:
+    config = MarketplaceConfig(a1=6.0, a2=0.5)
+    print(
+        f"generating {config.n_months} months, {config.n_raters} raters, "
+        f"{config.n_products} products..."
+    )
+    world = generate_marketplace(config, np.random.default_rng(seed=3))
+    print(f"  {world.store.n_ratings} ratings generated")
+    unfair = len(world.store.all_ratings().unfair_only())
+    print(f"  {unfair} are collaborative (ground truth)")
+
+    print("\nrunning the trust-enhanced pipeline month by month...")
+    run = run_marketplace(world, PipelineConfig())
+
+    print("\nmean trust by rater class (one column per month):")
+    for rater_class, series in sorted(
+        run.mean_trust_by_class().items(), key=lambda kv: kv[0].value
+    ):
+        row = " ".join(f"{v:.2f}" for v in series)
+        print(f"  {rater_class.value:<25} {row}")
+
+    for month in (5, 11):
+        stats = run.rater_detection_at(month)
+        false_alarms = {
+            cls.value: round(rate, 3)
+            for cls, rate in stats.false_alarm_rates.items()
+        }
+        print(
+            f"\nmonth {month + 1}: {100 * stats.detection_rate:.0f}% of "
+            f"collaborative raters detected (trust < 0.5); "
+            f"false alarms {false_alarms}"
+        )
+
+    print("\nfinal aggregates for the dishonest products:")
+    schemes = {
+        "simple average": SimpleAverage(),
+        "beta aggregation": BetaFunctionAggregator(),
+        "modified weighted avg": ModifiedWeightedAverage(),
+    }
+    table = run.aggregation_table(schemes)
+    print("  product | quality | " + " | ".join(f"{n:>21}" for n in schemes))
+    for pid in world.dishonest_product_ids:
+        cells = " | ".join(f"{table[n].get(pid, float('nan')):21.3f}" for n in schemes)
+        print(f"  {pid:7d} | {world.qualities[pid]:7.3f} | {cells}")
+
+    deviations = {
+        name: np.mean(
+            [table[name][p] - world.qualities[p] for p in world.dishonest_product_ids]
+        )
+        for name in schemes
+    }
+    print("\nmean inflation over true quality (lower is better):")
+    for name, dev in deviations.items():
+        print(f"  {name:<22} {dev:+.3f}")
+
+
+if __name__ == "__main__":
+    main()

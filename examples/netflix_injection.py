@@ -1,0 +1,82 @@
+"""Scenario: auditing a real-shaped movie rating trace for manipulation.
+
+Generates the synthetic Netflix-like "Dinosaur Planet" trace (integer
+stars, release ramp, weekend bursts), injects the paper's collaborative
+campaign between days 212 and 272, and shows how the AR model error
+exposes the campaign even on coarse, bursty, real-shaped data.
+
+Run:  python examples/netflix_injection.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    DINOSAUR_PLANET,
+    CollusionCampaign,
+    estimate_trace_statistics,
+    generate_netflix_trace,
+    inject_campaign,
+    ARModelErrorDetector,
+    FIVE_STAR,
+)
+from repro.evaluation import sparkline
+from repro.signal.windows import CountWindower
+
+
+ATTACK_START, ATTACK_END = 212.0, 272.0
+
+
+def main() -> None:
+    rng = np.random.default_rng(seed=0)
+    trace = generate_netflix_trace(DINOSAUR_PLANET, rng)
+    stats = estimate_trace_statistics(trace)
+    print(
+        f"movie trace: {len(trace)} ratings over "
+        f"{stats.span[1] - stats.span[0]:.0f} days, "
+        f"mean {stats.mean:.2f}, ~{stats.arrival_rate:.1f} ratings/day"
+    )
+
+    # The paper's Fig. 5 recipe: shift half the in-window regulars by
+    # +0.2 and recruit outsiders at the trace's own arrival rate with
+    # badVar = 0.25 * the trace's variance.
+    campaign = CollusionCampaign(
+        start=ATTACK_START,
+        end=ATTACK_END,
+        type1_bias=0.2,
+        type1_power=0.5,
+        type2_bias=0.25,
+        type2_variance=0.25 * stats.variance,
+        type2_power=1.0,
+    )
+    attacked = inject_campaign(trace, campaign, FIVE_STAR, rng)
+    print(
+        f"injected campaign days [{ATTACK_START:.0f}, {ATTACK_END:.0f}): "
+        f"{len(attacked) - len(trace)} recruited ratings plus influenced regulars"
+    )
+
+    detector = ARModelErrorDetector(
+        order=4, threshold=0.05, windower=CountWindower(size=50, step=10)
+    )
+    t_original, e_original = detector.error_series(trace)
+    t_attacked, e_attacked = detector.error_series(attacked)
+
+    lo = min(e_original.min(), e_attacked.min())
+    hi = max(e_original.max(), e_attacked.max())
+    print("\nAR model error over time (low = predictable = suspicious):")
+    print(f"  original: {sparkline(e_original, lo, hi)}")
+    print(f"  attacked: {sparkline(e_attacked, lo, hi)}")
+
+    in_attack = (t_attacked >= ATTACK_START) & (t_attacked <= ATTACK_END)
+    print(
+        f"\n  original mean error : {e_original.mean():.3f}"
+        f"\n  attacked, in-window : {e_attacked[in_attack].min():.3f} (minimum)"
+        f"\n  attacked, elsewhere : {e_attacked[~in_attack].mean():.3f}"
+    )
+    drop = e_original.mean() / e_attacked[in_attack].min()
+    print(f"  => the campaign window drops the model error {drop:.1f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Quickstart: detect a collaborative rating campaign in 30 lines.
+
+Generates the paper's illustrative scenario -- one product rated over
+60 days with a hidden 14-day collusion campaign -- and runs the AR
+model-error detector on it.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ARModelErrorDetector, IllustrativeConfig, generate_illustrative
+from repro.signal.windows import CountWindower
+
+
+def main() -> None:
+    rng = np.random.default_rng(seed=3)
+
+    # One product, Poisson rating arrivals, quality ramping 0.7 -> 0.8.
+    # Between days 30 and 44 the owner recruits collaborative raters
+    # whose ratings sit only ~0.15 above the honest consensus.
+    config = IllustrativeConfig()
+    trace = generate_illustrative(config, rng)
+    print(f"ratings: {len(trace.attacked)} ({trace.n_unfair} secretly unfair)")
+
+    # Fit an AR model to each 50-rating window; windows whose normalized
+    # model error drops below the threshold are suspicious intervals.
+    detector = ARModelErrorDetector(
+        order=4,
+        threshold=0.10,
+        windower=CountWindower(size=50, step=10),
+    )
+    report = detector.detect(trace.attacked)
+
+    print("\nwindow  days          model error  suspicious")
+    for verdict in report.verdicts:
+        w = verdict.window
+        marker = "  <-- SUSPICIOUS" if verdict.suspicious else ""
+        print(
+            f"{w.index:4d}    {w.start_time:5.1f}-{w.end_time:5.1f}  "
+            f"{verdict.statistic:10.3f}{marker}"
+        )
+
+    flagged = report.flagged_rating_ids
+    unfair = {r.rating_id for r in trace.attacked if r.unfair}
+    caught = len(flagged & unfair)
+    print(
+        f"\ntrue attack interval: days [{config.attack_start}, {config.attack_end})"
+        f"\nratings in suspicious windows: {len(flagged)}"
+        f"\nunfair ratings caught: {caught}/{len(unfair)}"
+    )
+
+
+if __name__ == "__main__":
+    main()

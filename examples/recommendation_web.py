@@ -1,0 +1,72 @@
+"""Scenario: bootstrapping trust in newcomers through recommendations.
+
+The trust manager's indirect-trust path (Fig. 1's Recommendation Buffer)
+lets the system form an opinion about raters it has never observed, by
+propagating through raters it *has*.  This example builds a small web:
+
+* three veterans the system trusts from direct history,
+* newcomers vouched for by veterans,
+* a collusion ring whose members vouch only for each other,
+* a newcomer slandered by one veteran but vouched by two others.
+
+and prints each party's indirect trust.  Propagation follows the Sun et
+al. entropy-trust rules: concatenation multiplies trust along a path
+(so a chain of lukewarm vouches decays), and multipath fusion weights
+parallel paths by the recommender's own trustworthiness.
+
+Run:  python examples/recommendation_web.py
+"""
+
+from __future__ import annotations
+
+from repro.trust import RecommendationGraph, entropy_trust_inverse
+
+
+VETERANS = {"alice": 10, "bob": 11, "carol": 12}
+NEWCOMERS = {"dave": 20, "erin": 21, "frank": 22}
+RING = {"mallory": 30, "mal2": 31, "mal3": 32}
+
+
+def main() -> None:
+    graph = RecommendationGraph(max_path_length=3)
+
+    # The system's direct recommendation trust in the veterans, earned
+    # through months of accurate ratings (beta trust values).
+    graph.set_system_trust(VETERANS["alice"], 0.95)
+    graph.set_system_trust(VETERANS["bob"], 0.90)
+    graph.set_system_trust(VETERANS["carol"], 0.70)
+
+    # Veterans vouch for newcomers they have transacted with.
+    graph.add_recommendation(VETERANS["alice"], NEWCOMERS["dave"], 0.9)
+    graph.add_recommendation(VETERANS["bob"], NEWCOMERS["dave"], 0.85)
+    graph.add_recommendation(VETERANS["carol"], NEWCOMERS["erin"], 0.8)
+
+    # Frank divides opinion: carol distrusts him, alice and bob vouch.
+    graph.add_recommendation(VETERANS["carol"], NEWCOMERS["frank"], 0.2)
+    graph.add_recommendation(VETERANS["alice"], NEWCOMERS["frank"], 0.85)
+    graph.add_recommendation(VETERANS["bob"], NEWCOMERS["frank"], 0.8)
+
+    # The collusion ring vouches enthusiastically -- for itself.  No
+    # trusted path reaches them, so their mutual praise is worthless.
+    graph.add_recommendation(RING["mallory"], RING["mal2"], 1.0)
+    graph.add_recommendation(RING["mal2"], RING["mal3"], 1.0)
+    graph.add_recommendation(RING["mal3"], RING["mallory"], 1.0)
+
+    print("indirect trust (entropy scale: -1 distrust, 0 unknown, +1 trust)")
+    print("and the equivalent behaviour probability:\n")
+    for name, rater_id in {**NEWCOMERS, **RING}.items():
+        trust = graph.indirect_trust(rater_id)
+        probability = entropy_trust_inverse(trust)
+        bar = "#" * int(max(0.0, trust) * 30)
+        print(f"  {name:<8} trust {trust:+.3f}  p(good) {probability:.2f}  {bar}")
+
+    print(
+        "\nDave (vouched by two strong veterans) lands highest; Erin's single"
+        "\nlukewarm vouch through Carol decays via concatenation; Frank's"
+        "\nconflicting reports fuse to a positive-but-hedged value; the"
+        "\ncollusion ring's self-vouching yields exactly zero information."
+    )
+
+
+if __name__ == "__main__":
+    main()

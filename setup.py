@@ -1,0 +1,6 @@
+"""Legacy setup shim (the environment lacks the `wheel` package, which
+modern editable installs require); metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

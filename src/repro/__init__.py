@@ -1,0 +1,134 @@
+"""repro -- trust-enhanced online rating aggregation with AR fraud detection.
+
+A complete reproduction of Yang, Sun, Ren & Yang, *Building Trust in
+Online Rating Systems Through Signal Modeling* (ICDCS 2007): the AR
+signal-modeling detector for collaborative rating fraud, the
+trust-enhanced aggregation pipeline, the literature baselines it is
+compared against, and the simulations that evaluate all of it.
+
+Quick start::
+
+    import numpy as np
+    from repro import (
+        IllustrativeConfig, generate_illustrative, ARModelErrorDetector,
+    )
+
+    trace = generate_illustrative(IllustrativeConfig(), np.random.default_rng(0))
+    detector = ARModelErrorDetector(threshold=0.10)
+    report = detector.detect(trace.attacked)
+    print(len(report.suspicious_verdicts), "suspicious windows")
+
+See the ``examples/`` directory for full scenarios and ``repro list``
+on the command line for the paper's experiments.
+"""
+
+from repro._version import __version__
+from repro.aggregation import (
+    BetaFunctionAggregator,
+    ModifiedWeightedAverage,
+    PlainWeightedAverage,
+    SimpleAverage,
+    SunTrustModelAggregator,
+)
+from repro.attacks import (
+    CamouflageCampaign,
+    CollusionCampaign,
+    DutyCycleCampaign,
+    RampCampaign,
+    estimate_trace_statistics,
+    inject_campaign,
+    required_colluders,
+)
+from repro.core import TrustEnhancedRatingSystem
+from repro.data import DINOSAUR_PLANET, NetflixTraceConfig, generate_netflix_trace
+from repro.detectors import (
+    ARModelErrorDetector,
+    OnlineARDetector,
+    ClusteringDetector,
+    EndorsementDetector,
+    EntropyChangeDetector,
+    SuspicionReport,
+)
+from repro.errors import ReproError
+from repro.evaluation import monte_carlo, rater_detection, rating_detection
+from repro.filters import BetaQuantileFilter, IQRFilter, NullFilter, ZScoreFilter
+from repro.ratings import (
+    ELEVEN_LEVEL,
+    FIVE_STAR,
+    TEN_LEVEL,
+    Product,
+    RaterClass,
+    RaterProfile,
+    Rating,
+    RatingScale,
+    RatingStore,
+    RatingStream,
+)
+from repro.signal import ARModel, arburg, arcov, aryule
+from repro.simulation import (
+    IllustrativeConfig,
+    MarketplaceConfig,
+    PipelineConfig,
+    generate_illustrative,
+    generate_marketplace,
+    run_marketplace,
+)
+from repro.trust import TrustManager, TrustManagerConfig, TrustRecord, beta_trust
+
+__all__ = [
+    "__version__",
+    "BetaFunctionAggregator",
+    "ModifiedWeightedAverage",
+    "PlainWeightedAverage",
+    "SimpleAverage",
+    "SunTrustModelAggregator",
+    "CamouflageCampaign",
+    "CollusionCampaign",
+    "DutyCycleCampaign",
+    "RampCampaign",
+    "estimate_trace_statistics",
+    "inject_campaign",
+    "required_colluders",
+    "TrustEnhancedRatingSystem",
+    "DINOSAUR_PLANET",
+    "NetflixTraceConfig",
+    "generate_netflix_trace",
+    "ARModelErrorDetector",
+    "OnlineARDetector",
+    "ClusteringDetector",
+    "EndorsementDetector",
+    "EntropyChangeDetector",
+    "SuspicionReport",
+    "ReproError",
+    "monte_carlo",
+    "rater_detection",
+    "rating_detection",
+    "BetaQuantileFilter",
+    "IQRFilter",
+    "NullFilter",
+    "ZScoreFilter",
+    "ELEVEN_LEVEL",
+    "FIVE_STAR",
+    "TEN_LEVEL",
+    "Product",
+    "RaterClass",
+    "RaterProfile",
+    "Rating",
+    "RatingScale",
+    "RatingStore",
+    "RatingStream",
+    "ARModel",
+    "arburg",
+    "arcov",
+    "aryule",
+    "IllustrativeConfig",
+    "MarketplaceConfig",
+    "PipelineConfig",
+    "generate_illustrative",
+    "generate_marketplace",
+    "run_marketplace",
+    "TrustManager",
+    "TrustManagerConfig",
+    "TrustRecord",
+    "beta_trust",
+]

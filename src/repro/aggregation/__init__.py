@@ -1,0 +1,27 @@
+"""Rating-aggregation algorithms (the paper's methods 1-4 plus ablations)."""
+
+from repro.aggregation.base import Aggregator, as_arrays
+from repro.aggregation.robust import MedianAggregator, TrimmedMeanAggregator
+from repro.aggregation.methods import (
+    PAPER_METHODS,
+    ThresholdedAverage,
+    BetaFunctionAggregator,
+    ModifiedWeightedAverage,
+    PlainWeightedAverage,
+    SimpleAverage,
+    SunTrustModelAggregator,
+)
+
+__all__ = [
+    "Aggregator",
+    "ThresholdedAverage",
+    "as_arrays",
+    "MedianAggregator",
+    "TrimmedMeanAggregator",
+    "PAPER_METHODS",
+    "BetaFunctionAggregator",
+    "ModifiedWeightedAverage",
+    "PlainWeightedAverage",
+    "SimpleAverage",
+    "SunTrustModelAggregator",
+]

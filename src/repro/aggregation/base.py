@@ -1,0 +1,60 @@
+"""Rating-aggregation interface.
+
+An aggregator maps the (post-filter) ratings of one object, together
+with the trust in their raters, to a single aggregated rating in
+``[0, 1]`` -- the indirect trust {system : object} of Section III-B.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import EmptyWindowError
+
+__all__ = ["Aggregator", "as_arrays"]
+
+
+def as_arrays(
+    values: Sequence[float], trusts: Sequence[float]
+) -> tuple:
+    """Validate and convert parallel rating / trust sequences.
+
+    Raises:
+        EmptyWindowError: when there are no ratings to aggregate.
+        ValueError: when the sequences are not parallel.
+    """
+    values = np.asarray(values, dtype=float).ravel()
+    trusts = np.asarray(trusts, dtype=float).ravel()
+    if values.size == 0:
+        raise EmptyWindowError("cannot aggregate zero ratings")
+    if values.size != trusts.size:
+        raise ValueError(
+            f"ratings ({values.size}) and trusts ({trusts.size}) must be parallel"
+        )
+    return values, trusts
+
+
+class Aggregator(abc.ABC):
+    """Abstract rating aggregator.
+
+    Subclasses implement :meth:`aggregate`; trust-oblivious methods
+    simply ignore the ``trusts`` argument, keeping one call signature
+    across all four of the paper's methods.
+    """
+
+    #: Human-readable name used by benches and reports.
+    name: str = "aggregator"
+
+    @abc.abstractmethod
+    def aggregate(
+        self, values: Sequence[float], trusts: Sequence[float]
+    ) -> float:
+        """Aggregate parallel rating values and rater trusts."""
+
+    def __call__(
+        self, values: Sequence[float], trusts: Sequence[float]
+    ) -> float:
+        return self.aggregate(values, trusts)

@@ -1,0 +1,35 @@
+"""Attack orchestration: collusion strategies, campaigns, trace injection."""
+
+from repro.attacks.adaptive import (
+    AdaptiveCampaign,
+    CamouflageCampaign,
+    DutyCycleCampaign,
+    RampCampaign,
+)
+from repro.attacks.campaign import CollusionCampaign
+from repro.attacks.injection import (
+    TraceStatistics,
+    estimate_trace_statistics,
+    inject_campaign,
+)
+from repro.attacks.strategies import (
+    LARGE_BIAS,
+    MODERATE_BIAS,
+    CollusionStrategy,
+    required_colluders,
+)
+
+__all__ = [
+    "AdaptiveCampaign",
+    "CamouflageCampaign",
+    "DutyCycleCampaign",
+    "RampCampaign",
+    "CollusionCampaign",
+    "TraceStatistics",
+    "estimate_trace_statistics",
+    "inject_campaign",
+    "LARGE_BIAS",
+    "MODERATE_BIAS",
+    "CollusionStrategy",
+    "required_colluders",
+]

@@ -1,0 +1,198 @@
+"""Adaptive collusion strategies that target the AR detector itself.
+
+The paper's stated future work is to "study the possible attacks to the
+proposed solutions".  The AR detector keys on a statistical fingerprint
+-- recruited ratings are *tighter* and *shifted* relative to honest
+noise, making attack windows more predictable -- so an informed
+adversary can try to erase that fingerprint:
+
+* :class:`CamouflageCampaign` -- recruited ratings copy the honest
+  variance instead of clustering tightly (``badVar = goodVar``).  The
+  variance fingerprint disappears; only the mean shift remains.
+* :class:`RampCampaign` -- the bias fades in linearly across the attack
+  interval, avoiding an abrupt statistical change at the campaign
+  boundary.
+* :class:`DutyCycleCampaign` -- the campaign runs in short bursts with
+  quiet gaps, so no analysis window is fully contaminated.
+
+All three reshape the *type 2* recruitment channel of a
+:class:`~repro.attacks.campaign.CollusionCampaign`; their cost/benefit
+(detector evasion vs. aggregate damage) is quantified by
+``repro.experiments.adaptive_attacks`` and its bench.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Callable, List
+
+import numpy as np
+
+from repro.attacks.campaign import CollusionCampaign
+from repro.errors import ConfigurationError
+from repro.ratings.arrivals import poisson_arrival_times
+from repro.ratings.models import Rating, fresh_rating_id
+from repro.ratings.scales import RatingScale
+from repro.ratings.stream import RatingStream
+
+__all__ = [
+    "AdaptiveCampaign",
+    "CamouflageCampaign",
+    "RampCampaign",
+    "DutyCycleCampaign",
+]
+
+
+@dataclass(frozen=True)
+class AdaptiveCampaign(abc.ABC):
+    """A detector-aware reshaping of the type 2 recruitment channel.
+
+    Attributes:
+        start: attack interval start (days).
+        end: attack interval end, exclusive.
+        bias: target mean shift of recruited ratings.
+        power: recruited arrival rate as a multiple of the honest rate.
+    """
+
+    start: float
+    end: float
+    bias: float = 0.15
+    power: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ConfigurationError(
+                f"attack interval needs end > start, got [{self.start}, {self.end})"
+            )
+        if self.power < 0:
+            raise ConfigurationError(f"power must be >= 0, got {self.power}")
+
+    @abc.abstractmethod
+    def _rating_value(
+        self, time: float, quality: float, rng: np.random.Generator
+    ) -> float:
+        """Raw recruited opinion at the given time."""
+
+    def _keep_arrival(self, time: float, rng: np.random.Generator) -> bool:
+        """Hook: thin the recruited arrival stream (duty cycling)."""
+        return True
+
+    def apply(
+        self,
+        honest: RatingStream,
+        quality_at: Callable[[float], float],
+        base_rate: float,
+        scale: RatingScale,
+        rng: np.random.Generator,
+    ) -> RatingStream:
+        """Merge this campaign's recruited ratings into an honest stream.
+
+        Args:
+            honest: the honest trace (unmodified).
+            quality_at: true quality as a function of time.
+            base_rate: honest arrival rate (recruited arrivals run at
+                ``base_rate * power`` before duty-cycle thinning).
+            scale: rating scale for quantization.
+            rng: numpy random generator.
+        """
+        times = poisson_arrival_times(
+            rate=base_rate * self.power, start=self.start, end=self.end, rng=rng
+        )
+        rater_id_start = (
+            int(honest.rater_ids.max()) + 1 if len(honest) else 0
+        )
+        recruited: List[Rating] = []
+        for offset, t in enumerate(times):
+            if not self._keep_arrival(float(t), rng):
+                continue
+            raw = self._rating_value(float(t), quality_at(float(t)), rng)
+            recruited.append(
+                Rating(
+                    rating_id=fresh_rating_id(),
+                    rater_id=rater_id_start + offset,
+                    product_id=honest[0].product_id if len(honest) else 0,
+                    value=scale.quantize(float(raw)),
+                    time=float(t),
+                    unfair=True,
+                )
+            )
+        return honest.merge(RatingStream.from_ratings(recruited))
+
+    @classmethod
+    def from_baseline(
+        cls, campaign: CollusionCampaign, **extra
+    ) -> "AdaptiveCampaign":
+        """Build from a baseline campaign's interval/bias/power."""
+        return cls(
+            start=campaign.start,
+            end=campaign.end,
+            bias=campaign.type2_bias,
+            power=campaign.type2_power,
+            **extra,
+        )
+
+
+@dataclass(frozen=True)
+class CamouflageCampaign(AdaptiveCampaign):
+    """Recruited ratings mimic the honest noise variance.
+
+    Args:
+        camouflage_variance: variance of recruited ratings; set it to
+            the scenario's ``goodVar`` to erase the tightness
+            fingerprint entirely.
+    """
+
+    camouflage_variance: float = 0.2
+
+    def _rating_value(self, time, quality, rng):
+        std = float(np.sqrt(self.camouflage_variance))
+        return rng.normal(quality + self.bias, std)
+
+
+@dataclass(frozen=True)
+class RampCampaign(AdaptiveCampaign):
+    """The bias fades in linearly from 0 to ``bias`` across the interval.
+
+    Args:
+        bad_variance: recruited rating variance (the classic tight
+            default, so only the onset shape changes).
+    """
+
+    bad_variance: float = 0.02
+
+    def _rating_value(self, time, quality, rng):
+        progress = (time - self.start) / (self.end - self.start)
+        std = float(np.sqrt(self.bad_variance))
+        return rng.normal(quality + progress * self.bias, std)
+
+
+@dataclass(frozen=True)
+class DutyCycleCampaign(AdaptiveCampaign):
+    """The campaign runs in bursts: ``on_days`` active, ``off_days`` quiet.
+
+    Args:
+        on_days: burst length.
+        off_days: gap length.
+        bad_variance: recruited rating variance during bursts.
+    """
+
+    on_days: float = 2.0
+    off_days: float = 2.0
+    bad_variance: float = 0.02
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.on_days <= 0 or self.off_days < 0:
+            raise ConfigurationError(
+                "need on_days > 0 and off_days >= 0, got "
+                f"{self.on_days}/{self.off_days}"
+            )
+
+    def _keep_arrival(self, time, rng):
+        phase = (time - self.start) % (self.on_days + self.off_days)
+        return phase < self.on_days
+
+    def _rating_value(self, time, quality, rng):
+        std = float(np.sqrt(self.bad_variance))
+        return rng.normal(quality + self.bias, std)

@@ -1,0 +1,156 @@
+"""Collusion campaigns: when and how unfair ratings enter a trace.
+
+A :class:`CollusionCampaign` bundles the paper's attack parameters
+(Section III-A.2): an attack interval, the type 1 channel (influence a
+fraction of regulars to shift their ratings) and the type 2 channel
+(recruit outsiders who rate around a shifted mean and arrive as an
+extra Poisson stream).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.ratings.arrivals import poisson_arrival_times
+from repro.ratings.models import Rating, fresh_rating_id
+from repro.ratings.scales import RatingScale
+from repro.ratings.stream import RatingStream
+
+__all__ = ["CollusionCampaign"]
+
+
+@dataclass(frozen=True)
+class CollusionCampaign:
+    """Parameters of one collusion campaign against one object.
+
+    Attributes:
+        start: first day of the attack interval (paper: A_start).
+        end: last day of the attack interval, exclusive (paper: A_end).
+        type1_bias: additive shift applied by influenced regulars
+            (paper: biasshift1; 0 disables the channel).
+        type1_power: fraction of regulars in the window who are
+            influenced (paper: recruitpower1).
+        type2_bias: mean shift of recruited outsiders (paper: biasshift2).
+        type2_variance: rating variance of recruited outsiders
+            (paper: badVar).
+        type2_power: recruited arrival rate as a multiple of the honest
+            arrival rate (paper: recruitpower2; 0 disables the channel).
+    """
+
+    start: float
+    end: float
+    type1_bias: float = 0.0
+    type1_power: float = 0.0
+    type2_bias: float = 0.0
+    type2_variance: float = 0.0
+    type2_power: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ConfigurationError(
+                f"attack interval needs end > start, got [{self.start}, {self.end})"
+            )
+        for name in ("type1_power", "type2_power", "type2_variance"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be >= 0")
+        if not 0.0 <= self.type1_power <= 1.0:
+            raise ConfigurationError(
+                f"type1_power is a fraction in [0, 1], got {self.type1_power}"
+            )
+
+    def covers(self, time: float) -> bool:
+        """True when the given time falls inside the attack interval."""
+        return self.start <= time < self.end
+
+    # -- type 1: influence existing ratings --------------------------------
+
+    def influence(
+        self,
+        stream: RatingStream,
+        scale: RatingScale,
+        rng: np.random.Generator,
+    ) -> RatingStream:
+        """Apply the type 1 channel to an honest stream.
+
+        Each rating inside the attack interval is, with probability
+        ``type1_power``, shifted by ``type1_bias`` (re-quantized and
+        marked unfair).  Ratings outside the interval are untouched.
+
+        Returns:
+            A new stream; the input is not modified.
+        """
+        if self.type1_power == 0.0 or self.type1_bias == 0.0:
+            return stream
+        adjusted: List[Rating] = []
+        for rating in stream:
+            if self.covers(rating.time) and rng.uniform() < self.type1_power:
+                adjusted.append(
+                    Rating(
+                        rating_id=rating.rating_id,
+                        rater_id=rating.rater_id,
+                        product_id=rating.product_id,
+                        value=scale.quantize(rating.value + self.type1_bias),
+                        time=rating.time,
+                        unfair=True,
+                    )
+                )
+            else:
+                adjusted.append(rating)
+        return RatingStream.from_ratings(adjusted)
+
+    # -- type 2: recruit extra raters --------------------------------------
+
+    def recruit(
+        self,
+        product_id: int,
+        quality_at: Callable[[float], float],
+        base_rate: float,
+        scale: RatingScale,
+        rng: np.random.Generator,
+        rater_id_start: int,
+    ) -> List[Rating]:
+        """Generate the type 2 recruited rating stream.
+
+        Args:
+            product_id: the attacked object.
+            quality_at: true quality as a function of time (recruited
+                ratings are ``N(quality + type2_bias, type2_variance)``).
+            base_rate: honest arrival rate; recruited arrivals run at
+                ``base_rate * type2_power``.
+            scale: rating scale for quantization.
+            rng: numpy random generator.
+            rater_id_start: first id to assign to recruited raters (each
+                recruited rating comes from a fresh rater -- outsiders
+                rate once).
+
+        Returns:
+            Time-sorted list of unfair ratings inside the interval.
+        """
+        if self.type2_power == 0.0:
+            return []
+        times = poisson_arrival_times(
+            rate=base_rate * self.type2_power,
+            start=self.start,
+            end=self.end,
+            rng=rng,
+        )
+        std = float(np.sqrt(self.type2_variance))
+        ratings: List[Rating] = []
+        for offset, t in enumerate(times):
+            mean = quality_at(float(t)) + self.type2_bias
+            raw = rng.normal(mean, std) if std > 0 else mean
+            ratings.append(
+                Rating(
+                    rating_id=fresh_rating_id(),
+                    rater_id=rater_id_start + offset,
+                    product_id=product_id,
+                    value=scale.quantize(float(raw)),
+                    time=float(t),
+                    unfair=True,
+                )
+            )
+        return ratings

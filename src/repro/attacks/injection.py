@@ -1,0 +1,116 @@
+"""Inject collaborative ratings into an existing (real) trace.
+
+This reproduces the paper's Netflix experiment recipe: take a real
+rating trace, pick an attack interval, shift a fraction of the existing
+ratings (type 1) and add a recruited Poisson stream whose mean tracks
+the trace's own local average (type 2).  The trace's empirical
+statistics -- local mean, variance, arrival rate -- parameterize the
+attack, exactly as the paper sets ``badVar = 0.25 * goodVar`` from the
+original data's variance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.attacks.campaign import CollusionCampaign
+from repro.errors import ConfigurationError, EmptyWindowError
+from repro.ratings.scales import RatingScale
+from repro.ratings.stream import RatingStream
+
+__all__ = ["TraceStatistics", "estimate_trace_statistics", "inject_campaign"]
+
+
+@dataclass(frozen=True)
+class TraceStatistics:
+    """Empirical statistics of a rating trace.
+
+    Attributes:
+        mean: overall mean rating (the stand-in for true quality).
+        variance: rating variance (the paper's goodVar for real data).
+        arrival_rate: average ratings per day over the trace span.
+        span: (first_time, last_time) of the trace.
+    """
+
+    mean: float
+    variance: float
+    arrival_rate: float
+    span: tuple
+
+
+def estimate_trace_statistics(stream: RatingStream) -> TraceStatistics:
+    """Estimate the mean / variance / arrival rate of a trace."""
+    if len(stream) < 2:
+        raise EmptyWindowError("need at least 2 ratings to estimate a trace")
+    values = stream.values
+    times = stream.times
+    duration = float(times[-1] - times[0])
+    rate = len(stream) / duration if duration > 0 else float(len(stream))
+    return TraceStatistics(
+        mean=float(np.mean(values)),
+        variance=float(np.var(values)),
+        arrival_rate=rate,
+        span=(float(times[0]), float(times[-1])),
+    )
+
+
+def _local_mean(stream: RatingStream, start: float, end: float) -> float:
+    """Mean of the trace's ratings inside a window (fallback: overall)."""
+    window = stream.between(start, end)
+    return window.mean() if len(window) else stream.mean()
+
+
+def inject_campaign(
+    stream: RatingStream,
+    campaign: CollusionCampaign,
+    scale: RatingScale,
+    rng: np.random.Generator,
+    rater_id_start: int | None = None,
+) -> RatingStream:
+    """Return ``stream`` with the campaign's unfair ratings injected.
+
+    Type 1 influence rewrites a ``type1_power`` fraction of the existing
+    ratings inside the attack window (shift ``type1_bias``).  Type 2
+    recruitment adds new ratings around the trace's local mean plus
+    ``type2_bias`` at ``arrival_rate * type2_power``.
+
+    Args:
+        stream: the original trace (not modified).
+        campaign: attack parameters; ``type2_variance`` is used as
+            given -- compute it from the trace (e.g. ``0.25 * variance``)
+            before building the campaign if you want the paper's recipe.
+        scale: scale for quantizing injected ratings.
+        rng: numpy random generator.
+        rater_id_start: first rater id for recruited outsiders; defaults
+            to one above the trace's largest rater id.
+
+    Returns:
+        A new merged, time-sorted stream with ``unfair`` ground truth set
+        on every injected or influenced rating.
+    """
+    if len(stream) == 0:
+        raise EmptyWindowError("cannot inject into an empty trace")
+    stats = estimate_trace_statistics(stream)
+    first, last = stats.span
+    if campaign.end <= first or campaign.start >= last:
+        raise ConfigurationError(
+            f"attack interval [{campaign.start}, {campaign.end}) lies outside "
+            f"the trace span [{first}, {last}]"
+        )
+    if rater_id_start is None:
+        rater_id_start = int(stream.rater_ids.max()) + 1
+
+    influenced = campaign.influence(stream, scale, rng)
+    local_quality = _local_mean(stream, campaign.start, campaign.end)
+    product_id = int(stream.product_ids[0])
+    recruited = campaign.recruit(
+        product_id=product_id,
+        quality_at=lambda _t: local_quality,
+        base_rate=stats.arrival_rate,
+        scale=scale,
+        rng=rng,
+        rater_id_start=rater_id_start,
+    )
+    return influenced.merge(RatingStream.from_ratings(recruited))

@@ -1,0 +1,91 @@
+"""Collusion strategies (Section II-B).
+
+Given a target aggregate shift, the owner of an object can either
+recruit *few* raters giving *extreme* ratings (large bias) or *many*
+raters giving *moderate* ratings (small bias).  The paper's equation (1)
+gives the break-even size: to move a simple average from quality ``q``
+to ``q + delta`` with ratings of value ``r``, the colluders need
+
+    M > delta * N / (r - q - delta)
+
+honest-rater-equivalents.  These helpers compute that trade-off and
+package the two named strategies; the detection story of the paper is
+that existing filters catch the large-bias strategy while only the AR
+detector catches the moderate-bias one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["CollusionStrategy", "LARGE_BIAS", "MODERATE_BIAS", "required_colluders"]
+
+
+def required_colluders(
+    n_honest: int, quality: float, target: float, collusion_value: float
+) -> float:
+    """Minimum colluder count to move a simple average past ``target``.
+
+    Args:
+        n_honest: number of honest ratings ``N``.
+        quality: honest mean ``q`` (the true quality).
+        target: aggregate the colluders want to exceed.
+        collusion_value: the rating value ``r`` each colluder submits.
+
+    Returns:
+        The real-valued bound ``M``; the attack needs strictly more than
+        this many colluders.  ``inf`` when the collusion value cannot
+        reach the target at any size.
+    """
+    if n_honest < 0:
+        raise ConfigurationError(f"n_honest must be >= 0, got {n_honest}")
+    delta = target - quality
+    headroom = collusion_value - target
+    if headroom <= 0:
+        return float("inf")
+    return delta * n_honest / headroom
+
+
+@dataclass(frozen=True)
+class CollusionStrategy:
+    """A named (bias magnitude, variance) collusion profile.
+
+    Attributes:
+        name: strategy label.
+        bias_shift: additive shift applied to the true quality.
+        bad_variance: variance of recruited (type 2) ratings.
+        detectable_by_filters: whether classic quantile filters are
+            expected to catch it (documentation of the paper's claim,
+            exercised by the ablation benches).
+    """
+
+    name: str
+    bias_shift: float
+    bad_variance: float
+    detectable_by_filters: bool
+
+    def __post_init__(self) -> None:
+        if self.bad_variance < 0:
+            raise ConfigurationError(
+                f"bad_variance must be >= 0, got {self.bad_variance}"
+            )
+
+
+#: Strategy 1 -- few raters, extreme ratings (rating 5 on a 1-5 scale).
+LARGE_BIAS = CollusionStrategy(
+    name="large_bias",
+    bias_shift=0.5,
+    bad_variance=0.02,
+    detectable_by_filters=True,
+)
+
+#: Strategy 2 -- many raters, ratings close to the majority.  This is
+#: the strategy the paper's detector targets.
+MODERATE_BIAS = CollusionStrategy(
+    name="moderate_bias",
+    bias_shift=0.15,
+    bad_variance=0.02,
+    detectable_by_filters=False,
+)

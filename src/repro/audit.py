@@ -1,0 +1,181 @@
+"""Audit a rating-trace file for collaborative manipulation.
+
+The production-facing entry point: load a trace (CSV or JSON Lines, as
+written by :mod:`repro.ratings.io` or exported from a real system), run
+the AR detector over it, and report the suspicious intervals, the most
+suspicious raters, and -- when the file carries ground-truth labels --
+the detection score.  Exposed on the command line as ``repro audit``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.detectors.ar_detector import ARModelErrorDetector
+from repro.errors import ConfigurationError, EmptyWindowError
+from repro.evaluation.detection import ConfusionCounts, rating_detection
+from repro.evaluation.roc import calibrate_threshold
+from repro.evaluation.textplot import sparkline
+from repro.ratings.io import read_csv, read_jsonl
+from repro.ratings.stream import RatingStream
+from repro.signal.windows import CountWindower
+
+__all__ = ["AuditResult", "audit_stream", "audit_file", "format_audit"]
+
+
+@dataclass(frozen=True)
+class AuditResult:
+    """Outcome of auditing one trace.
+
+    Attributes:
+        stream: the audited trace.
+        threshold: the model-error threshold used (auto-calibrated to
+            the trace's own error distribution unless overridden).
+        error_times / errors: the windowed model-error series.
+        suspicious_intervals: (start, end, min_error) per flagged span
+            (consecutive flagged windows merged).
+        top_raters: (rater_id, suspicion) pairs, most suspicious first.
+        ground_truth: detection confusion when the trace carries
+            ``unfair`` labels, else None.
+    """
+
+    stream: RatingStream
+    threshold: float
+    error_times: np.ndarray
+    errors: np.ndarray
+    suspicious_intervals: Tuple[Tuple[float, float, float], ...]
+    top_raters: Tuple[Tuple[int, float], ...]
+    ground_truth: ConfusionCounts | None
+
+
+def _merge_intervals(verdicts) -> List[Tuple[float, float, float]]:
+    """Merge consecutive/overlapping flagged windows into spans."""
+    spans: List[Tuple[float, float, float]] = []
+    for verdict in verdicts:
+        if not verdict.suspicious:
+            continue
+        start = verdict.window.start_time
+        end = verdict.window.end_time
+        err = verdict.statistic
+        if spans and start <= spans[-1][1]:
+            prev_start, prev_end, prev_err = spans[-1]
+            spans[-1] = (prev_start, max(prev_end, end), min(prev_err, err))
+        else:
+            spans.append((start, end, err))
+    return spans
+
+
+def audit_stream(
+    stream: RatingStream,
+    threshold: float | None = None,
+    window_size: int = 50,
+    window_step: int = 10,
+    order: int = 4,
+    calibration_quantile: float = 0.05,
+    top_n: int = 10,
+) -> AuditResult:
+    """Run the AR audit over a loaded trace.
+
+    Args:
+        stream: the trace to audit (needs at least one full window).
+        threshold: model-error threshold; when None it is calibrated to
+            the given quantile of the trace's own window errors (a
+            self-referential budget: ~that fraction of windows flag).
+        window_size / window_step / order: detector shape.
+        calibration_quantile: quantile used for auto-calibration.
+        top_n: how many raters to report.
+    """
+    if len(stream) < window_size:
+        raise EmptyWindowError(
+            f"trace has {len(stream)} ratings; auditing needs at least "
+            f"one full window of {window_size}"
+        )
+    probe = ARModelErrorDetector(
+        order=order,
+        threshold=0.5,  # placeholder; only error_series is used here
+        windower=CountWindower(size=window_size, step=window_step),
+    )
+    times, errors = probe.error_series(stream)
+    if errors.size == 0:
+        raise EmptyWindowError("no analyzable windows in the trace")
+    if threshold is None:
+        threshold = calibrate_threshold(errors, quantile=calibration_quantile)
+    detector = ARModelErrorDetector(
+        order=order,
+        threshold=threshold,
+        scale=1.0,
+        level_rule="literal",
+        windower=CountWindower(size=window_size, step=window_step),
+    )
+    report = detector.detect(stream)
+    spans = _merge_intervals(report.verdicts)
+    top = sorted(
+        report.rater_suspicion.items(), key=lambda kv: kv[1], reverse=True
+    )[:top_n]
+    ground_truth = (
+        rating_detection(stream, report.flagged_rating_ids)
+        if stream.unfair_flags.any()
+        else None
+    )
+    return AuditResult(
+        stream=stream,
+        threshold=float(threshold),
+        error_times=times,
+        errors=errors,
+        suspicious_intervals=tuple(spans),
+        top_raters=tuple(top),
+        ground_truth=ground_truth,
+    )
+
+
+def audit_file(path, **kwargs) -> AuditResult:
+    """Load a CSV or JSONL trace and audit it."""
+    path = Path(path)
+    if not path.exists():
+        raise ConfigurationError(f"trace file not found: {path}")
+    if path.suffix.lower() == ".csv":
+        stream = read_csv(path)
+    elif path.suffix.lower() in (".jsonl", ".ndjson", ".json"):
+        stream = read_jsonl(path)
+    else:
+        raise ConfigurationError(
+            f"unsupported trace format {path.suffix!r}; use .csv or .jsonl"
+        )
+    return audit_stream(stream, **kwargs)
+
+
+def format_audit(result: AuditResult) -> str:
+    """Human-readable audit report."""
+    span = result.stream.times
+    lines = [
+        f"audited {len(result.stream)} ratings over "
+        f"days {span.min():.1f}-{span.max():.1f}",
+        f"model-error threshold: {result.threshold:.3f} "
+        f"({result.errors.size} windows)",
+        f"error series: {sparkline(result.errors)}",
+    ]
+    if result.suspicious_intervals:
+        lines.append("suspicious intervals:")
+        for start, end, err in result.suspicious_intervals:
+            lines.append(
+                f"  days {start:7.1f} - {end:7.1f}  (min error {err:.3f})"
+            )
+    else:
+        lines.append("no suspicious intervals at this threshold")
+    if result.top_raters:
+        lines.append("most suspicious raters (id: accumulated suspicion):")
+        lines.append(
+            "  " + ", ".join(f"{rid}: {c:.1f}" for rid, c in result.top_raters)
+        )
+    if result.ground_truth is not None:
+        gt = result.ground_truth
+        lines.append(
+            f"ground truth present: detection {gt.detection_ratio:.2f}, "
+            f"false alarm {gt.false_alarm_ratio:.2f}, "
+            f"precision {gt.precision:.2f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,112 @@
+"""Command-line interface: ``repro <experiment>`` or ``python -m repro``.
+
+Runs any paper experiment and prints its paper-vs-measured report.
+``repro list`` shows what is available; every experiment accepts
+``--seed`` and, where meaningful, a size knob so quick runs stay quick.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments import REGISTRY
+from repro.reporting import dump_json
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce the experiments of 'Building Trust in Online Rating "
+            "Systems Through Signal Modeling' (ICDCS 2007)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("list", help="list available experiments")
+
+    run_parser = sub.add_parser("run", help="run one experiment")
+    run_parser.add_argument(
+        "experiment",
+        choices=sorted(REGISTRY),
+        help="which paper artifact to reproduce",
+    )
+    run_parser.add_argument("--seed", type=int, default=0, help="master seed")
+    run_parser.add_argument(
+        "--runs",
+        type=int,
+        default=None,
+        help="Monte-Carlo repetitions (experiments that repeat; "
+        "defaults to the paper's count)",
+    )
+    run_parser.add_argument(
+        "--bias",
+        type=float,
+        default=None,
+        help="attack bias shift (fig10-fig12 only)",
+    )
+    run_parser.add_argument(
+        "--json",
+        dest="json_path",
+        default=None,
+        help="also dump the structured result to this JSON file",
+    )
+
+    audit_parser = sub.add_parser(
+        "audit", help="audit a rating-trace file (.csv or .jsonl)"
+    )
+    audit_parser.add_argument("trace", help="path to the trace file")
+    audit_parser.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="model-error threshold (default: auto-calibrated to the trace)",
+    )
+    audit_parser.add_argument(
+        "--window", type=int, default=50, help="ratings per analysis window"
+    )
+    return parser
+
+
+def _run_experiment(args: argparse.Namespace) -> str:
+    runner, reporter, _ = REGISTRY[args.experiment]
+    kwargs = {"seed": args.seed}
+    if args.runs is not None and args.experiment in (
+        "detection", "table1", "baselines", "adaptive-attacks", "sensitivity", "vouching", "individual-unfair"
+    ):
+        kwargs["n_runs"] = args.runs
+    if args.bias is not None and args.experiment == "fig10-fig12":
+        kwargs["bias_shift"] = args.bias
+    result = runner(**kwargs)
+    if args.json_path:
+        dump_json(result, args.json_path)
+    return reporter(result)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "audit":
+        from repro.audit import audit_file, format_audit
+
+        result = audit_file(
+            args.trace, threshold=args.threshold, window_size=args.window
+        )
+        print(format_audit(result))
+        return 0
+    if args.command == "list" or args.command is None:
+        print("available experiments:")
+        for name in sorted(REGISTRY):
+            print(f"  {name:<12} {REGISTRY[name][2]}")
+        return 0
+    print(_run_experiment(args))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,13 @@
+"""The paper's primary contribution: the trust-enhanced rating system."""
+
+from repro.core.system import (
+    IntervalReport,
+    ProductIntervalReport,
+    TrustEnhancedRatingSystem,
+)
+
+__all__ = [
+    "IntervalReport",
+    "ProductIntervalReport",
+    "TrustEnhancedRatingSystem",
+]

@@ -1,0 +1,9 @@
+"""Dataset substitutes: the synthetic Netflix-like movie trace."""
+
+from repro.data.netflix import (
+    DINOSAUR_PLANET,
+    NetflixTraceConfig,
+    generate_netflix_trace,
+)
+
+__all__ = ["DINOSAUR_PLANET", "NetflixTraceConfig", "generate_netflix_trace"]

@@ -1,0 +1,34 @@
+"""Suspicion detectors: the paper's AR detector plus literature baselines."""
+
+from repro.detectors.ar_detector import ARModelErrorDetector
+from repro.detectors.changepoint import CusumDetector, VarianceRatioDetector
+from repro.detectors.groups import (
+    CollusionGroups,
+    build_cosuspicion_graph,
+    detect_collusion_groups,
+    extract_groups,
+)
+from repro.detectors.base import SuspicionDetector, SuspicionReport, WindowVerdict
+from repro.detectors.clustering import ClusteringDetector, two_means_1d
+from repro.detectors.endorsement import EndorsementDetector, endorsement_quality
+from repro.detectors.entropy import EntropyChangeDetector
+from repro.detectors.online import OnlineARDetector
+
+__all__ = [
+    "ARModelErrorDetector",
+    "SuspicionDetector",
+    "SuspicionReport",
+    "WindowVerdict",
+    "ClusteringDetector",
+    "two_means_1d",
+    "EndorsementDetector",
+    "endorsement_quality",
+    "EntropyChangeDetector",
+    "OnlineARDetector",
+    "CusumDetector",
+    "CollusionGroups",
+    "build_cosuspicion_graph",
+    "detect_collusion_groups",
+    "extract_groups",
+    "VarianceRatioDetector",
+]

@@ -1,0 +1,141 @@
+"""The paper's AR signal-modeling detector (Procedure 1).
+
+Ratings for an object, ordered by time, are windowed; each window is
+fitted with an all-pole model (covariance method by default) and its
+normalized model error ``e(k)`` computed.  Honest ratings behave like
+white noise around the quality level, so ``e(k)`` stays above the
+threshold; a collaborative campaign makes the window predictable and
+pushes ``e(k)`` below it.  Flagged windows assign a suspicion level to
+every rating they contain, and raters accumulate the suspicion of
+their ratings into ``C(i)``.
+
+Two readings of the printed suspicion-level formula are supported (see
+DESIGN.md "Interpretation notes"):
+
+* ``"bounded"`` (default): ``L(k) = scale * (1 - e(k)/threshold)``,
+  which lies in ``(0, scale)`` and grows as the error falls further
+  below the threshold.
+* ``"literal"``: ``L(k) = scale * (1 - e(k)) / threshold`` exactly as
+  printed, clipped to ``[0, 1]`` so downstream trust stays sane.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, InsufficientDataError
+from repro.detectors.base import SuspicionDetector, SuspicionReport, WindowVerdict
+from repro.ratings.stream import RatingStream
+from repro.signal.ar import AR_METHODS
+from repro.signal.windows import CountWindower, TimeWindower
+
+__all__ = ["ARModelErrorDetector"]
+
+_LEVEL_RULES = ("bounded", "literal")
+
+
+class ARModelErrorDetector(SuspicionDetector):
+    """Procedure 1: suspicious-interval detection via AR model error.
+
+    Args:
+        order: AR model order ``p`` (default 4).
+        threshold: model-error threshold below which a window is
+            suspicious (paper: 0.02 in Section IV).
+        scale: scaling factor of the suspicion level, in ``(0, 1]``
+            (paper's ``scale``).
+        windower: a :class:`~repro.signal.windows.CountWindower` or
+            :class:`~repro.signal.windows.TimeWindower`; defaults to
+            50-rating windows stepping by 25 (the Fig. 4 configuration).
+        method: AR estimator name -- ``"covariance"`` (paper),
+            ``"autocorrelation"`` or ``"burg"``.
+        level_rule: ``"bounded"`` or ``"literal"`` (see module docs).
+        min_window: windows with fewer ratings than this are skipped
+            (an AR fit of order p needs > 2p samples; the default also
+            guards against statistically meaningless tiny windows).
+    """
+
+    def __init__(
+        self,
+        order: int = 4,
+        threshold: float = 0.02,
+        scale: float = 0.5,
+        windower: Optional[object] = None,
+        method: str = "covariance",
+        level_rule: str = "bounded",
+        min_window: Optional[int] = None,
+    ) -> None:
+        if order < 1:
+            raise ConfigurationError(f"order must be >= 1, got {order}")
+        if threshold <= 0 or threshold >= 1:
+            raise ConfigurationError(
+                f"threshold must lie in (0, 1), got {threshold}"
+            )
+        if not 0.0 < scale <= 1.0:
+            raise ConfigurationError(f"scale must lie in (0, 1], got {scale}")
+        if method not in AR_METHODS:
+            raise ConfigurationError(
+                f"unknown AR method {method!r}; choose from {sorted(AR_METHODS)}"
+            )
+        if level_rule not in _LEVEL_RULES:
+            raise ConfigurationError(
+                f"unknown level rule {level_rule!r}; choose from {_LEVEL_RULES}"
+            )
+        self.order = int(order)
+        self.threshold = float(threshold)
+        self.scale = float(scale)
+        self.windower = windower if windower is not None else CountWindower(size=50, step=25)
+        self.method = method
+        self.level_rule = level_rule
+        self.min_window = int(min_window) if min_window is not None else 2 * order + 4
+
+    def _level(self, error: float) -> float:
+        if self.level_rule == "bounded":
+            return self.scale * (1.0 - error / self.threshold)
+        raw = self.scale * (1.0 - error) / self.threshold
+        return float(np.clip(raw, 0.0, 1.0))
+
+    def window_errors(self, stream: RatingStream) -> List[WindowVerdict]:
+        """Fit every window and return its verdict (no accumulation)."""
+        times = stream.times
+        values = stream.values
+        fit = AR_METHODS[self.method]
+        verdicts: List[WindowVerdict] = []
+        if isinstance(self.windower, TimeWindower):
+            windows = self.windower.windows(times)
+        else:
+            windows = self.windower.windows(times)
+        for window in windows:
+            if window.size < self.min_window:
+                continue
+            samples = window.values(values)
+            try:
+                model = fit(samples, self.order)
+            except InsufficientDataError:
+                continue
+            error = model.normalized_error
+            suspicious = error < self.threshold
+            verdicts.append(
+                WindowVerdict(
+                    window=window,
+                    statistic=error,
+                    suspicious=suspicious,
+                    level=self._level(error) if suspicious else 0.0,
+                )
+            )
+        return verdicts
+
+    def detect(self, stream: RatingStream) -> SuspicionReport:
+        """Run Procedure 1 over one object's rating stream."""
+        if len(stream) == 0:
+            return SuspicionReport(stream=stream)
+        verdicts = self.window_errors(stream)
+        return self._accumulate(stream, verdicts)
+
+    def error_series(self, stream: RatingStream) -> tuple:
+        """(window mid-times, normalized model errors) -- Fig. 4/5 series."""
+        verdicts = self.window_errors(stream)
+        mids = np.array([v.window.mid_time for v in verdicts])
+        errors = np.array([v.statistic for v in verdicts])
+        return mids, errors

@@ -1,0 +1,122 @@
+"""Suspicion-detector interface (feature extraction module II).
+
+A suspicion detector inspects the *normal* (post-filter) ratings of one
+object and produces a :class:`SuspicionReport`: per-window diagnostics,
+per-rating suspicion levels, and the per-rater suspicion values
+``C(i)`` that Procedure 2 folds into trust as ``F += b * C``.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.ratings.stream import RatingStream
+from repro.signal.windows import Window
+
+__all__ = ["WindowVerdict", "SuspicionReport", "SuspicionDetector"]
+
+
+@dataclass(frozen=True)
+class WindowVerdict:
+    """Diagnostics for one analysis window.
+
+    Attributes:
+        window: the window (indices into the analyzed stream).
+        statistic: the detector's raw statistic for the window (AR
+            normalized model error, entropy change, cluster separation...).
+        suspicious: True when the window is flagged.
+        level: suspicion level in ``[0, 1]`` (0 for clean windows).
+    """
+
+    window: Window
+    statistic: float
+    suspicious: bool
+    level: float
+
+
+@dataclass
+class SuspicionReport:
+    """Full output of a detector run over one stream.
+
+    Attributes:
+        stream: the analyzed stream.
+        verdicts: one :class:`WindowVerdict` per analysis window.
+        rating_suspicion: rating_id -> suspicion level (max over the
+            suspicious windows containing the rating; 0 if absent).
+        rater_suspicion: rater_id -> ``C(i)``, the summed suspicion of
+            the rater's ratings (Procedure 1's output).
+    """
+
+    stream: RatingStream
+    verdicts: List[WindowVerdict] = field(default_factory=list)
+    rating_suspicion: Dict[int, float] = field(default_factory=dict)
+    rater_suspicion: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def suspicious_verdicts(self) -> List[WindowVerdict]:
+        return [v for v in self.verdicts if v.suspicious]
+
+    @property
+    def flagged_rating_ids(self) -> frozenset:
+        """Ids of ratings lying in at least one suspicious window."""
+        return frozenset(
+            rid for rid, level in self.rating_suspicion.items() if level > 0.0
+        )
+
+    @property
+    def flagged_rater_ids(self) -> frozenset:
+        """Ids of raters with a positive suspicion value."""
+        return frozenset(
+            rid for rid, c in self.rater_suspicion.items() if c > 0.0
+        )
+
+    def statistic_series(self) -> tuple:
+        """(window mid-times, window statistics) for plotting/benches."""
+        mids = [v.window.mid_time for v in self.verdicts]
+        values = [v.statistic for v in self.verdicts]
+        return mids, values
+
+
+class SuspicionDetector(abc.ABC):
+    """Abstract suspicion detector."""
+
+    @abc.abstractmethod
+    def detect(self, stream: RatingStream) -> SuspicionReport:
+        """Analyze one object's (post-filter) rating stream."""
+
+    @staticmethod
+    def _accumulate(
+        stream: RatingStream, verdicts: List[WindowVerdict]
+    ) -> SuspicionReport:
+        """Turn window verdicts into per-rating and per-rater suspicion.
+
+        Each rating is charged the *maximum* level over the suspicious
+        windows containing it (so overlapping windows never double-
+        charge -- the evident intent of Procedure 1's ``L_latest``
+        bookkeeping); a rater's ``C(i)`` sums the charges of their
+        ratings.
+        """
+        rating_level: Dict[int, float] = {}
+        ratings = stream.ratings
+        for verdict in verdicts:
+            if not verdict.suspicious:
+                continue
+            for idx in verdict.window.indices:
+                rating = ratings[int(idx)]
+                current = rating_level.get(rating.rating_id, 0.0)
+                rating_level[rating.rating_id] = max(current, verdict.level)
+        rater_suspicion: Dict[int, float] = {}
+        for rating in ratings:
+            level = rating_level.get(rating.rating_id, 0.0)
+            if level > 0.0:
+                rater_suspicion[rating.rater_id] = (
+                    rater_suspicion.get(rating.rater_id, 0.0) + level
+                )
+        return SuspicionReport(
+            stream=stream,
+            verdicts=verdicts,
+            rating_suspicion=rating_level,
+            rater_suspicion=rater_suspicion,
+        )

@@ -1,0 +1,94 @@
+"""Endorsement-quality detector (Chen & Singh 2001 baseline).
+
+Each rater implicitly endorses raters whose ratings are similar to
+their own; a rating's quality is the average endorsement it receives
+from the other ratings of the same object.  Low-quality ratings (those
+unlike everyone else's) are flagged.  Because a moderate-bias colluder
+*maximizes* similarity with the majority -- and colluders endorse each
+other -- this baseline also fails against strategy 2, which is the
+comparison the paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.detectors.base import SuspicionDetector, SuspicionReport, WindowVerdict
+from repro.ratings.stream import RatingStream
+from repro.signal.windows import CountWindower
+
+__all__ = ["EndorsementDetector", "endorsement_quality"]
+
+
+def endorsement_quality(values: np.ndarray) -> np.ndarray:
+    """Quality of each rating: mean similarity to the other ratings.
+
+    Similarity between two ratings is ``1 - |r_i - r_j|`` (ratings live
+    in [0, 1]); a rating's quality averages its similarity to every
+    *other* rating, so a lone outlier scores low while consensus
+    ratings score near 1.
+    """
+    values = np.asarray(values, dtype=float).ravel()
+    n = values.size
+    if n < 2:
+        raise ConfigurationError("endorsement quality needs >= 2 ratings")
+    diffs = np.abs(values[:, None] - values[None, :])
+    similarity = 1.0 - diffs
+    np.fill_diagonal(similarity, 0.0)
+    return similarity.sum(axis=1) / (n - 1)
+
+
+class EndorsementDetector(SuspicionDetector):
+    """Flag ratings whose endorsement quality falls below a threshold.
+
+    Args:
+        quality_threshold: ratings with quality below this are flagged.
+        windower: count windower (default 50 step 25).
+        level: suspicion level assigned to flagged ratings.
+    """
+
+    def __init__(
+        self,
+        quality_threshold: float = 0.6,
+        windower: CountWindower | None = None,
+        level: float = 0.5,
+    ) -> None:
+        if not 0.0 < quality_threshold < 1.0:
+            raise ConfigurationError(
+                f"quality_threshold must lie in (0, 1), got {quality_threshold}"
+            )
+        self.quality_threshold = float(quality_threshold)
+        self.windower = windower if windower is not None else CountWindower(size=50, step=25)
+        self.level = float(level)
+
+    def detect(self, stream: RatingStream) -> SuspicionReport:
+        if len(stream) == 0:
+            return SuspicionReport(stream=stream)
+        times = stream.times
+        values = stream.values
+        verdicts: List[WindowVerdict] = []
+        for window in self.windower.windows(times):
+            samples = window.values(values)
+            if samples.size < 2:
+                continue
+            quality = endorsement_quality(samples)
+            low_mask = quality < self.quality_threshold
+            suspicious = bool(low_mask.any())
+            flagged = window.indices[low_mask]
+            verdicts.append(
+                WindowVerdict(
+                    window=type(window)(
+                        index=window.index,
+                        indices=flagged if suspicious else window.indices,
+                        start_time=window.start_time,
+                        end_time=window.end_time,
+                    ),
+                    statistic=float(np.min(quality)),
+                    suspicious=suspicious,
+                    level=self.level if suspicious else 0.0,
+                )
+            )
+        return self._accumulate(stream, verdicts)

@@ -1,0 +1,92 @@
+"""Entropy-change detector (Weng, Miao & Goh 2006 baseline).
+
+A rating is suspicious when adding it to the running distribution of
+ratings changes the distribution's entropy by more than a threshold --
+the idea being that honest ratings refine the consensus (small entropy
+change) while campaign ratings concentrate mass on a biased level.
+
+Like the beta filter, this baseline keys on the *value* of individual
+ratings relative to the consensus, so the moderate-bias collusion
+strategy (ratings one level away from the majority) largely evades it.
+The detector exists to reproduce the paper's negative result: baseline
+detection ratios near zero against strategy 2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.detectors.base import SuspicionDetector, SuspicionReport, WindowVerdict
+from repro.ratings.scales import RatingScale
+from repro.ratings.stream import RatingStream
+from repro.signal.windows import Window
+
+__all__ = ["EntropyChangeDetector"]
+
+
+def _entropy(counts: np.ndarray) -> float:
+    total = float(np.sum(counts))
+    if total <= 0:
+        return 0.0
+    probs = counts / total
+    nonzero = probs[probs > 0]
+    return float(-np.sum(nonzero * np.log2(nonzero)))
+
+
+class EntropyChangeDetector(SuspicionDetector):
+    """Flag ratings whose arrival shifts the rating-distribution entropy.
+
+    Args:
+        scale: the rating scale (defines the histogram bins).
+        threshold: minimum absolute entropy change (bits) for a rating
+            to be flagged.
+        prior: Laplace prior count added to every level so early
+            ratings do not produce infinite swings.
+        level: suspicion level assigned to each flagged rating.
+    """
+
+    def __init__(
+        self,
+        scale: RatingScale,
+        threshold: float = 0.2,
+        prior: float = 1.0,
+        level: float = 0.5,
+    ) -> None:
+        if threshold <= 0:
+            raise ConfigurationError(f"threshold must be > 0, got {threshold}")
+        if prior <= 0:
+            raise ConfigurationError(f"prior must be > 0, got {prior}")
+        self.scale = scale
+        self.threshold = float(threshold)
+        self.prior = float(prior)
+        self.level = float(level)
+
+    def _bin_index(self, value: float) -> int:
+        return int(round((self.scale.quantize(value) - self.scale.minimum) / self.scale.step))
+
+    def detect(self, stream: RatingStream) -> SuspicionReport:
+        counts = np.full(self.scale.levels, self.prior)
+        verdicts: List[WindowVerdict] = []
+        for position, rating in enumerate(stream):
+            before = _entropy(counts)
+            counts[self._bin_index(rating.value)] += 1.0
+            after = _entropy(counts)
+            change = abs(after - before)
+            suspicious = change > self.threshold
+            verdicts.append(
+                WindowVerdict(
+                    window=Window(
+                        index=position,
+                        indices=np.array([position]),
+                        start_time=rating.time,
+                        end_time=rating.time,
+                    ),
+                    statistic=change,
+                    suspicious=suspicious,
+                    level=self.level if suspicious else 0.0,
+                )
+            )
+        return self._accumulate(stream, verdicts)

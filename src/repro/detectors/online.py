@@ -1,0 +1,191 @@
+"""Online (streaming) AR suspicion detection.
+
+The batch :class:`~repro.detectors.ar_detector.ARModelErrorDetector`
+re-analyzes a full stream per interval; a production rating service
+instead sees ratings one at a time and wants an alarm *as the campaign
+happens*.  :class:`OnlineARDetector` keeps a bounded buffer of the most
+recent ratings for one object, refits the AR model every ``stride``
+arrivals, and emits a :class:`WindowVerdict` per evaluation -- so the
+alarm latency is at most ``stride`` ratings after a window first turns
+predictable.
+
+The statistic is identical to the batch detector's (same estimator,
+same normalized error), so thresholds calibrated offline transfer
+directly; equivalence is covered by the tests.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+import numpy as np
+
+from repro.detectors.base import WindowVerdict
+from repro.errors import ConfigurationError, InsufficientDataError
+from repro.ratings.models import Rating
+from repro.signal.ar import AR_METHODS
+from repro.signal.windows import Window
+
+__all__ = ["OnlineARDetector"]
+
+
+class OnlineARDetector:
+    """Streaming suspicious-interval detector for one object.
+
+    Args:
+        order: AR model order.
+        threshold: normalized model-error threshold.
+        window_size: ratings kept in the sliding buffer (the analysis
+            window; matches the batch detector's count window).
+        stride: arrivals between refits (1 = evaluate on every rating;
+            larger strides trade alarm latency for compute).
+        method: AR estimator name.
+        scale: suspicion level assigned to flagged windows (saturating,
+            like the pipeline's literal rule).
+    """
+
+    def __init__(
+        self,
+        order: int = 4,
+        threshold: float = 0.10,
+        window_size: int = 50,
+        stride: int = 5,
+        method: str = "covariance",
+        scale: float = 1.0,
+    ) -> None:
+        if order < 1:
+            raise ConfigurationError(f"order must be >= 1, got {order}")
+        if not 0.0 < threshold < 1.0:
+            raise ConfigurationError(f"threshold must lie in (0, 1), got {threshold}")
+        if window_size <= 2 * order:
+            raise ConfigurationError(
+                f"window_size must exceed 2 * order = {2 * order}, got {window_size}"
+            )
+        if stride < 1:
+            raise ConfigurationError(f"stride must be >= 1, got {stride}")
+        if method not in AR_METHODS:
+            raise ConfigurationError(
+                f"unknown AR method {method!r}; choose from {sorted(AR_METHODS)}"
+            )
+        if not 0.0 < scale <= 1.0:
+            raise ConfigurationError(f"scale must lie in (0, 1], got {scale}")
+        self.order = order
+        self.threshold = float(threshold)
+        self.window_size = int(window_size)
+        self.stride = int(stride)
+        self.method = method
+        self.scale = float(scale)
+        self._buffer: Deque[Rating] = deque(maxlen=window_size)
+        self._since_last_fit = 0
+        self._n_seen = 0
+        self._n_evaluations = 0
+        self._last_time: Optional[float] = None
+        self._rater_by_position: dict = {}
+        self.verdicts: List[WindowVerdict] = []
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def n_seen(self) -> int:
+        """Total ratings observed."""
+        return self._n_seen
+
+    @property
+    def buffer_full(self) -> bool:
+        return len(self._buffer) == self.window_size
+
+    @property
+    def alarms(self) -> List[WindowVerdict]:
+        """All suspicious verdicts emitted so far."""
+        return [v for v in self.verdicts if v.suspicious]
+
+    def reset(self) -> None:
+        """Drop all buffered state (e.g. when switching objects)."""
+        self._buffer.clear()
+        self._since_last_fit = 0
+        self._n_seen = 0
+        self._n_evaluations = 0
+        self._last_time = None
+        self._rater_by_position = {}
+        self.verdicts = []
+
+    # -- streaming -------------------------------------------------------------
+
+    def observe(self, rating: Rating) -> Optional[WindowVerdict]:
+        """Feed one rating; returns a verdict when a refit was due.
+
+        Ratings must arrive in time order (equal timestamps allowed);
+        out-of-order arrivals raise, since a silently reordered buffer
+        would corrupt the temporal statistic.
+        """
+        if self._last_time is not None and rating.time < self._last_time:
+            raise ConfigurationError(
+                f"out-of-order rating: {rating.time} after {self._last_time}"
+            )
+        self._last_time = rating.time
+        self._buffer.append(rating)
+        self._rater_by_position[self._n_seen] = rating.rater_id
+        self._n_seen += 1
+        self._since_last_fit += 1
+        if not self.buffer_full or self._since_last_fit < self.stride:
+            return None
+        self._since_last_fit = 0
+        return self._evaluate()
+
+    def observe_many(self, ratings) -> List[WindowVerdict]:
+        """Feed a batch of time-ordered ratings; returns emitted verdicts."""
+        emitted = []
+        for rating in ratings:
+            verdict = self.observe(rating)
+            if verdict is not None:
+                emitted.append(verdict)
+        return emitted
+
+    def _evaluate(self) -> Optional[WindowVerdict]:
+        values = np.array([r.value for r in self._buffer])
+        try:
+            model = AR_METHODS[self.method](values, self.order)
+        except InsufficientDataError:
+            return None
+        error = model.normalized_error
+        suspicious = error < self.threshold
+        window = Window(
+            index=self._n_evaluations,
+            indices=np.arange(self._n_seen - len(self._buffer), self._n_seen),
+            start_time=self._buffer[0].time,
+            end_time=self._buffer[-1].time,
+        )
+        verdict = WindowVerdict(
+            window=window,
+            statistic=error,
+            suspicious=suspicious,
+            level=self.scale if suspicious else 0.0,
+        )
+        self._n_evaluations += 1
+        self.verdicts.append(verdict)
+        return verdict
+
+    # -- per-rater suspicion -----------------------------------------------------
+
+    def suspicious_raters(self) -> dict:
+        """rater_id -> accumulated suspicion from alarms so far.
+
+        Matches the batch accumulation rule: a rating is charged the
+        maximum level over the suspicious evaluations whose window
+        contained it, and a rater's suspicion sums their ratings'
+        charges.  (The position -> rater map grows with the stream; a
+        long-lived deployment should drain it per trust interval.)
+        """
+        charges: dict = {}
+        for verdict in self.alarms:
+            for position in verdict.window.indices:
+                key = int(position)
+                charges[key] = max(charges.get(key, 0.0), verdict.level)
+        suspicion: dict = {}
+        for position, level in charges.items():
+            rater_id = self._rater_by_position.get(position)
+            if rater_id is None:
+                continue
+            suspicion[rater_id] = suspicion.get(rater_id, 0.0) + level
+        return suspicion

@@ -1,0 +1,37 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised intentionally by this library derive from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause while letting programming errors (``TypeError`` and
+friends raised by misuse of numpy, etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed or configured with invalid parameters."""
+
+
+class SignalModelError(ReproError):
+    """An AR model could not be estimated from the given samples."""
+
+
+class InsufficientDataError(SignalModelError):
+    """Too few samples were supplied for the requested model order."""
+
+
+class UnknownRaterError(ReproError):
+    """A rater id was referenced that the trust manager has never seen."""
+
+
+class UnknownProductError(ReproError):
+    """A product id was referenced that the rating store has never seen."""
+
+
+class EmptyWindowError(ReproError):
+    """A windowed operation was asked to operate on an empty window."""

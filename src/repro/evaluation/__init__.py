@@ -1,0 +1,46 @@
+"""Evaluation: detection metrics, ROC sweeps, Monte-Carlo driver."""
+
+from repro.evaluation.aggregation_error import AggregationErrors, aggregation_errors
+from repro.evaluation.detection import (
+    ConfusionCounts,
+    RaterDetectionStats,
+    any_suspicious,
+    interval_detected,
+    rater_detection,
+    rating_detection,
+    report_rating_detection,
+    window_confusion,
+)
+from repro.evaluation.montecarlo import MonteCarloResult, Summary, monte_carlo, summarize
+from repro.evaluation.textplot import line_chart, sparkline
+from repro.evaluation.roc import (
+    RocCurve,
+    RocPoint,
+    calibrate_threshold,
+    operating_point,
+    roc_from_scores,
+)
+
+__all__ = [
+    "AggregationErrors",
+    "aggregation_errors",
+    "ConfusionCounts",
+    "RaterDetectionStats",
+    "any_suspicious",
+    "interval_detected",
+    "rater_detection",
+    "rating_detection",
+    "report_rating_detection",
+    "window_confusion",
+    "MonteCarloResult",
+    "Summary",
+    "monte_carlo",
+    "summarize",
+    "line_chart",
+    "sparkline",
+    "RocCurve",
+    "RocPoint",
+    "calibrate_threshold",
+    "operating_point",
+    "roc_from_scores",
+]

@@ -1,0 +1,56 @@
+"""Aggregation-accuracy metrics (Figs. 10-12).
+
+The aggregation benches score each method by how far its per-product
+aggregate lands from the product's true quality; the paper's headline
+is the *largest* deviation over the dishonest products (0.02 for the
+proposed scheme vs ~0.1 for the baselines in Fig. 12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["AggregationErrors", "aggregation_errors"]
+
+
+@dataclass(frozen=True)
+class AggregationErrors:
+    """Deviation statistics of aggregated ratings from true qualities."""
+
+    mean_abs_error: float
+    max_abs_error: float
+    mean_signed_error: float
+    n_products: int
+
+
+def aggregation_errors(
+    aggregated: Mapping[int, float],
+    true_quality: Mapping[int, float],
+    product_ids: Sequence[int] | None = None,
+) -> AggregationErrors:
+    """Score aggregated ratings against ground-truth qualities.
+
+    Args:
+        aggregated: product_id -> aggregated rating.
+        true_quality: product_id -> true quality.
+        product_ids: restrict scoring to these products (e.g. only the
+            dishonest ones); defaults to the intersection of the maps.
+    """
+    if product_ids is None:
+        product_ids = sorted(set(aggregated) & set(true_quality))
+    if not product_ids:
+        raise ConfigurationError("no products to score")
+    diffs = np.array(
+        [aggregated[pid] - true_quality[pid] for pid in product_ids], dtype=float
+    )
+    return AggregationErrors(
+        mean_abs_error=float(np.mean(np.abs(diffs))),
+        max_abs_error=float(np.max(np.abs(diffs))),
+        mean_signed_error=float(np.mean(diffs)),
+        n_products=len(product_ids),
+    )

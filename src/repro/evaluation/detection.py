@@ -1,0 +1,179 @@
+"""Detection metrics: window-, rating-, and rater-level.
+
+Three granularities of the same question -- did we find the campaign?
+
+* **window-level** (the 500-run illustrative experiment): did a
+  suspicious window overlap the true attack interval, and did clean
+  windows stay quiet?
+* **rating-level** (Fig. 9): what fraction of ground-truth unfair
+  ratings were flagged, and what fraction of fair ratings were flagged
+  by mistake?
+* **rater-level** (Figs. 7-8): which raters fell below the trust
+  detection threshold, graded against their ground-truth class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Sequence, Set
+
+from repro.detectors.base import SuspicionReport, WindowVerdict
+from repro.ratings.models import RaterClass
+from repro.ratings.stream import RatingStream
+
+__all__ = [
+    "ConfusionCounts",
+    "window_confusion",
+    "interval_detected",
+    "any_suspicious",
+    "rating_detection",
+    "rater_detection",
+]
+
+
+@dataclass(frozen=True)
+class ConfusionCounts:
+    """Binary-detection confusion counts with derived ratios."""
+
+    true_positives: int = 0
+    false_positives: int = 0
+    true_negatives: int = 0
+    false_negatives: int = 0
+
+    @property
+    def detection_ratio(self) -> float:
+        """TP / (TP + FN); 0.0 when there are no positives to detect."""
+        positives = self.true_positives + self.false_negatives
+        return self.true_positives / positives if positives else 0.0
+
+    @property
+    def false_alarm_ratio(self) -> float:
+        """FP / (FP + TN); 0.0 when there are no negatives."""
+        negatives = self.false_positives + self.true_negatives
+        return self.false_positives / negatives if negatives else 0.0
+
+    @property
+    def precision(self) -> float:
+        flagged = self.true_positives + self.false_positives
+        return self.true_positives / flagged if flagged else 0.0
+
+    def merged(self, other: "ConfusionCounts") -> "ConfusionCounts":
+        """Pool counts from another confusion table."""
+        return ConfusionCounts(
+            true_positives=self.true_positives + other.true_positives,
+            false_positives=self.false_positives + other.false_positives,
+            true_negatives=self.true_negatives + other.true_negatives,
+            false_negatives=self.false_negatives + other.false_negatives,
+        )
+
+
+def _overlaps(verdict: WindowVerdict, start: float, end: float) -> bool:
+    return verdict.window.start_time < end and verdict.window.end_time > start
+
+
+def window_confusion(
+    verdicts: Sequence[WindowVerdict], attack_start: float, attack_end: float
+) -> ConfusionCounts:
+    """Grade window verdicts against a known attack interval.
+
+    A window's ground truth is positive when it overlaps the attack
+    interval at all.
+    """
+    tp = fp = tn = fn = 0
+    for verdict in verdicts:
+        attacked = _overlaps(verdict, attack_start, attack_end)
+        if attacked and verdict.suspicious:
+            tp += 1
+        elif attacked:
+            fn += 1
+        elif verdict.suspicious:
+            fp += 1
+        else:
+            tn += 1
+    return ConfusionCounts(tp, fp, tn, fn)
+
+
+def interval_detected(
+    verdicts: Sequence[WindowVerdict], attack_start: float, attack_end: float
+) -> bool:
+    """True when at least one suspicious window overlaps the attack."""
+    return any(
+        v.suspicious and _overlaps(v, attack_start, attack_end) for v in verdicts
+    )
+
+
+def any_suspicious(verdicts: Sequence[WindowVerdict]) -> bool:
+    """True when any window at all was flagged (honest-run false alarm)."""
+    return any(v.suspicious for v in verdicts)
+
+
+def rating_detection(
+    stream: RatingStream, flagged_rating_ids: Iterable[int]
+) -> ConfusionCounts:
+    """Grade flagged ratings against the stream's ground-truth labels."""
+    flagged: Set[int] = set(flagged_rating_ids)
+    tp = fp = tn = fn = 0
+    for rating in stream:
+        if rating.unfair and rating.rating_id in flagged:
+            tp += 1
+        elif rating.unfair:
+            fn += 1
+        elif rating.rating_id in flagged:
+            fp += 1
+        else:
+            tn += 1
+    return ConfusionCounts(tp, fp, tn, fn)
+
+
+def report_rating_detection(report: SuspicionReport) -> ConfusionCounts:
+    """Convenience: grade a detector report on its own stream's labels."""
+    return rating_detection(report.stream, report.flagged_rating_ids)
+
+
+@dataclass(frozen=True)
+class RaterDetectionStats:
+    """Per-class rater detection outcome.
+
+    Attributes:
+        detection_rate: fraction of dishonest-class raters flagged.
+        false_alarm_rates: rater class -> fraction of that honest class
+            flagged by mistake.
+    """
+
+    detection_rate: float
+    false_alarm_rates: Dict[RaterClass, float]
+
+
+def rater_detection(
+    trust_table: Mapping[int, float],
+    classes: Mapping[int, RaterClass],
+    threshold: float = 0.5,
+    dishonest_class: RaterClass = RaterClass.POTENTIAL_COLLABORATIVE,
+) -> RaterDetectionStats:
+    """Grade trust-threshold rater detection against ground-truth classes.
+
+    Args:
+        trust_table: rater_id -> trust value.
+        classes: rater_id -> ground-truth class.
+        threshold: trust below this flags a rater (paper: 0.5).
+        dishonest_class: the class counted as the detection target.
+    """
+    per_class_total: Dict[RaterClass, int] = {}
+    per_class_flagged: Dict[RaterClass, int] = {}
+    for rater_id, rater_class in classes.items():
+        per_class_total[rater_class] = per_class_total.get(rater_class, 0) + 1
+        if trust_table.get(rater_id, 0.5) < threshold:
+            per_class_flagged[rater_class] = per_class_flagged.get(rater_class, 0) + 1
+
+    def rate(cls: RaterClass) -> float:
+        total = per_class_total.get(cls, 0)
+        return per_class_flagged.get(cls, 0) / total if total else 0.0
+
+    false_alarms = {
+        cls: rate(cls)
+        for cls in per_class_total
+        if cls != dishonest_class
+    }
+    return RaterDetectionStats(
+        detection_rate=rate(dishonest_class), false_alarm_rates=false_alarms
+    )

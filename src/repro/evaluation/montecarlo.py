@@ -1,0 +1,92 @@
+"""Monte-Carlo experiment driver.
+
+The paper repeats its experiments ("We run the experiment for 500
+times..."); this driver owns the seeding discipline: a single master
+seed spawns independent child generators, so every repetition is
+independent yet the whole experiment is reproducible from one integer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generic, List, Sequence, TypeVar
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["MonteCarloResult", "monte_carlo", "summarize"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class MonteCarloResult(Generic[T]):
+    """Results of repeated runs.
+
+    Attributes:
+        outcomes: one entry per repetition, in run order.
+        master_seed: the seed the experiment is reproducible from.
+    """
+
+    outcomes: tuple
+    master_seed: int
+
+    @property
+    def n_runs(self) -> int:
+        return len(self.outcomes)
+
+    def mean_of(self, extract: Callable[[T], float]) -> float:
+        """Mean of a scalar extracted from each outcome."""
+        return float(np.mean([extract(o) for o in self.outcomes]))
+
+    def fraction(self, predicate: Callable[[T], bool]) -> float:
+        """Fraction of outcomes satisfying a predicate."""
+        return float(np.mean([bool(predicate(o)) for o in self.outcomes]))
+
+
+def monte_carlo(
+    run: Callable[[np.random.Generator], T],
+    n_runs: int,
+    master_seed: int = 0,
+) -> MonteCarloResult[T]:
+    """Repeat ``run`` with independent child generators.
+
+    Args:
+        run: experiment body; receives a fresh generator per repetition.
+        n_runs: number of repetitions.
+        master_seed: seed of the spawning ``SeedSequence``.
+    """
+    if n_runs < 1:
+        raise ConfigurationError(f"n_runs must be >= 1, got {n_runs}")
+    children = np.random.SeedSequence(master_seed).spawn(n_runs)
+    outcomes = tuple(run(np.random.default_rng(child)) for child in children)
+    return MonteCarloResult(outcomes=outcomes, master_seed=master_seed)
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean / std / extremes / CI half-width of a scalar sample."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    ci95_halfwidth: float
+    n: int
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summary statistics with a normal-approximation 95 % CI."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ConfigurationError("cannot summarize an empty sample")
+    std = float(np.std(arr, ddof=1)) if arr.size > 1 else 0.0
+    return Summary(
+        mean=float(np.mean(arr)),
+        std=std,
+        minimum=float(np.min(arr)),
+        maximum=float(np.max(arr)),
+        ci95_halfwidth=1.96 * std / float(np.sqrt(arr.size)),
+        n=int(arr.size),
+    )

@@ -1,0 +1,145 @@
+"""ROC sweeps over detector thresholds.
+
+The paper fixes one model-error threshold; the ROC utilities sweep it
+so the benches can show the full detection/false-alarm trade-off and
+justify the calibrated operating point (see DESIGN.md: our normalized
+error has a different scale than Matlab's ``covm``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "RocPoint",
+    "RocCurve",
+    "roc_from_scores",
+    "operating_point",
+    "calibrate_threshold",
+]
+
+
+@dataclass(frozen=True)
+class RocPoint:
+    """One threshold's (false-alarm, detection) pair."""
+
+    threshold: float
+    detection_ratio: float
+    false_alarm_ratio: float
+
+
+@dataclass(frozen=True)
+class RocCurve:
+    """A swept ROC curve."""
+
+    points: tuple
+
+    @property
+    def thresholds(self) -> np.ndarray:
+        return np.array([p.threshold for p in self.points])
+
+    @property
+    def detections(self) -> np.ndarray:
+        return np.array([p.detection_ratio for p in self.points])
+
+    @property
+    def false_alarms(self) -> np.ndarray:
+        return np.array([p.false_alarm_ratio for p in self.points])
+
+    def auc(self) -> float:
+        """Area under the curve via trapezoidal integration over FA.
+
+        Points are ordered by (false alarm, detection) so vertical
+        segments (many detections at one false-alarm level) contribute
+        no spurious area.
+        """
+        order = np.lexsort((self.detections, self.false_alarms))
+        fa = np.concatenate(([0.0], self.false_alarms[order], [1.0]))
+        det = np.concatenate(([0.0], self.detections[order], [1.0]))
+        return float(np.trapezoid(det, fa))
+
+
+def roc_from_scores(
+    attack_scores: Sequence[float],
+    honest_scores: Sequence[float],
+    thresholds: Sequence[float] | None = None,
+    smaller_is_suspicious: bool = True,
+) -> RocCurve:
+    """Build an ROC curve from per-run statistic minima.
+
+    Args:
+        attack_scores: per-attacked-run statistic (e.g. the minimum
+            windowed model error of each attacked trace).
+        honest_scores: per-honest-run statistic.
+        thresholds: thresholds to sweep; defaults to the pooled unique
+            scores plus outer sentinels.
+        smaller_is_suspicious: True for model error (a *drop* flags the
+            attack); False for statistics where larger means suspicious.
+
+    Returns:
+        A :class:`RocCurve` with one point per threshold.
+    """
+    attack = np.asarray(attack_scores, dtype=float)
+    honest = np.asarray(honest_scores, dtype=float)
+    if attack.size == 0 or honest.size == 0:
+        raise ConfigurationError("ROC needs at least one score of each kind")
+    if thresholds is None:
+        pooled = np.unique(np.concatenate((attack, honest)))
+        lo, hi = pooled[0], pooled[-1]
+        pad = 0.05 * (hi - lo) if hi > lo else 1.0
+        thresholds = np.linspace(lo - pad, hi + pad, min(101, pooled.size + 2))
+    points: List[RocPoint] = []
+    for threshold in thresholds:
+        if smaller_is_suspicious:
+            det = float(np.mean(attack < threshold))
+            fa = float(np.mean(honest < threshold))
+        else:
+            det = float(np.mean(attack > threshold))
+            fa = float(np.mean(honest > threshold))
+        points.append(
+            RocPoint(
+                threshold=float(threshold),
+                detection_ratio=det,
+                false_alarm_ratio=fa,
+            )
+        )
+    return RocCurve(points=tuple(points))
+
+
+def operating_point(curve: RocCurve, max_false_alarm: float) -> RocPoint:
+    """Best point with false alarms at or below the given budget.
+
+    Picks the point with the highest detection ratio among those whose
+    false-alarm ratio does not exceed ``max_false_alarm``; ties break
+    toward fewer false alarms.
+    """
+    if not 0.0 <= max_false_alarm <= 1.0:
+        raise ConfigurationError(
+            f"max_false_alarm must lie in [0, 1], got {max_false_alarm}"
+        )
+    eligible = [p for p in curve.points if p.false_alarm_ratio <= max_false_alarm]
+    if not eligible:
+        # Nothing meets the budget; return the quietest point available.
+        return min(curve.points, key=lambda p: p.false_alarm_ratio)
+    return max(eligible, key=lambda p: (p.detection_ratio, -p.false_alarm_ratio))
+
+
+def calibrate_threshold(
+    honest_scores: Sequence[float], quantile: float = 0.05
+) -> float:
+    """Threshold at a quantile of honest-run scores.
+
+    Setting the model-error threshold at the q-quantile of honest
+    windows' errors bounds the per-run false-alarm probability near q.
+    """
+    if not 0.0 < quantile < 1.0:
+        raise ConfigurationError(f"quantile must lie in (0, 1), got {quantile}")
+    honest = np.asarray(honest_scores, dtype=float)
+    if honest.size == 0:
+        raise ConfigurationError("cannot calibrate on zero honest scores")
+    return float(np.quantile(honest, quantile))

@@ -1,0 +1,105 @@
+"""Terminal plots: sparklines and labeled line charts.
+
+The experiment reports are consumed in terminals and bench logs, so the
+library renders its series as unicode text.  Two primitives:
+
+* :func:`sparkline` -- a one-line eight-level bar strip, for embedding
+  a series inside a table row;
+* :func:`line_chart` -- a small multi-row chart with a y-axis, for the
+  trust-trajectory and detection-over-time reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["sparkline", "line_chart"]
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+_MARKERS = "ox+*#@%&"
+
+
+def sparkline(
+    values: Sequence[float],
+    lo: float | None = None,
+    hi: float | None = None,
+) -> str:
+    """Render a series as a one-line bar strip.
+
+    Args:
+        values: the series (at least one value).
+        lo: bottom of the scale; defaults to the series minimum.
+        hi: top of the scale; defaults to the series maximum.
+    """
+    series = np.asarray(values, dtype=float)
+    if series.size == 0:
+        raise ConfigurationError("cannot sparkline an empty series")
+    lo = float(np.min(series)) if lo is None else float(lo)
+    hi = float(np.max(series)) if hi is None else float(hi)
+    span = hi - lo
+    if span <= 0:
+        return _BLOCKS[0] * series.size
+    clipped = np.clip((series - lo) / span, 0.0, 1.0)
+    return "".join(_BLOCKS[int(min(7, v * 7.999))] for v in clipped)
+
+
+def line_chart(
+    series: Mapping[str, Sequence[float]],
+    height: int = 8,
+    y_min: float | None = None,
+    y_max: float | None = None,
+) -> str:
+    """Render one or more aligned series as a small text chart.
+
+    Args:
+        series: label -> values; all series must share a length, and
+            each label is assigned a marker character shown in the
+            legend.
+        height: number of chart rows.
+        y_min / y_max: axis limits; default to the pooled data range.
+
+    Returns:
+        A multi-line string: chart rows with y-axis labels, an x-axis,
+        and a marker legend.
+    """
+    if not series:
+        raise ConfigurationError("need at least one series")
+    if height < 2:
+        raise ConfigurationError(f"height must be >= 2, got {height}")
+    lengths = {len(values) for values in series.values()}
+    if len(lengths) != 1:
+        raise ConfigurationError(f"series lengths differ: {sorted(lengths)}")
+    (width,) = lengths
+    if width == 0:
+        raise ConfigurationError("series are empty")
+    if len(series) > len(_MARKERS):
+        raise ConfigurationError(f"at most {len(_MARKERS)} series supported")
+
+    pooled = np.concatenate([np.asarray(v, dtype=float) for v in series.values()])
+    lo = float(np.min(pooled)) if y_min is None else float(y_min)
+    hi = float(np.max(pooled)) if y_max is None else float(y_max)
+    if hi <= lo:
+        hi = lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    markers: Dict[str, str] = {}
+    for marker, (label, values) in zip(_MARKERS, series.items()):
+        markers[label] = marker
+        for x, value in enumerate(np.asarray(values, dtype=float)):
+            frac = (float(value) - lo) / (hi - lo)
+            row = int(round((1.0 - np.clip(frac, 0.0, 1.0)) * (height - 1)))
+            grid[row][x] = marker
+
+    lines = []
+    for row_index, row in enumerate(grid):
+        frac = 1.0 - row_index / (height - 1)
+        y_value = lo + frac * (hi - lo)
+        lines.append(f"{y_value:7.2f} |" + "".join(row))
+    lines.append(" " * 8 + "+" + "-" * width)
+    legend = "  ".join(f"{marker}={label}" for label, marker in markers.items())
+    lines.append(" " * 9 + legend)
+    return "\n".join(lines)

@@ -1,0 +1,122 @@
+"""One module per paper artifact, plus a registry for the CLI.
+
+Each experiment module exposes ``run(...)`` returning a structured
+result and ``format_report(result)`` rendering the paper-vs-measured
+comparison the benches and the CLI print.
+"""
+
+from repro.experiments import (
+    adaptive_attacks,
+    collusion_groups,
+    baselines,
+    detection500,
+    forgetting,
+    individual_unfair,
+    sensitivity,
+    vouching,
+    whitewashing,
+    fig2_fig3,
+    fig4,
+    fig5_netflix,
+    marketplace_aggregation,
+    marketplace_detection,
+    table1,
+)
+
+#: CLI name -> (runner, reporter, description).
+REGISTRY = {
+    "fig2-fig3": (
+        fig2_fig3.run,
+        fig2_fig3.format_report,
+        "raw illustrative ratings and histograms",
+    ),
+    "fig4": (
+        fig4.run,
+        fig4.format_report,
+        "moving averages and the AR model-error drop",
+    ),
+    "detection": (
+        detection500.run,
+        detection500.format_report,
+        "500-run detection / false-alarm ratios",
+    ),
+    "fig5": (
+        fig5_netflix.run,
+        fig5_netflix.format_report,
+        "AR model error on the synthetic Netflix trace",
+    ),
+    "table1": (
+        table1.run,
+        table1.format_report,
+        "aggregation-method comparison (Section III-B.2)",
+    ),
+    "fig6-fig9": (
+        marketplace_detection.run,
+        marketplace_detection.format_report,
+        "marketplace trust evolution and detection",
+    ),
+    "fig10-fig12": (
+        marketplace_aggregation.run,
+        marketplace_aggregation.format_report,
+        "marketplace aggregation robustness",
+    ),
+    "baselines": (
+        baselines.run,
+        baselines.format_report,
+        "baseline detectors vs. both collusion strategies",
+    ),
+    "adaptive-attacks": (
+        adaptive_attacks.run,
+        adaptive_attacks.format_report,
+        "adaptive attacks against the AR detector (extension)",
+    ),
+    "forgetting": (
+        forgetting.run,
+        forgetting.format_report,
+        "forgetting scheme under behaviour switches (extension)",
+    ),
+    "whitewashing": (
+        whitewashing.run,
+        whitewashing.format_report,
+        "whitewashing vs. the newcomer-prior defense (extension)",
+    ),
+    "sensitivity": (
+        sensitivity.run,
+        sensitivity.format_report,
+        "detectability surface over attack bias and power (extension)",
+    ),
+    "vouching": (
+        vouching.run,
+        vouching.format_report,
+        "self-promotion rings vs. bridge attacks on indirect trust (extension)",
+    ),
+    "collusion-groups": (
+        collusion_groups.run,
+        collusion_groups.format_report,
+        "collusion-group recovery from co-suspicion structure (extension)",
+    ),
+    "individual-unfair": (
+        individual_unfair.run,
+        individual_unfair.format_report,
+        "individual vs. collaborative unfairness (Section II-B claim)",
+    ),
+}
+
+__all__ = [
+    "REGISTRY",
+    "adaptive_attacks",
+    "collusion_groups",
+    "baselines",
+    "forgetting",
+    "individual_unfair",
+    "whitewashing",
+    "sensitivity",
+    "vouching",
+    "detection500",
+    "fig2_fig3",
+    "fig4",
+    "fig5_netflix",
+    "marketplace_aggregation",
+    "marketplace_detection",
+    "table1",
+]

@@ -1,0 +1,151 @@
+"""Extension experiment: adaptive attacks against the AR detector.
+
+The paper's future work ("study the possible attacks to the proposed
+solutions"), made concrete: an informed adversary reshapes the
+recruitment channel to erase the statistical fingerprint the detector
+keys on.  For each strategy we measure
+
+* **evasion** -- the detector's ROC AUC over repeated runs (lower =
+  better for the attacker), and
+* **damage** -- the achieved shift of the simple average inside the
+  attack window (higher = better for the attacker),
+
+so the report reads as an attacker's cost-benefit table.  Headline
+finding: variance camouflage buys the most evasion (the tightness
+fingerprint disappears) but pays a real damage cost -- wide recruited
+ratings clip at the scale's top, halving the achieved shift -- while
+ramping buys almost no evasion and duty-cycling sits in between.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.attacks.adaptive import CamouflageCampaign, DutyCycleCampaign, RampCampaign
+from repro.evaluation.montecarlo import monte_carlo
+from repro.evaluation.roc import roc_from_scores
+from repro.experiments.fig4 import build_illustrative_detector
+from repro.simulation.illustrative import IllustrativeConfig, generate_illustrative
+
+__all__ = ["StrategyOutcome", "AdaptiveAttackResult", "run", "format_report"]
+
+
+@dataclass(frozen=True)
+class StrategyOutcome:
+    """Evasion/damage summary for one strategy."""
+
+    auc: float
+    damage: float
+
+
+@dataclass(frozen=True)
+class AdaptiveAttackResult:
+    """strategy name -> outcome, plus the run count."""
+
+    outcomes: Dict[str, StrategyOutcome]
+    n_runs: int
+
+    @property
+    def most_evasive(self) -> str:
+        return min(self.outcomes, key=lambda name: self.outcomes[name].auc)
+
+
+def _strategies(config: IllustrativeConfig):
+    """The attacker's menu, all targeting the same mean shift."""
+    interval = dict(start=config.attack_start, end=config.attack_end)
+    return {
+        "naive_tight": None,  # the paper's type 2 channel, via the config
+        "camouflage": CamouflageCampaign(
+            bias=config.bias_shift2,
+            power=config.recruit_power2,
+            camouflage_variance=config.good_var,
+            **interval,
+        ),
+        "ramp": RampCampaign(
+            bias=config.bias_shift2,
+            power=config.recruit_power2,
+            bad_variance=config.bad_var,
+            **interval,
+        ),
+        "duty_cycle": DutyCycleCampaign(
+            bias=config.bias_shift2,
+            power=config.recruit_power2,
+            bad_variance=config.bad_var,
+            on_days=2.0,
+            off_days=2.0,
+            **interval,
+        ),
+    }
+
+
+def run(
+    n_runs: int = 30, seed: int = 0, config: IllustrativeConfig | None = None
+) -> AdaptiveAttackResult:
+    """Measure evasion and damage for every adaptive strategy."""
+    base = config if config is not None else IllustrativeConfig(recruit_power1=0.0)
+    detector = build_illustrative_detector()
+    strategies = _strategies(base)
+
+    def one_run(rng: np.random.Generator):
+        trace = generate_illustrative(base, rng)
+        honest_min = min(
+            (v.statistic for v in detector.window_errors(trace.honest)),
+            default=1.0,
+        )
+        honest_window_mean = trace.honest.between(
+            base.attack_start, base.attack_end
+        ).mean()
+        outcome = {}
+        for name, strategy in strategies.items():
+            if strategy is None:
+                attacked = trace.attacked
+            else:
+                attacked = strategy.apply(
+                    trace.honest,
+                    quality_at=base.quality,
+                    base_rate=base.arrival_rate,
+                    scale=base.scale,
+                    rng=rng,
+                )
+            attacked_min = min(
+                (v.statistic for v in detector.window_errors(attacked)),
+                default=1.0,
+            )
+            damage = (
+                attacked.between(base.attack_start, base.attack_end).mean()
+                - honest_window_mean
+            )
+            outcome[name] = (attacked_min, honest_min, damage)
+        return outcome
+
+    results = monte_carlo(one_run, n_runs=n_runs, master_seed=seed)
+    outcomes: Dict[str, StrategyOutcome] = {}
+    for name in strategies:
+        attacked_scores = [o[name][0] for o in results.outcomes]
+        honest_scores = [o[name][1] for o in results.outcomes]
+        damages = [o[name][2] for o in results.outcomes]
+        outcomes[name] = StrategyOutcome(
+            auc=roc_from_scores(attacked_scores, honest_scores).auc(),
+            damage=float(np.mean(damages)),
+        )
+    return AdaptiveAttackResult(outcomes=outcomes, n_runs=n_runs)
+
+
+def format_report(result: AdaptiveAttackResult) -> str:
+    """Attacker's cost-benefit table."""
+    lines = [
+        f"Adaptive attacks vs. the AR detector ({result.n_runs} runs each)",
+        "  strategy     | detector AUC (lower = evades) | damage (avg shift)",
+    ]
+    for name, outcome in result.outcomes.items():
+        lines.append(
+            f"  {name:<12} | {outcome.auc:29.3f} | {outcome.damage:+18.3f}"
+        )
+    lines.append(
+        f"  most evasive: {result.most_evasive} "
+        "(variance camouflage erases the tightness fingerprint)"
+    )
+    return "\n".join(lines)

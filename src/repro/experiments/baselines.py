@@ -1,0 +1,133 @@
+"""Baseline comparison: existing schemes vs. the moderate-bias attack.
+
+The paper's Section IV-B punchline: "Surprisingly, no existing
+algorithms are able to detect collaborative unfair raters that use
+their second strategy... the detection ratios are all 0."
+
+This experiment runs the literature baselines -- the beta-quantile
+filter, the entropy-change detector, 2-means clustering, and
+endorsement quality -- against both collusion strategies on the
+illustrative trace, alongside the AR detector, and reports rating-level
+detection and false-alarm ratios for each.
+
+Two further comparison points beyond the paper's list: classic CUSUM
+mean change-point detection (the obvious textbook alternative for a
+temporal attack -- it sees *some* of the moderate-bias campaign but at
+several times the AR detector's false-alarm cost) and a variance-ratio
+oracle (isolating the variance-drop component of the AR statistic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict
+
+import numpy as np
+
+from repro.detectors.changepoint import CusumDetector, VarianceRatioDetector
+from repro.detectors.clustering import ClusteringDetector
+from repro.detectors.endorsement import EndorsementDetector
+from repro.detectors.entropy import EntropyChangeDetector
+from repro.evaluation.detection import ConfusionCounts, rating_detection
+from repro.evaluation.montecarlo import monte_carlo
+from repro.experiments.fig4 import build_illustrative_detector
+from repro.filters.beta_quantile import BetaQuantileFilter
+from repro.simulation.illustrative import IllustrativeConfig, generate_illustrative
+
+__all__ = ["BaselineComparisonResult", "run", "format_report"]
+
+#: Strategy presets: the moderate-bias boost the paper targets, and a
+#: large-bias downgrade attack ("criticize the competitor") with modest
+#: recruitment -- the regime the paper says existing schemes handle
+#: ("when M is not too large").  A large *positive* bias on a 0.7-0.8
+#: quality object saturates at the scale's top level, where clipped
+#: honest ratings already sit, so the downgrade direction is the clean
+#: test of strategy 1.
+STRATEGIES = {
+    "moderate_bias": dict(bias_shift1=0.2, bias_shift2=0.15, bad_var=0.02),
+    "large_bias": dict(
+        bias_shift1=-0.4,
+        bias_shift2=-0.5,
+        bad_var=0.02,
+        recruit_power1=0.15,
+        recruit_power2=0.3,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class BaselineComparisonResult:
+    """detector -> strategy -> pooled confusion counts."""
+
+    table: Dict[str, Dict[str, ConfusionCounts]]
+    n_runs: int
+
+
+def _detectors(scale) -> Dict[str, object]:
+    return {
+        "ar_model_error": build_illustrative_detector(),
+        "entropy_change": EntropyChangeDetector(scale=scale),
+        "clustering": ClusteringDetector(),
+        "endorsement": EndorsementDetector(),
+        "cusum": CusumDetector(),
+        "variance_ratio": VarianceRatioDetector(),
+    }
+
+
+def run(
+    n_runs: int = 20, seed: int = 0, config: IllustrativeConfig | None = None
+) -> BaselineComparisonResult:
+    """Run every detector against every strategy, pooling confusions."""
+    base = config if config is not None else IllustrativeConfig()
+    table: Dict[str, Dict[str, ConfusionCounts]] = {}
+
+    for strategy_name, overrides in STRATEGIES.items():
+        scenario = replace(base, **overrides)
+
+        def one_run(rng: np.random.Generator) -> Dict[str, ConfusionCounts]:
+            trace = generate_illustrative(scenario, rng)
+            outcome: Dict[str, ConfusionCounts] = {}
+            for name, detector in _detectors(scenario.scale).items():
+                report = detector.detect(trace.attacked)
+                outcome[name] = rating_detection(
+                    trace.attacked, report.flagged_rating_ids
+                )
+            # The beta filter is not a SuspicionDetector; treat removal
+            # as flagging.
+            removed = BetaQuantileFilter(sensitivity=0.1).filter(trace.attacked)
+            outcome["beta_filter"] = rating_detection(
+                trace.attacked, removed.removed_ids
+            )
+            return outcome
+
+        results = monte_carlo(one_run, n_runs=n_runs, master_seed=seed)
+        for outcome in results.outcomes:
+            for detector_name, counts in outcome.items():
+                slot = table.setdefault(detector_name, {})
+                slot[strategy_name] = slot.get(
+                    strategy_name, ConfusionCounts()
+                ).merged(counts)
+
+    return BaselineComparisonResult(table=table, n_runs=n_runs)
+
+
+def format_report(result: BaselineComparisonResult) -> str:
+    """Detection/false-alarm table across detectors and strategies."""
+    lines = [
+        f"Baseline comparison ({result.n_runs} runs per strategy)",
+        "  detector          | strategy       | detection | false alarm",
+    ]
+    for detector_name in sorted(result.table):
+        for strategy_name in ("large_bias", "moderate_bias"):
+            counts = result.table[detector_name].get(strategy_name)
+            if counts is None:
+                continue
+            lines.append(
+                f"  {detector_name:<17} | {strategy_name:<14} | "
+                f"{counts.detection_ratio:9.3f} | {counts.false_alarm_ratio:11.3f}"
+            )
+    lines.append(
+        "  paper's claim: only the AR detector catches moderate_bias; "
+        "baselines sit near zero detection on it"
+    )
+    return "\n".join(lines)

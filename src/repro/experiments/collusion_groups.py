@@ -1,0 +1,127 @@
+"""Extension experiment: recovering collusion groups, not just raters.
+
+Runs the Section IV marketplace, collects every flagged window from the
+pipeline's monthly reports, builds the co-suspicion graph, and grades
+the extracted groups against the ground-truth recruit lists:
+
+* **membership precision/recall** -- of the raters placed in any
+  candidate group, how many were really recruited PC raters, and what
+  share of the true recruits were grouped;
+* **purity of the largest group** -- the campaign should dominate it.
+
+This is a structural upgrade over Procedure 2's per-rater trust: group
+evidence accumulates *pairwise*, so even raters whose individual
+suspicion stays below threshold get exposed by the company they keep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List
+
+import numpy as np
+
+from repro.detectors.groups import CollusionGroups, detect_collusion_groups
+from repro.ratings.models import RaterClass
+from repro.simulation.marketplace import MarketplaceConfig, generate_marketplace
+from repro.simulation.pipeline import PipelineConfig, run_marketplace
+
+__all__ = ["CollusionGroupResult", "run", "format_report"]
+
+
+@dataclass(frozen=True)
+class CollusionGroupResult:
+    """Group-recovery quality for one marketplace year.
+
+    Attributes:
+        groups: the extracted candidate groups.
+        true_recruits: every rater recruited at least once.
+        membership_precision: grouped raters who are true recruits.
+        membership_recall: true recruits who were grouped.
+        largest_group_purity: recruit share of the largest group.
+        per_rater_detection: Procedure-2 baseline -- fraction of PC
+            raters below the trust threshold at year end (for
+            comparison with the group route).
+    """
+
+    groups: CollusionGroups
+    true_recruits: FrozenSet[int]
+    membership_precision: float
+    membership_recall: float
+    largest_group_purity: float
+    per_rater_detection: float
+
+
+def run(
+    seed: int = 3,
+    config: MarketplaceConfig | None = None,
+    pipeline: PipelineConfig | None = None,
+    min_edge_weight: int = 6,
+    min_group_size: int = 3,
+) -> CollusionGroupResult:
+    """Marketplace year -> co-suspicion graph -> graded groups.
+
+    The default ``min_edge_weight`` of 6 is calibrated to the 12-month
+    marketplace: an honest pair jointly attends a flagged campaign
+    ~Binom(12, 0.05) times (weight 6+ with probability ~1e-5), while a
+    recruit pair attends ~Binom(12, 0.46) times (weight 6+ with
+    probability ~0.45 -- and the ones it misses are the recruits who
+    barely participated).
+    """
+    config = config if config is not None else MarketplaceConfig(a1=6.0, a2=0.5)
+    pipeline = pipeline if pipeline is not None else PipelineConfig()
+    world = generate_marketplace(config, np.random.default_rng(seed))
+    run_data = run_marketplace(world, pipeline)
+
+    reports = [
+        product_report.suspicion_report
+        for interval in run_data.monthly_reports
+        for product_report in interval.products.values()
+    ]
+    groups = detect_collusion_groups(
+        reports, min_edge_weight=min_edge_weight, min_group_size=min_group_size
+    )
+
+    true_recruits = frozenset(
+        rater_id
+        for schedule in world.schedules
+        for rater_id in schedule.recruited_rater_ids
+    )
+    grouped = groups.flagged_raters
+    hits = len(grouped & true_recruits)
+    precision = hits / len(grouped) if grouped else 0.0
+    recall = hits / len(true_recruits) if true_recruits else 0.0
+    if groups.groups:
+        largest = groups.groups[0]
+        purity = len(largest & true_recruits) / len(largest)
+    else:
+        purity = 0.0
+
+    stats = run_data.rater_detection_at(config.n_months - 1)
+    return CollusionGroupResult(
+        groups=groups,
+        true_recruits=true_recruits,
+        membership_precision=precision,
+        membership_recall=recall,
+        largest_group_purity=purity,
+        per_rater_detection=stats.detection_rate,
+    )
+
+
+def format_report(result: CollusionGroupResult) -> str:
+    """Group-recovery summary."""
+    sizes = [len(g) for g in result.groups.groups]
+    lines = [
+        "Collusion-group recovery from co-suspicion structure",
+        f"  flagged windows contributing edges: {result.groups.n_windows}",
+        f"  candidate groups: {len(sizes)} (sizes: {sizes[:8]}{'...' if len(sizes) > 8 else ''})",
+        f"  true recruited raters: {len(result.true_recruits)}",
+        f"  membership precision: {result.membership_precision:.2f}",
+        f"  membership recall   : {result.membership_recall:.2f}",
+        f"  largest-group purity: {result.largest_group_purity:.2f}",
+        f"  (per-rater trust detection at year end: "
+        f"{result.per_rater_detection:.2f})",
+        "  pairwise evidence exposes recruits whose individual suspicion "
+        "stayed under the radar",
+    ]
+    return "\n".join(lines)

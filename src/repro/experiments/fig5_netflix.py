@@ -1,0 +1,124 @@
+"""Fig. 5: the AR detector on (synthetic) Netflix movie data.
+
+The paper injects collaborative ratings into the Netflix title
+*Dinosaur Planet* with ``A_start = 212``, ``A_end = 272``,
+``biasshift1 = 0.2``, ``recruitpower1 = 0.5``, ``biasshift2 = 0.25``,
+``recruitpower2 = 1`` and ``badVar = 0.25 * goodVar`` (``goodVar`` the
+original trace's variance), then plots the AR model error on the
+original and the attacked trace.  The Prize data is gone, so we run
+the identical recipe on the synthetic Netflix-like trace (DESIGN.md §4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.attacks.campaign import CollusionCampaign
+from repro.attacks.injection import estimate_trace_statistics, inject_campaign
+from repro.data.netflix import DINOSAUR_PLANET, NetflixTraceConfig, generate_netflix_trace
+from repro.detectors.ar_detector import ARModelErrorDetector
+from repro.ratings.scales import FIVE_STAR
+from repro.ratings.stream import RatingStream
+from repro.signal.windows import CountWindower
+
+__all__ = ["Fig5Result", "run", "format_report"]
+
+
+@dataclass(frozen=True)
+class Fig5Result:
+    """Model-error series on original and attacked movie traces.
+
+    Attributes:
+        original: the synthetic movie trace.
+        attacked: the trace after the paper's injection recipe.
+        times_original / errors_original: AR error series (raw trace).
+        times_attacked / errors_attacked: AR error series (attacked).
+        attack_start / attack_end: the injected campaign interval.
+    """
+
+    original: RatingStream
+    attacked: RatingStream
+    times_original: np.ndarray
+    errors_original: np.ndarray
+    times_attacked: np.ndarray
+    errors_attacked: np.ndarray
+    attack_start: float
+    attack_end: float
+
+    @property
+    def error_drop(self) -> float:
+        """Mean original error over the attacked minimum inside the
+        campaign window (>1 means the dip is visible, Fig. 5's claim)."""
+        mask = (self.times_attacked >= self.attack_start) & (
+            self.times_attacked <= self.attack_end
+        )
+        if not mask.any():
+            return 1.0
+        return float(
+            np.mean(self.errors_original) / np.min(self.errors_attacked[mask])
+        )
+
+
+def run(
+    seed: int = 0,
+    trace_config: NetflixTraceConfig | None = None,
+    attack_start: float = 212.0,
+    attack_end: float = 272.0,
+    window_size: int = 50,
+    window_step: int = 10,
+    order: int = 4,
+) -> Fig5Result:
+    """Generate the movie trace, inject the campaign, run the detector."""
+    trace_config = trace_config if trace_config is not None else DINOSAUR_PLANET
+    rng = np.random.default_rng(seed)
+    original = generate_netflix_trace(trace_config, rng)
+    stats = estimate_trace_statistics(original)
+    campaign = CollusionCampaign(
+        start=attack_start,
+        end=attack_end,
+        type1_bias=0.2,
+        type1_power=0.5,
+        type2_bias=0.25,
+        type2_variance=0.25 * stats.variance,
+        type2_power=1.0,
+    )
+    attacked = inject_campaign(original, campaign, FIVE_STAR, rng)
+
+    detector = ARModelErrorDetector(
+        order=order,
+        threshold=0.02,  # only error_series is used; no flagging here
+        windower=CountWindower(size=window_size, step=window_step),
+    )
+    t_o, e_o = detector.error_series(original)
+    t_a, e_a = detector.error_series(attacked)
+    return Fig5Result(
+        original=original,
+        attacked=attacked,
+        times_original=t_o,
+        errors_original=e_o,
+        times_attacked=t_a,
+        errors_attacked=e_a,
+        attack_start=attack_start,
+        attack_end=attack_end,
+    )
+
+
+def format_report(result: Fig5Result) -> str:
+    """Human-readable Fig. 5 report."""
+    mask = (result.times_attacked >= result.attack_start) & (
+        result.times_attacked <= result.attack_end
+    )
+    lines = [
+        "Fig. 5 -- AR model error on (synthetic) Netflix movie data",
+        f"  original ratings: {len(result.original)}; after injection: "
+        f"{len(result.attacked)}",
+        f"  attack interval: days [{result.attack_start}, {result.attack_end})",
+        f"  original error mean: {np.mean(result.errors_original):.3f}",
+        f"  attacked error min inside attack: "
+        f"{np.min(result.errors_attacked[mask]) if mask.any() else float('nan'):.3f}",
+        f"  error drop factor: {result.error_drop:.1f}x "
+        "(paper: error drops significantly during the campaign)",
+    ]
+    return "\n".join(lines)

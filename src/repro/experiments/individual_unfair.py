@@ -1,0 +1,168 @@
+"""Extension experiment: individual vs. collaborative unfairness.
+
+Section II-B argues individual unfair ratings "usually cause much less
+damage" than collaborative ones.  This experiment gives three
+allocations of the *same* unfair rating mass at the *same* bias
+magnitude (0.15) and measures what actually matters:
+
+* **mean shift** -- symmetric dispositions cancel; one-sided
+  dispositions and the campaign shift the global mean about equally
+  (same mass, same bias -- no surprise);
+* **peak windowed shift** -- the campaign concentrates its mass in a
+  14-day interval, producing a transient manipulation several times
+  larger than time-spread individual deviations.  This is the damage
+  that matters in the paper's small-recent-window setting;
+* **AR detection** -- the campaign's temporal concentration is exactly
+  what the detector keys on: it fires on the campaign and stays quiet
+  on time-spread individual deviators, whose defense is cancellation
+  and dilution, not detection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.evaluation.detection import interval_detected
+from repro.evaluation.montecarlo import monte_carlo
+from repro.experiments.fig4 import build_illustrative_detector
+from repro.raters.individual import DispositionalRater
+from repro.ratings.models import Rating, fresh_rating_id
+from repro.ratings.stream import RatingStream
+from repro.signal.windows import moving_average
+from repro.simulation.illustrative import IllustrativeConfig, generate_illustrative
+
+__all__ = ["IndividualVsCollaborativeResult", "run", "format_report"]
+
+#: Individual deviators share the campaign's bias magnitude.
+DISPOSITION = 0.15
+
+
+@dataclass(frozen=True)
+class AllocationOutcome:
+    """Damage and detectability of one unfair-budget allocation."""
+
+    mean_shift: float
+    peak_window_shift: float
+    detection_rate: float
+
+
+@dataclass(frozen=True)
+class IndividualVsCollaborativeResult:
+    """allocation -> outcome, plus the unfair budget used."""
+
+    outcomes: Dict[str, AllocationOutcome]
+    unfair_fraction: float
+    n_runs: int
+
+
+def _individual_ratings(trace, config, rng, disposition_sign):
+    """Replace the campaign with time-spread individual deviators."""
+    n_unfair = trace.n_unfair
+    honest = trace.honest
+    times = rng.uniform(0.0, config.simu_time, size=n_unfair)
+    ratings = []
+    base_id = int(honest.rater_ids.max()) + 1
+    for offset, t in enumerate(np.sort(times)):
+        if disposition_sign == 0:
+            disposition = float(rng.choice([-DISPOSITION, DISPOSITION]))
+        else:
+            disposition = DISPOSITION * disposition_sign
+        rater = DispositionalRater(
+            rater_id=base_id + offset,
+            scale=config.scale,
+            variance=config.good_var,
+            disposition=disposition,
+        )
+        ratings.append(
+            Rating(
+                rating_id=fresh_rating_id(),
+                rater_id=rater.rater_id,
+                product_id=config.product_id,
+                value=rater.rate(config.quality(float(t)), rng),
+                time=float(t),
+                unfair=True,
+            )
+        )
+    return honest.merge(RatingStream.from_ratings(ratings))
+
+
+def _peak_window_shift(stream, honest) -> float:
+    """Max deviation of the 20-rating moving average from honest's."""
+    t_a, m_a = moving_average(stream.times, stream.values, size=20, step=10)
+    t_h, m_h = moving_average(honest.times, honest.values, size=20, step=10)
+    if t_a.size == 0 or t_h.size == 0:
+        return 0.0
+    honest_level = np.interp(t_a, t_h, m_h)
+    return float(np.max(np.abs(m_a - honest_level)))
+
+
+def run(
+    n_runs: int = 30, seed: int = 0, config: IllustrativeConfig | None = None
+) -> IndividualVsCollaborativeResult:
+    """Compare damage and detectability across allocations."""
+    config = config if config is not None else IllustrativeConfig(recruit_power1=0.0)
+    detector = build_illustrative_detector()
+
+    def one_run(rng: np.random.Generator):
+        trace = generate_illustrative(config, rng)
+        honest_mean = trace.honest.mean()
+        variants = {
+            "collaborative_campaign": trace.attacked,
+            "individual_symmetric": _individual_ratings(trace, config, rng, 0),
+            "individual_one_sided": _individual_ratings(trace, config, rng, +1),
+        }
+        outcome = {}
+        for name, stream in variants.items():
+            detected = interval_detected(
+                detector.window_errors(stream), 0.0, config.simu_time
+            )
+            outcome[name] = (
+                stream.mean() - honest_mean,
+                _peak_window_shift(stream, trace.honest),
+                detected,
+            )
+        return outcome, trace.n_unfair / len(trace.attacked)
+
+    results = monte_carlo(one_run, n_runs=n_runs, master_seed=seed)
+    outcomes = {}
+    for name in (
+        "collaborative_campaign",
+        "individual_symmetric",
+        "individual_one_sided",
+    ):
+        outcomes[name] = AllocationOutcome(
+            mean_shift=results.mean_of(lambda o, n=name: o[0][n][0]),
+            peak_window_shift=results.mean_of(lambda o, n=name: o[0][n][1]),
+            detection_rate=results.fraction(lambda o, n=name: o[0][n][2]),
+        )
+    return IndividualVsCollaborativeResult(
+        outcomes=outcomes,
+        unfair_fraction=results.mean_of(lambda o: o[1]),
+        n_runs=n_runs,
+    )
+
+
+def format_report(result: IndividualVsCollaborativeResult) -> str:
+    """Damage/detectability table across allocations."""
+    lines = [
+        f"Individual vs. collaborative unfairness ({result.n_runs} runs, "
+        f"unfair mass {100 * result.unfair_fraction:.0f}% of the trace, "
+        f"bias magnitude {DISPOSITION})",
+        "  allocation              | mean shift | peak window shift | AR detected",
+    ]
+    for name, outcome in result.outcomes.items():
+        lines.append(
+            f"  {name:<23} | {outcome.mean_shift:+10.3f} | "
+            f"{outcome.peak_window_shift:17.3f} | {outcome.detection_rate:11.2f}"
+        )
+    lines.append(
+        "  same unfair mass: symmetric individuals cancel; one-sided "
+        "individuals dilute across time (small transient, invisible to "
+        "the temporal detector -- and needing no detection); the "
+        "coordinated campaign concentrates into a large transient, "
+        "which is exactly what the AR detector fires on"
+    )
+    return "\n".join(lines)

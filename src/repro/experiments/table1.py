@@ -1,0 +1,160 @@
+"""Section III-B.2 case study: comparing the four aggregation methods.
+
+Setup (paper): 10 honest raters with trust ~ N(0.95, 0.05) and ratings
+~ N(0.8, 0.05); 10 collaborative raters (1:1 ratio) with trust
+~ N(0.6, 0.1) and ratings ~ N(0.4, 0.02); no filtering; 500 runs.  The
+desired aggregate is the honest mean, 0.8.
+
+Paper's table:  method 1 = 0.6365, method 2 = 0.6138, method 3 = 0.7445,
+method 4 = 0.5985.  The reproducible *shape* is that the modified
+weighted average (method 3) stays far closer to 0.8 than every
+alternative, which all collapse toward ~0.6 under a 50 % collaborator
+mix.  The paper reads the distribution parameters as variances; since
+Gaussian(0.8, var 0.05) clips noticeably at 1.0, we also expose a
+``std`` interpretation for sensitivity analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.aggregation.methods import PAPER_METHODS
+from repro.errors import ConfigurationError
+from repro.evaluation.montecarlo import monte_carlo
+
+__all__ = ["PAPER_TABLE1", "Table1Config", "Table1Result", "run", "format_report"]
+
+PAPER_TABLE1 = {1: 0.6365, 2: 0.6138, 3: 0.7445, 4: 0.5985}
+
+
+@dataclass(frozen=True)
+class Table1Config:
+    """Parameters of the case study (paper defaults)."""
+
+    n_honest: int = 10
+    collaborator_ratio: float = 1.0
+    honest_trust_mean: float = 0.95
+    honest_trust_var: float = 0.05
+    collab_trust_mean: float = 0.6
+    collab_trust_var: float = 0.1
+    honest_rating_mean: float = 0.8
+    honest_rating_var: float = 0.05
+    collab_rating_mean: float = 0.4
+    collab_rating_var: float = 0.02
+    spread_is_std: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_honest < 1:
+            raise ConfigurationError(f"n_honest must be >= 1, got {self.n_honest}")
+        if self.collaborator_ratio < 0:
+            raise ConfigurationError(
+                f"collaborator_ratio must be >= 0, got {self.collaborator_ratio}"
+            )
+
+    @property
+    def n_collaborative(self) -> int:
+        return int(round(self.n_honest * self.collaborator_ratio))
+
+    def _std(self, spread: float) -> float:
+        return float(spread) if self.spread_is_std else float(np.sqrt(spread))
+
+    def draw(self, rng: np.random.Generator) -> tuple:
+        """One scenario draw: (values, trusts) clipped to [0, 1]."""
+        n_c = self.n_collaborative
+        trusts = np.concatenate(
+            (
+                rng.normal(
+                    self.honest_trust_mean,
+                    self._std(self.honest_trust_var),
+                    self.n_honest,
+                ),
+                rng.normal(
+                    self.collab_trust_mean, self._std(self.collab_trust_var), n_c
+                ),
+            )
+        )
+        values = np.concatenate(
+            (
+                rng.normal(
+                    self.honest_rating_mean,
+                    self._std(self.honest_rating_var),
+                    self.n_honest,
+                ),
+                rng.normal(
+                    self.collab_rating_mean, self._std(self.collab_rating_var), n_c
+                ),
+            )
+        )
+        return np.clip(values, 0.0, 1.0), np.clip(trusts, 0.0, 1.0)
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    """Mean aggregated rating per method.
+
+    Attributes:
+        aggregates: method number (1-4) -> mean aggregated rating.
+        desired: the aggregate a perfect system would output (honest mean).
+        n_runs: repetitions.
+    """
+
+    aggregates: Dict[int, float]
+    desired: float
+    n_runs: int
+
+    def best_method(self) -> int:
+        """The method whose aggregate lands closest to the desired value."""
+        return min(
+            self.aggregates, key=lambda m: abs(self.aggregates[m] - self.desired)
+        )
+
+
+def run(
+    n_runs: int = 500, seed: int = 0, config: Table1Config | None = None
+) -> Table1Result:
+    """Run the comparison; returns mean aggregates over all repetitions."""
+    config = config if config is not None else Table1Config()
+    methods = {number: cls() for number, cls in PAPER_METHODS.items()}
+
+    def one_run(rng: np.random.Generator) -> Dict[int, float]:
+        values, trusts = config.draw(rng)
+        return {
+            number: method.aggregate(values, trusts)
+            for number, method in methods.items()
+        }
+
+    results = monte_carlo(one_run, n_runs=n_runs, master_seed=seed)
+    aggregates = {
+        number: results.mean_of(lambda o, n=number: o[n]) for number in methods
+    }
+    return Table1Result(
+        aggregates=aggregates, desired=config.honest_rating_mean, n_runs=n_runs
+    )
+
+
+def format_report(result: Table1Result) -> str:
+    """Paper-vs-measured table."""
+    names = {
+        1: "simple average",
+        2: "beta function aggregation",
+        3: "modified weighted average",
+        4: "Sun et al. trust model",
+    }
+    lines = [
+        f"Section III-B.2 aggregation comparison "
+        f"({result.n_runs} runs, desired = {result.desired:.2f})",
+        "  method                        | paper  | measured",
+    ]
+    for number in sorted(result.aggregates):
+        lines.append(
+            f"  {number}. {names[number]:<27} | {PAPER_TABLE1[number]:.4f} | "
+            f"{result.aggregates[number]:.4f}"
+        )
+    lines.append(
+        f"  closest to desired: method {result.best_method()} "
+        "(paper: method 3)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,15 @@
+"""Rating filters (feature extraction module I) and baselines."""
+
+from repro.filters.base import FilterResult, NullFilter, RatingFilter, WindowedFilter
+from repro.filters.beta_quantile import BetaQuantileFilter
+from repro.filters.robust import IQRFilter, ZScoreFilter
+
+__all__ = [
+    "FilterResult",
+    "NullFilter",
+    "RatingFilter",
+    "WindowedFilter",
+    "BetaQuantileFilter",
+    "IQRFilter",
+    "ZScoreFilter",
+]

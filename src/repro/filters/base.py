@@ -1,0 +1,114 @@
+"""Rating-filter interface (feature extraction module I).
+
+A rating filter inspects the ratings submitted for one object and
+splits them into *normal* and *abnormal* sets.  Abnormal ratings are
+excluded from aggregation and reported to the trust manager's
+observation buffer (a filtered rating counts against its rater's trust,
+Procedure 2's ``f_i``).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import FrozenSet, Iterator, List
+
+from repro.ratings.stream import RatingStream
+
+__all__ = ["FilterResult", "RatingFilter", "WindowedFilter", "NullFilter"]
+
+
+@dataclass(frozen=True)
+class FilterResult:
+    """Outcome of filtering one stream.
+
+    Attributes:
+        kept: stream of ratings judged normal.
+        removed: stream of ratings judged abnormal.
+    """
+
+    kept: RatingStream
+    removed: RatingStream
+
+    @property
+    def removed_ids(self) -> FrozenSet[int]:
+        return frozenset(r.rating_id for r in self.removed)
+
+    @property
+    def removed_rater_ids(self) -> FrozenSet[int]:
+        return frozenset(r.rater_id for r in self.removed)
+
+    @property
+    def n_removed(self) -> int:
+        return len(self.removed)
+
+
+class RatingFilter(abc.ABC):
+    """Abstract rating filter."""
+
+    @abc.abstractmethod
+    def filter(self, stream: RatingStream) -> FilterResult:
+        """Split a stream into kept and removed ratings."""
+
+    @staticmethod
+    def _result(stream: RatingStream, removed_ids: FrozenSet[int]) -> FilterResult:
+        kept = tuple(r for r in stream if r.rating_id not in removed_ids)
+        removed = tuple(r for r in stream if r.rating_id in removed_ids)
+        return FilterResult(
+            kept=RatingStream(ratings=kept), removed=RatingStream(ratings=removed)
+        )
+
+
+class NullFilter(RatingFilter):
+    """Pass-through filter (keeps everything); the no-filter baseline."""
+
+    def filter(self, stream: RatingStream) -> FilterResult:
+        return FilterResult(kept=stream, removed=RatingStream())
+
+
+class WindowedFilter(RatingFilter):
+    """Apply a base filter independently inside consecutive time windows.
+
+    Section IV applies the beta filter in non-overlapping 30-day
+    windows; a rating is removed iff the base filter removes it in its
+    window.
+
+    Args:
+        base: the per-window filter.
+        window_length: window length in days.
+        origin: left edge of the first window (default 0.0 so windows
+            align with the simulation calendar).
+        min_count: windows with fewer ratings are passed through
+            unfiltered -- tiny windows carry no majority opinion.
+    """
+
+    def __init__(
+        self,
+        base: RatingFilter,
+        window_length: float,
+        origin: float = 0.0,
+        min_count: int = 3,
+    ) -> None:
+        self.base = base
+        self.window_length = float(window_length)
+        self.origin = float(origin)
+        self.min_count = int(min_count)
+
+    def _windows(self, stream: RatingStream) -> Iterator[RatingStream]:
+        times = stream.times
+        last = float(times[-1])
+        left = self.origin
+        while left <= last:
+            yield stream.between(left, left + self.window_length)
+            left += self.window_length
+
+    def filter(self, stream: RatingStream) -> FilterResult:
+        if len(stream) == 0:
+            return FilterResult(kept=stream, removed=RatingStream())
+        removed_ids: List[int] = []
+        for window_stream in self._windows(stream):
+            if len(window_stream) < self.min_count:
+                continue
+            result = self.base.filter(window_stream)
+            removed_ids.extend(result.removed_ids)
+        return self._result(stream, frozenset(removed_ids))

@@ -1,0 +1,68 @@
+"""Classic robust-statistics filters (comparison baselines).
+
+These are not from the paper; they exist so the benchmark suite can
+show that *any* majority-band outlier filter -- not just the beta
+filter -- fails against the moderate-bias collusion strategy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.filters.base import FilterResult, RatingFilter
+from repro.ratings.stream import RatingStream
+
+__all__ = ["ZScoreFilter", "IQRFilter"]
+
+
+class ZScoreFilter(RatingFilter):
+    """Remove ratings more than ``k`` sample standard deviations from the mean.
+
+    Args:
+        k: cutoff in standard deviations (default 2.0).
+    """
+
+    def __init__(self, k: float = 2.0) -> None:
+        if k <= 0:
+            raise ConfigurationError(f"k must be > 0, got {k}")
+        self.k = float(k)
+
+    def filter(self, stream: RatingStream) -> FilterResult:
+        if len(stream) < 3:
+            return FilterResult(kept=stream, removed=RatingStream())
+        values = stream.values
+        mean = float(np.mean(values))
+        std = float(np.std(values))
+        if std == 0.0:
+            return FilterResult(kept=stream, removed=RatingStream())
+        removed_ids = frozenset(
+            r.rating_id for r in stream if abs(r.value - mean) > self.k * std
+        )
+        return self._result(stream, removed_ids)
+
+
+class IQRFilter(RatingFilter):
+    """Tukey-fence filter: remove ratings outside ``[Q1 - k*IQR, Q3 + k*IQR]``.
+
+    Args:
+        k: fence multiplier (default 1.5, the classic Tukey value).
+    """
+
+    def __init__(self, k: float = 1.5) -> None:
+        if k <= 0:
+            raise ConfigurationError(f"k must be > 0, got {k}")
+        self.k = float(k)
+
+    def filter(self, stream: RatingStream) -> FilterResult:
+        if len(stream) < 4:
+            return FilterResult(kept=stream, removed=RatingStream())
+        values = stream.values
+        q1, q3 = np.percentile(values, [25.0, 75.0])
+        iqr = q3 - q1
+        lo = q1 - self.k * iqr
+        hi = q3 + self.k * iqr
+        removed_ids = frozenset(
+            r.rating_id for r in stream if r.value < lo or r.value > hi
+        )
+        return self._result(stream, removed_ids)

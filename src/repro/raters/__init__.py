@@ -1,0 +1,23 @@
+"""Rater behaviour models: honest, collaborative, and mode-switching."""
+
+from repro.raters.base import GaussianOpinionMixin, Rater
+from repro.raters.collaborative import (
+    PotentialCollaborativeRater,
+    Type1CollaborativeRater,
+    Type2CollaborativeRater,
+)
+from repro.raters.individual import DispositionalRater, RandomRater
+from repro.raters.honest import CarelessRater, HonestRater, ReliableRater
+
+__all__ = [
+    "GaussianOpinionMixin",
+    "Rater",
+    "PotentialCollaborativeRater",
+    "Type1CollaborativeRater",
+    "Type2CollaborativeRater",
+    "CarelessRater",
+    "DispositionalRater",
+    "RandomRater",
+    "HonestRater",
+    "ReliableRater",
+]

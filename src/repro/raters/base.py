@@ -1,0 +1,72 @@
+"""Rater behaviour interface.
+
+A rater turns the true quality of a product (at rating time) into a
+rating value.  Behaviour models are pure given an explicit numpy
+generator, so scenarios are reproducible from a single seed.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.ratings.models import RaterClass, RaterProfile
+from repro.ratings.scales import RatingScale
+
+__all__ = ["Rater", "GaussianOpinionMixin"]
+
+
+class Rater(abc.ABC):
+    """Abstract rater behaviour.
+
+    Args:
+        rater_id: unique id of this rater.
+        scale: rating scale used to quantize raw opinions.
+    """
+
+    rater_class: RaterClass
+
+    def __init__(self, rater_id: int, scale: RatingScale) -> None:
+        self.rater_id = rater_id
+        self.scale = scale
+
+    @abc.abstractmethod
+    def opine(self, quality: float, rng: np.random.Generator) -> float:
+        """Raw (unquantized) opinion about an object of the given quality."""
+
+    def rate(self, quality: float, rng: np.random.Generator) -> float:
+        """Quantized rating for an object of the given quality."""
+        return self.scale.quantize(self.opine(quality, rng))
+
+    @property
+    def is_honest(self) -> bool:
+        return self.rater_class.is_honest
+
+    def profile(self) -> RaterProfile:
+        """Static profile record for the rating store."""
+        return RaterProfile(
+            rater_id=self.rater_id,
+            rater_class=self.rater_class,
+            variance=getattr(self, "variance", 0.0),
+        )
+
+
+class GaussianOpinionMixin:
+    """Shared Gaussian opinion draw: ``N(quality + bias, variance)``.
+
+    The paper specifies rating *variances* (goodVar = 0.2 etc.), so the
+    draw uses ``sqrt(variance)`` as the standard deviation and relies on
+    the scale's clipping to keep ratings legal.
+    """
+
+    def __init__(self, variance: float, bias: float = 0.0) -> None:
+        if variance < 0:
+            raise ConfigurationError(f"variance must be >= 0, got {variance}")
+        self.variance = float(variance)
+        self.bias = float(bias)
+
+    def gaussian_opinion(self, quality: float, rng: np.random.Generator) -> float:
+        std = float(np.sqrt(self.variance))
+        return float(rng.normal(quality + self.bias, std)) if std > 0 else quality + self.bias

@@ -1,0 +1,123 @@
+"""Collaborative (unfair) rater behaviours.
+
+Section III-A.2 defines two recruitment channels for an object's owner:
+
+* **Type 1** -- influence raters who were going to rate anyway: the
+  rater's original honest opinion is shifted by ``bias_shift`` (paper:
+  biasshift1, applied to recruitpower1 of the regulars).
+* **Type 2** -- recruit raters who otherwise would not have rated: they
+  rate ``N(quality + bias_shift, bad_variance)`` and arrive as an extra
+  Poisson stream (paper: biasshift2, badVar, recruitpower2).
+
+Section IV adds the **potential collaborative (PC)** rater: it behaves
+as a reliable rater until recruited, then as a type 2 rater for the
+campaign's duration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.raters.base import GaussianOpinionMixin, Rater
+from repro.ratings.models import RaterClass
+from repro.ratings.scales import RatingScale
+
+__all__ = [
+    "Type1CollaborativeRater",
+    "Type2CollaborativeRater",
+    "PotentialCollaborativeRater",
+]
+
+
+class Type1CollaborativeRater(GaussianOpinionMixin, Rater):
+    """An influenced regular: honest opinion plus a constant shift.
+
+    Args:
+        rater_id: unique id.
+        scale: rating scale.
+        variance: the rater's *honest* noise variance.
+        bias_shift: additive shift applied while influenced
+            (positive to boost, negative to downgrade).
+    """
+
+    rater_class = RaterClass.TYPE1_COLLABORATIVE
+
+    def __init__(
+        self,
+        rater_id: int,
+        scale: RatingScale,
+        variance: float,
+        bias_shift: float,
+    ) -> None:
+        Rater.__init__(self, rater_id, scale)
+        GaussianOpinionMixin.__init__(self, variance=variance, bias=0.0)
+        self.bias_shift = float(bias_shift)
+
+    def opine(self, quality: float, rng: np.random.Generator) -> float:
+        return self.gaussian_opinion(quality, rng) + self.bias_shift
+
+    def honest_opinion(self, quality: float, rng: np.random.Generator) -> float:
+        """The opinion this rater would have given without influence."""
+        return self.gaussian_opinion(quality, rng)
+
+
+class Type2CollaborativeRater(GaussianOpinionMixin, Rater):
+    """A recruited outsider: ``N(quality + bias_shift, bad_variance)``.
+
+    The tiny ``bad_variance`` (paper: 0.02 vs goodVar 0.2) is the
+    statistical fingerprint the AR detector exploits: recruited ratings
+    cluster tightly around the shifted mean, making the window's signal
+    far more predictable than honest white noise.
+    """
+
+    rater_class = RaterClass.TYPE2_COLLABORATIVE
+
+    def __init__(
+        self,
+        rater_id: int,
+        scale: RatingScale,
+        bias_shift: float,
+        bad_variance: float,
+    ) -> None:
+        Rater.__init__(self, rater_id, scale)
+        GaussianOpinionMixin.__init__(self, variance=bad_variance, bias=bias_shift)
+
+    def opine(self, quality: float, rng: np.random.Generator) -> float:
+        return self.gaussian_opinion(quality, rng)
+
+
+class PotentialCollaborativeRater(GaussianOpinionMixin, Rater):
+    """Section IV's mode-switching rater.
+
+    Behaves as a reliable rater (``N(quality, honest_variance)``) while
+    not recruited; behaves as a type 2 rater
+    (``N(quality + bias_shift, bad_variance)``) while recruited.
+    Recruitment state is managed externally by the attack campaign via
+    :attr:`recruited`.
+    """
+
+    rater_class = RaterClass.POTENTIAL_COLLABORATIVE
+
+    def __init__(
+        self,
+        rater_id: int,
+        scale: RatingScale,
+        honest_variance: float,
+        bias_shift: float,
+        bad_variance: float,
+    ) -> None:
+        Rater.__init__(self, rater_id, scale)
+        GaussianOpinionMixin.__init__(self, variance=honest_variance, bias=0.0)
+        if bad_variance < 0:
+            raise ConfigurationError(f"bad_variance must be >= 0, got {bad_variance}")
+        self.bias_shift = float(bias_shift)
+        self.bad_variance = float(bad_variance)
+        self.recruited = False
+
+    def opine(self, quality: float, rng: np.random.Generator) -> float:
+        if not self.recruited:
+            return self.gaussian_opinion(quality, rng)
+        std = float(np.sqrt(self.bad_variance))
+        mean = quality + self.bias_shift
+        return float(rng.normal(mean, std)) if std > 0 else mean

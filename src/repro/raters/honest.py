@@ -1,0 +1,44 @@
+"""Honest rater behaviours.
+
+Reliable and careless raters are both honest -- their ratings are
+Gaussian around the true quality -- and differ only in noise variance
+(Section IV-A: goodVar = 0.2, carelessVar = 0.3).  Careless raters'
+wider noise makes some of their ratings land outside the majority band,
+which is what produces the small false-alarm rate of the beta filter on
+honest users.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.raters.base import GaussianOpinionMixin, Rater
+from repro.ratings.models import RaterClass
+from repro.ratings.scales import RatingScale
+
+__all__ = ["ReliableRater", "CarelessRater", "HonestRater"]
+
+
+class HonestRater(GaussianOpinionMixin, Rater):
+    """Gaussian honest rater: opinion ~ N(quality, variance)."""
+
+    rater_class = RaterClass.RELIABLE
+
+    def __init__(self, rater_id: int, scale: RatingScale, variance: float) -> None:
+        Rater.__init__(self, rater_id, scale)
+        GaussianOpinionMixin.__init__(self, variance=variance)
+
+    def opine(self, quality: float, rng: np.random.Generator) -> float:
+        return self.gaussian_opinion(quality, rng)
+
+
+class ReliableRater(HonestRater):
+    """Honest rater with the scenario's baseline noise (goodVar)."""
+
+    rater_class = RaterClass.RELIABLE
+
+
+class CarelessRater(HonestRater):
+    """Honest but noisy rater (carelessVar > goodVar)."""
+
+    rater_class = RaterClass.CARELESS

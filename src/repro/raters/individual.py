@@ -1,0 +1,76 @@
+"""Individual (non-collaborative) unfair raters.
+
+Section II-B's first class: "an individual rater provides unfairly
+high or low ratings without collaborating with other raters.  This
+type of rating may result from raters' personality/habit (dispositional
+trust), carelessness, or randomness in rating behavior."
+
+Two behaviours:
+
+* :class:`DispositionalRater` -- a habitual optimist or grouch: every
+  rating is shifted by a personal bias drawn once at construction.
+* :class:`RandomRater` -- rates uniformly at random, ignoring quality.
+
+The paper argues these cause much less damage than collaborative
+raters: individual highs and lows cancel in aggregate, and their
+number is statistically small.  ``repro.experiments.individual_unfair``
+quantifies exactly that.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.raters.base import GaussianOpinionMixin, Rater
+from repro.ratings.models import RaterClass
+from repro.ratings.scales import RatingScale
+
+__all__ = ["DispositionalRater", "RandomRater"]
+
+
+class DispositionalRater(GaussianOpinionMixin, Rater):
+    """An honest-noise rater with a fixed personal bias.
+
+    Args:
+        rater_id: unique id.
+        scale: rating scale.
+        variance: honest noise variance around the biased mean.
+        disposition: the personal shift; positive for habitual
+            optimists, negative for grouches.  Draw it from a zero-mean
+            distribution across the population to model the paper's
+            "individual high and low ratings cancel each other".
+    """
+
+    rater_class = RaterClass.INDIVIDUAL_UNFAIR
+
+    def __init__(
+        self,
+        rater_id: int,
+        scale: RatingScale,
+        variance: float,
+        disposition: float,
+    ) -> None:
+        Rater.__init__(self, rater_id, scale)
+        GaussianOpinionMixin.__init__(self, variance=variance, bias=disposition)
+        if not -1.0 <= disposition <= 1.0:
+            raise ConfigurationError(
+                f"disposition must lie in [-1, 1], got {disposition}"
+            )
+        self.disposition = float(disposition)
+
+    def opine(self, quality: float, rng: np.random.Generator) -> float:
+        return self.gaussian_opinion(quality, rng)
+
+
+class RandomRater(Rater):
+    """Rates uniformly at random over the scale, ignoring quality."""
+
+    rater_class = RaterClass.CARELESS
+
+    def __init__(self, rater_id: int, scale: RatingScale) -> None:
+        super().__init__(rater_id, scale)
+        self.variance = float(np.var(scale.values))
+
+    def opine(self, quality: float, rng: np.random.Generator) -> float:
+        return float(rng.choice(self.scale.values))

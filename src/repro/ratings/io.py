@@ -1,0 +1,101 @@
+"""Rating-trace serialization: CSV and JSON Lines.
+
+Real deployments keep rating logs in flat files; these helpers round-
+trip :class:`~repro.ratings.stream.RatingStream` objects so traces can
+be exported for inspection, shared between runs, or loaded from a real
+system's export.  Both formats carry the ground-truth ``unfair`` label
+(for synthetic traces) -- consumers auditing real data simply leave it
+False.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from repro.errors import ConfigurationError
+from repro.ratings.models import Rating
+from repro.ratings.stream import RatingStream
+
+__all__ = ["write_csv", "read_csv", "write_jsonl", "read_jsonl"]
+
+_FIELDS = ("rating_id", "rater_id", "product_id", "value", "time", "unfair")
+
+PathLike = Union[str, Path]
+
+
+def _to_row(rating: Rating) -> dict:
+    return {
+        "rating_id": rating.rating_id,
+        "rater_id": rating.rater_id,
+        "product_id": rating.product_id,
+        "value": rating.value,
+        "time": rating.time,
+        "unfair": rating.unfair,
+    }
+
+
+def _from_row(row: dict) -> Rating:
+    try:
+        return Rating(
+            rating_id=int(row["rating_id"]),
+            rater_id=int(row["rater_id"]),
+            product_id=int(row["product_id"]),
+            value=float(row["value"]),
+            time=float(row["time"]),
+            unfair=str(row.get("unfair", "False")).strip().lower()
+            in ("true", "1", "yes"),
+        )
+    except (KeyError, ValueError) as exc:
+        raise ConfigurationError(f"malformed rating row {row!r}: {exc}") from exc
+
+
+def write_csv(stream: RatingStream, path: PathLike) -> int:
+    """Write a stream to CSV; returns the number of rows written."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=_FIELDS)
+        writer.writeheader()
+        for rating in stream:
+            writer.writerow(_to_row(rating))
+    return len(stream)
+
+
+def read_csv(path: PathLike) -> RatingStream:
+    """Load a stream from CSV (rows are re-sorted by time)."""
+    path = Path(path)
+    ratings: List[Rating] = []
+    with path.open(newline="") as handle:
+        for row in csv.DictReader(handle):
+            ratings.append(_from_row(row))
+    return RatingStream.from_ratings(ratings)
+
+
+def write_jsonl(stream: RatingStream, path: PathLike) -> int:
+    """Write a stream as JSON Lines; returns the number of rows written."""
+    path = Path(path)
+    with path.open("w") as handle:
+        for rating in stream:
+            handle.write(json.dumps(_to_row(rating)) + "\n")
+    return len(stream)
+
+
+def read_jsonl(path: PathLike) -> RatingStream:
+    """Load a stream from JSON Lines (rows are re-sorted by time)."""
+    path = Path(path)
+    ratings: List[Rating] = []
+    with path.open() as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ConfigurationError(
+                    f"{path}:{line_number}: invalid JSON: {exc}"
+                ) from exc
+            ratings.append(_from_row(row))
+    return RatingStream.from_ratings(ratings)

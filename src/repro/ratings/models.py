@@ -1,0 +1,144 @@
+"""Core record types: ratings, raters, and products.
+
+These are deliberately small frozen dataclasses -- the whole library
+passes them around, stores them in :class:`~repro.ratings.store.RatingStore`,
+and tags them with ground-truth labels (who was honest, which window was
+attacked) so the evaluation layer can score detectors without peeking
+into the algorithms themselves.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+__all__ = ["RaterClass", "Rating", "RaterProfile", "Product", "fresh_rating_id"]
+
+_rating_counter = itertools.count()
+
+
+def fresh_rating_id() -> int:
+    """Return a process-unique rating id."""
+    return next(_rating_counter)
+
+
+class RaterClass(enum.Enum):
+    """Ground-truth behavioural class of a rater (Section II-B / IV-A)."""
+
+    RELIABLE = "reliable"
+    CARELESS = "careless"
+    INDIVIDUAL_UNFAIR = "individual_unfair"
+    TYPE1_COLLABORATIVE = "type1_collaborative"
+    TYPE2_COLLABORATIVE = "type2_collaborative"
+    POTENTIAL_COLLABORATIVE = "potential_collaborative"
+
+    @property
+    def is_honest(self) -> bool:
+        """True for classes whose ratings are never intentionally biased.
+
+        Potential-collaborative raters are counted as dishonest here:
+        they are the population the marketplace detector is graded on.
+        """
+        return self in (RaterClass.RELIABLE, RaterClass.CARELESS)
+
+
+@dataclass(frozen=True)
+class Rating:
+    """One rating event.
+
+    Attributes:
+        rating_id: process-unique id.
+        rater_id: id of the rater who produced it.
+        product_id: id of the rated object.
+        value: rating value in ``[0, 1]`` (already quantized if the
+            scenario uses a discrete scale).
+        time: timestamp in days since the scenario origin.
+        unfair: ground-truth label -- True when the rating was produced
+            under collaborative influence (type 1 shift applied, or the
+            rater was a recruited type 2 / recruited PC rater).
+    """
+
+    rating_id: int
+    rater_id: int
+    product_id: int
+    value: float
+    time: float
+    unfair: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.value <= 1.0:
+            raise ConfigurationError(
+                f"rating value must lie in [0, 1], got {self.value}"
+            )
+        if self.time < 0.0:
+            raise ConfigurationError(f"rating time must be >= 0, got {self.time}")
+
+
+@dataclass(frozen=True)
+class RaterProfile:
+    """Static description of a rater in a scenario.
+
+    Attributes:
+        rater_id: unique id.
+        rater_class: ground-truth behavioural class.
+        variance: variance of this rater's honest rating noise.
+    """
+
+    rater_id: int
+    rater_class: RaterClass
+    variance: float = 0.0
+
+    @property
+    def is_honest(self) -> bool:
+        return self.rater_class.is_honest
+
+
+@dataclass(frozen=True)
+class Product:
+    """An object being rated.
+
+    Attributes:
+        product_id: unique id.
+        quality: the (possibly time-varying) true quality; evaluated via
+            :meth:`quality_at`.  Either a float or a callable
+            ``time -> quality``.
+        dishonest: True when the product's owner runs rating campaigns.
+        available_from: first day raters may rate the product.
+        available_until: last day (exclusive) raters may rate it; None
+            means forever.
+    """
+
+    product_id: int
+    quality: object
+    dishonest: bool = False
+    available_from: float = 0.0
+    available_until: float | None = None
+
+    def quality_at(self, time: float) -> float:
+        """True quality at the given time (clipped to ``[0, 1]``)."""
+        q = self.quality(time) if callable(self.quality) else float(self.quality)
+        return min(1.0, max(0.0, q))
+
+    def is_available(self, time: float) -> bool:
+        if time < self.available_from:
+            return False
+        return self.available_until is None or time < self.available_until
+
+
+@dataclass
+class RatingBatch:
+    """A mutable accumulation of ratings, convertible to arrays."""
+
+    ratings: list = field(default_factory=list)
+
+    def add(self, rating: Rating) -> None:
+        self.ratings.append(rating)
+
+    def extend(self, ratings) -> None:
+        self.ratings.extend(ratings)
+
+    def __len__(self) -> int:
+        return len(self.ratings)

@@ -1,0 +1,96 @@
+"""Quality profiles: how an object's true quality evolves over time.
+
+The illustrative experiment (Section III-A.2) uses a linear ramp from
+0.7 to 0.8 over 60 days; the marketplace simulation uses constant
+qualities drawn uniformly from [0.4, 0.6].  Profiles are callables
+``time -> quality`` so :class:`~repro.ratings.models.Product` can hold
+either a plain float or one of these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ConstantQuality", "LinearRampQuality", "PiecewiseQuality"]
+
+
+@dataclass(frozen=True)
+class ConstantQuality:
+    """Quality fixed at ``value`` for all time."""
+
+    value: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.value <= 1.0:
+            raise ConfigurationError(f"quality must lie in [0, 1], got {self.value}")
+
+    def __call__(self, time: float) -> float:
+        return self.value
+
+
+@dataclass(frozen=True)
+class LinearRampQuality:
+    """Quality interpolating linearly between two endpoints.
+
+    Before ``start_time`` the quality is ``start_value``; after
+    ``end_time`` it stays at ``end_value``.
+    """
+
+    start_value: float
+    end_value: float
+    start_time: float
+    end_time: float
+
+    def __post_init__(self) -> None:
+        if self.end_time <= self.start_time:
+            raise ConfigurationError(
+                f"ramp needs end_time > start_time, got "
+                f"[{self.start_time}, {self.end_time}]"
+            )
+        for v in (self.start_value, self.end_value):
+            if not 0.0 <= v <= 1.0:
+                raise ConfigurationError(f"quality must lie in [0, 1], got {v}")
+
+    def __call__(self, time: float) -> float:
+        if time <= self.start_time:
+            return self.start_value
+        if time >= self.end_time:
+            return self.end_value
+        frac = (time - self.start_time) / (self.end_time - self.start_time)
+        return self.start_value + frac * (self.end_value - self.start_value)
+
+
+@dataclass(frozen=True)
+class PiecewiseQuality:
+    """Step-function quality over breakpoints.
+
+    Args:
+        breakpoints: ascending times ``t1 < t2 < ...`` at which the
+            quality switches.
+        values: ``len(breakpoints) + 1`` quality levels; ``values[i]``
+            holds on ``[t_i, t_{i+1})`` with ``t_0 = -inf``.
+    """
+
+    breakpoints: Sequence[float]
+    values: Sequence[float]
+
+    def __post_init__(self) -> None:
+        if len(self.values) != len(self.breakpoints) + 1:
+            raise ConfigurationError(
+                f"need len(values) == len(breakpoints) + 1, got "
+                f"{len(self.values)} values for {len(self.breakpoints)} breakpoints"
+            )
+        if list(self.breakpoints) != sorted(self.breakpoints):
+            raise ConfigurationError("breakpoints must be ascending")
+        for v in self.values:
+            if not 0.0 <= v <= 1.0:
+                raise ConfigurationError(f"quality must lie in [0, 1], got {v}")
+
+    def __call__(self, time: float) -> float:
+        for bp, value in zip(self.breakpoints, self.values):
+            if time < bp:
+                return value
+        return self.values[-1]

@@ -1,0 +1,93 @@
+"""Discrete rating scales.
+
+Real systems collect ratings on a small ordinal scale (Amazon: 5 stars;
+the paper's illustrative experiment: 11 levels 0, 0.1, ..., 1; the
+marketplace: 10 levels 0.1, ..., 1).  A :class:`RatingScale` maps a raw
+real-valued opinion in [0, 1] to the nearest permitted level, and the
+quantization it introduces is part of what makes short rating windows
+statistically hard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["RatingScale", "ELEVEN_LEVEL", "TEN_LEVEL", "FIVE_STAR"]
+
+
+@dataclass(frozen=True)
+class RatingScale:
+    """An ordinal rating scale with equally spaced levels in [0, 1].
+
+    Attributes:
+        levels: number of permitted values.
+        minimum: smallest permitted value (0.0 for the 11-level scale,
+            0.1 for the paper's 10-level marketplace scale).
+        maximum: largest permitted value.
+    """
+
+    levels: int
+    minimum: float = 0.0
+    maximum: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.levels < 2:
+            raise ConfigurationError(f"a scale needs >= 2 levels, got {self.levels}")
+        if not 0.0 <= self.minimum < self.maximum <= 1.0:
+            raise ConfigurationError(
+                f"scale range must satisfy 0 <= min < max <= 1, got "
+                f"[{self.minimum}, {self.maximum}]"
+            )
+
+    @property
+    def step(self) -> float:
+        return (self.maximum - self.minimum) / (self.levels - 1)
+
+    @property
+    def values(self) -> np.ndarray:
+        """All permitted rating values, ascending."""
+        return self.minimum + self.step * np.arange(self.levels)
+
+    def quantize(self, raw: float) -> float:
+        """Snap a raw opinion to the nearest permitted level.
+
+        Values outside [min, max] are clipped first, so a Gaussian
+        opinion with a wide variance still yields a legal rating.
+        """
+        clipped = min(self.maximum, max(self.minimum, float(raw)))
+        k = round((clipped - self.minimum) / self.step)
+        return float(self.minimum + k * self.step)
+
+    def quantize_array(self, raw: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`quantize`."""
+        clipped = np.clip(np.asarray(raw, dtype=float), self.minimum, self.maximum)
+        ks = np.round((clipped - self.minimum) / self.step)
+        return self.minimum + ks * self.step
+
+    def from_stars(self, stars: int, n_stars: int | None = None) -> float:
+        """Map an integer star rating (1..n) onto this scale.
+
+        Used by the Netflix-like trace, whose native unit is 1-5 stars.
+        """
+        n = self.levels if n_stars is None else n_stars
+        if not 1 <= stars <= n:
+            raise ConfigurationError(f"stars must lie in [1, {n}], got {stars}")
+        if n == 1:
+            return self.maximum
+        frac = (stars - 1) / (n - 1)
+        return self.quantize(self.minimum + frac * (self.maximum - self.minimum))
+
+
+#: The illustrative experiment's scale: 0, 0.1, ..., 1.0.
+ELEVEN_LEVEL = RatingScale(levels=11, minimum=0.0, maximum=1.0)
+
+#: The marketplace scale: 0.1, 0.2, ..., 1.0.
+TEN_LEVEL = RatingScale(levels=10, minimum=0.1, maximum=1.0)
+
+#: Netflix-style 5-star scale mapped to 0.2, 0.4, ..., 1.0 -- star k
+#: maps to k/5 so the aggregate stays comparable to star averages.
+FIVE_STAR = RatingScale(levels=5, minimum=0.2, maximum=1.0)

@@ -1,0 +1,111 @@
+"""In-memory rating database.
+
+The authors back their simulator with MySQL; :class:`RatingStore` is the
+pure-Python substitute.  It indexes ratings by product and by rater,
+keeps rater profiles and product records, and hands out
+:class:`~repro.ratings.stream.RatingStream` views for analysis.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List
+
+from repro.errors import UnknownProductError, UnknownRaterError
+from repro.ratings.models import Product, RaterProfile, Rating
+from repro.ratings.stream import RatingStream
+
+__all__ = ["RatingStore"]
+
+
+class RatingStore:
+    """Mutable container for products, raters, and their ratings."""
+
+    def __init__(self) -> None:
+        self._products: Dict[int, Product] = {}
+        self._raters: Dict[int, RaterProfile] = {}
+        self._by_product: Dict[int, List[Rating]] = defaultdict(list)
+        self._by_rater: Dict[int, List[Rating]] = defaultdict(list)
+        self._n_ratings = 0
+
+    # -- registration -----------------------------------------------------
+
+    def add_product(self, product: Product) -> None:
+        """Register a product; re-registering the same id overwrites."""
+        self._products[product.product_id] = product
+
+    def add_rater(self, profile: RaterProfile) -> None:
+        """Register a rater profile; re-registering overwrites."""
+        self._raters[profile.rater_id] = profile
+
+    def add_rating(self, rating: Rating) -> None:
+        """Record a rating.  Product and rater must be registered."""
+        if rating.product_id not in self._products:
+            raise UnknownProductError(
+                f"product {rating.product_id} is not registered"
+            )
+        if rating.rater_id not in self._raters:
+            raise UnknownRaterError(f"rater {rating.rater_id} is not registered")
+        self._by_product[rating.product_id].append(rating)
+        self._by_rater[rating.rater_id].append(rating)
+        self._n_ratings += 1
+
+    def add_ratings(self, ratings: Iterable[Rating]) -> None:
+        for rating in ratings:
+            self.add_rating(rating)
+
+    # -- lookups ----------------------------------------------------------
+
+    @property
+    def n_ratings(self) -> int:
+        return self._n_ratings
+
+    @property
+    def product_ids(self) -> List[int]:
+        return sorted(self._products)
+
+    @property
+    def rater_ids(self) -> List[int]:
+        return sorted(self._raters)
+
+    def product(self, product_id: int) -> Product:
+        try:
+            return self._products[product_id]
+        except KeyError:
+            raise UnknownProductError(f"product {product_id} is not registered") from None
+
+    def rater(self, rater_id: int) -> RaterProfile:
+        try:
+            return self._raters[rater_id]
+        except KeyError:
+            raise UnknownRaterError(f"rater {rater_id} is not registered") from None
+
+    def has_rated(self, rater_id: int, product_id: int) -> bool:
+        """True when the rater already rated the product (one-per-product rule)."""
+        return any(r.product_id == product_id for r in self._by_rater.get(rater_id, ()))
+
+    def stream(self, product_id: int) -> RatingStream:
+        """Time-sorted stream of one product's ratings."""
+        if product_id not in self._products:
+            raise UnknownProductError(f"product {product_id} is not registered")
+        return RatingStream.from_ratings(self._by_product.get(product_id, ()))
+
+    def rater_stream(self, rater_id: int) -> RatingStream:
+        """Time-sorted stream of one rater's ratings across products."""
+        if rater_id not in self._raters:
+            raise UnknownRaterError(f"rater {rater_id} is not registered")
+        return RatingStream.from_ratings(self._by_rater.get(rater_id, ()))
+
+    def all_ratings(self) -> RatingStream:
+        """Every rating in the store, time-sorted."""
+        everything: List[Rating] = []
+        for ratings in self._by_product.values():
+            everything.extend(ratings)
+        return RatingStream.from_ratings(everything)
+
+    def raters_by_class(self) -> Dict[object, List[int]]:
+        """Map rater class -> sorted rater ids (evaluation convenience)."""
+        grouped: Dict[object, List[int]] = defaultdict(list)
+        for rater_id in sorted(self._raters):
+            grouped[self._raters[rater_id].rater_class].append(rater_id)
+        return dict(grouped)

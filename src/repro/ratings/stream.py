@@ -1,0 +1,108 @@
+"""Time-ordered rating sequences.
+
+A :class:`RatingStream` is an immutable, time-sorted view over a set of
+:class:`~repro.ratings.models.Rating` records for (usually) one product.
+It exposes parallel numpy arrays -- times, values, rater ids, unfair
+flags -- which is the representation every downstream consumer
+(windowers, filters, the AR detector, aggregation) works on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.ratings.models import Rating
+
+__all__ = ["RatingStream"]
+
+
+@dataclass(frozen=True)
+class RatingStream:
+    """An immutable time-sorted sequence of ratings.
+
+    Construct with :meth:`from_ratings`; direct construction assumes the
+    tuple is already time-sorted.
+    """
+
+    ratings: tuple = field(default_factory=tuple)
+
+    @classmethod
+    def from_ratings(cls, ratings: Iterable[Rating]) -> "RatingStream":
+        """Build a stream, sorting by (time, rating_id) for determinism."""
+        ordered = tuple(sorted(ratings, key=lambda r: (r.time, r.rating_id)))
+        return cls(ratings=ordered)
+
+    def __len__(self) -> int:
+        return len(self.ratings)
+
+    def __iter__(self) -> Iterator[Rating]:
+        return iter(self.ratings)
+
+    def __getitem__(self, index: int) -> Rating:
+        return self.ratings[index]
+
+    @property
+    def times(self) -> np.ndarray:
+        return np.array([r.time for r in self.ratings], dtype=float)
+
+    @property
+    def values(self) -> np.ndarray:
+        return np.array([r.value for r in self.ratings], dtype=float)
+
+    @property
+    def rater_ids(self) -> np.ndarray:
+        return np.array([r.rater_id for r in self.ratings], dtype=int)
+
+    @property
+    def unfair_flags(self) -> np.ndarray:
+        """Ground-truth unfairness labels, parallel to :attr:`values`."""
+        return np.array([r.unfair for r in self.ratings], dtype=bool)
+
+    @property
+    def product_ids(self) -> np.ndarray:
+        return np.array([r.product_id for r in self.ratings], dtype=int)
+
+    def between(self, start: float, end: float) -> "RatingStream":
+        """Sub-stream with ``start <= time < end``."""
+        return RatingStream(
+            ratings=tuple(r for r in self.ratings if start <= r.time < end)
+        )
+
+    def by_rater(self, rater_id: int) -> "RatingStream":
+        """Sub-stream of one rater's ratings."""
+        return RatingStream(
+            ratings=tuple(r for r in self.ratings if r.rater_id == rater_id)
+        )
+
+    def without(self, rating_ids: Sequence[int]) -> "RatingStream":
+        """Sub-stream excluding the given rating ids (filter output)."""
+        excluded = set(rating_ids)
+        return RatingStream(
+            ratings=tuple(r for r in self.ratings if r.rating_id not in excluded)
+        )
+
+    def select(self, indices: Sequence[int]) -> "RatingStream":
+        """Sub-stream at the given positional indices (kept time-sorted)."""
+        positions = sorted(int(i) for i in indices)
+        return RatingStream(ratings=tuple(self.ratings[i] for i in positions))
+
+    def merge(self, other: "RatingStream") -> "RatingStream":
+        """Time-sorted union of two streams."""
+        return RatingStream.from_ratings(self.ratings + other.ratings)
+
+    def fair_only(self) -> "RatingStream":
+        """Sub-stream of ground-truth fair ratings (evaluation helper)."""
+        return RatingStream(ratings=tuple(r for r in self.ratings if not r.unfair))
+
+    def unfair_only(self) -> "RatingStream":
+        """Sub-stream of ground-truth unfair ratings (evaluation helper)."""
+        return RatingStream(ratings=tuple(r for r in self.ratings if r.unfair))
+
+    def mean(self) -> float:
+        """Plain average of the rating values (0.0 for an empty stream)."""
+        if not self.ratings:
+            return 0.0
+        return float(np.mean(self.values))

@@ -1,0 +1,71 @@
+"""Best-effort structured export of experiment results.
+
+Experiment results are nested dataclasses carrying numpy arrays, enums,
+and occasionally heavyweight simulation objects.  :func:`to_jsonable`
+converts anything JSON-representable faithfully and degrades gracefully
+on the rest (a compact ``repr`` string), so ``repro run <exp> --json``
+always produces a loadable file without each experiment needing its own
+serializer.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+__all__ = ["to_jsonable", "dump_json"]
+
+#: Objects bigger than this many elements are summarized, not inlined.
+_MAX_ARRAY_ELEMENTS = 100_000
+
+
+def to_jsonable(obj: Any, _depth: int = 0) -> Any:
+    """Convert an experiment result into JSON-serializable data.
+
+    Dataclasses become dicts, numpy arrays become lists (length-capped),
+    enums become their values, dict keys are stringified, and objects
+    with no natural JSON form are rendered as their ``repr``.
+    """
+    if _depth > 20:
+        return repr(obj)
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, enum.Enum):
+        return obj.value
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        if obj.size > _MAX_ARRAY_ELEMENTS:
+            return {
+                "__array_summary__": True,
+                "shape": list(obj.shape),
+                "dtype": str(obj.dtype),
+                "mean": float(np.mean(obj)) if obj.size else None,
+            }
+        return obj.tolist()
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            field.name: to_jsonable(getattr(obj, field.name), _depth + 1)
+            for field in dataclasses.fields(obj)
+        }
+    if isinstance(obj, dict):
+        return {str(k): to_jsonable(v, _depth + 1) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return [to_jsonable(v, _depth + 1) for v in obj]
+    return repr(obj)
+
+
+def dump_json(obj: Any, path) -> Path:
+    """Write an experiment result to a JSON file; returns the path."""
+    path = Path(path)
+    with path.open("w") as handle:
+        json.dump(to_jsonable(obj), handle, indent=2)
+        handle.write("\n")
+    return path

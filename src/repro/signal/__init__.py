@@ -1,0 +1,32 @@
+"""Signal-processing substrate: AR estimation, windowing, whiteness tests."""
+
+from repro.signal.ar import AR_METHODS, ARModel, arburg, arcov, aryule, normalized_model_error
+from repro.signal.spectrum import ARSpectrum, ar_power_spectrum, spectral_flatness
+from repro.signal.detrend import remove_linear_trend, remove_mean
+from repro.signal.levinson import LevinsonResult, autocorrelation_sequence, levinson_durbin
+from repro.signal.whiteness import LjungBoxResult, ljung_box, sample_autocorrelation
+from repro.signal.windows import CountWindower, TimeWindower, Window, moving_average
+
+__all__ = [
+    "AR_METHODS",
+    "ARModel",
+    "arburg",
+    "arcov",
+    "aryule",
+    "normalized_model_error",
+    "ARSpectrum",
+    "ar_power_spectrum",
+    "spectral_flatness",
+    "remove_linear_trend",
+    "remove_mean",
+    "LevinsonResult",
+    "autocorrelation_sequence",
+    "levinson_durbin",
+    "LjungBoxResult",
+    "ljung_box",
+    "sample_autocorrelation",
+    "CountWindower",
+    "TimeWindower",
+    "Window",
+    "moving_average",
+]

@@ -1,0 +1,39 @@
+"""Detrending helpers for rating windows.
+
+The AR detector models ratings *without* removing the mean -- the
+all-pole model absorbs the DC level, which is what keeps honest
+windows at a small, stable normalized error.  These helpers exist for
+ablations and for the whiteness diagnostics, which do require a
+zero-mean series.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["remove_mean", "remove_linear_trend"]
+
+
+def remove_mean(x: np.ndarray) -> np.ndarray:
+    """Return ``x`` minus its sample mean (a new array)."""
+    x = np.asarray(x, dtype=float).ravel()
+    return x - np.mean(x)
+
+
+def remove_linear_trend(times: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """Return ``x`` minus its least-squares linear fit against ``times``.
+
+    Useful when an object's quality drifts during the window (the
+    illustrative experiment ramps quality 0.7 -> 0.8 over 60 days) and
+    the caller wants the drift excluded from the whiteness statistics.
+    """
+    times = np.asarray(times, dtype=float).ravel()
+    x = np.asarray(x, dtype=float).ravel()
+    if times.size != x.size:
+        raise ValueError(
+            f"times ({times.size}) and values ({x.size}) must be parallel"
+        )
+    if x.size < 2 or np.ptp(times) == 0.0:
+        return x - np.mean(x)
+    slope, intercept = np.polyfit(times, x, deg=1)
+    return x - (slope * times + intercept)

@@ -1,0 +1,121 @@
+"""Levinson-Durbin recursion for solving Toeplitz normal equations.
+
+This is the workhorse behind the autocorrelation (Yule-Walker) method of
+all-pole modeling.  Given the autocorrelation sequence ``r[0..p]`` of a
+signal, the recursion solves
+
+    R a = -r[1..p]
+
+where ``R`` is the symmetric Toeplitz matrix built from ``r[0..p-1]``,
+in O(p^2) time, and produces the prediction-error energies and
+reflection coefficients of every intermediate order as a by-product.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SignalModelError
+
+__all__ = ["LevinsonResult", "levinson_durbin", "autocorrelation_sequence"]
+
+
+@dataclass(frozen=True)
+class LevinsonResult:
+    """Outcome of a Levinson-Durbin recursion.
+
+    Attributes:
+        coefficients: AR coefficients ``[1, a1, ..., ap]`` such that the
+            prediction of ``x[n]`` is ``-sum(a[k] * x[n-k])``.
+        error: final prediction-error energy (order ``p``).
+        reflection: reflection (PARCOR) coefficients ``k1..kp``.
+        error_per_order: prediction-error energy after each order
+            ``0..p`` (``error_per_order[0]`` is ``r[0]``).
+    """
+
+    coefficients: np.ndarray
+    error: float
+    reflection: np.ndarray
+    error_per_order: np.ndarray
+
+
+def autocorrelation_sequence(x: np.ndarray, max_lag: int) -> np.ndarray:
+    """Return the biased sample autocorrelation ``r[0..max_lag]`` of ``x``.
+
+    The biased estimator (divide by ``N`` rather than ``N - lag``)
+    guarantees a positive-semidefinite autocorrelation matrix, which the
+    Levinson recursion needs for stability.
+
+    Args:
+        x: one-dimensional real signal.
+        max_lag: largest lag to compute; must satisfy ``max_lag < len(x)``.
+    """
+    x = np.asarray(x, dtype=float).ravel()
+    n = x.size
+    if max_lag >= n:
+        raise SignalModelError(
+            f"max_lag={max_lag} requires more than {n} samples"
+        )
+    full = np.correlate(x, x, mode="full")
+    mid = n - 1
+    return full[mid : mid + max_lag + 1] / n
+
+
+def levinson_durbin(r: np.ndarray, order: int) -> LevinsonResult:
+    """Solve the Yule-Walker equations of the given order.
+
+    Args:
+        r: autocorrelation sequence ``r[0..order]`` (at least
+            ``order + 1`` entries; extra entries are ignored).
+        order: AR model order ``p >= 1``.
+
+    Raises:
+        SignalModelError: if ``r`` is too short, ``r[0] <= 0``, or the
+            recursion encounters a non-positive error energy (signal is
+            perfectly predictable at a lower order).
+    """
+    r = np.asarray(r, dtype=float).ravel()
+    if order < 1:
+        raise SignalModelError(f"order must be >= 1, got {order}")
+    if r.size < order + 1:
+        raise SignalModelError(
+            f"need {order + 1} autocorrelation lags, got {r.size}"
+        )
+    if r[0] <= 0.0:
+        raise SignalModelError("zero-lag autocorrelation must be positive")
+
+    a = np.zeros(order + 1)
+    a[0] = 1.0
+    reflection = np.zeros(order)
+    error_per_order = np.zeros(order + 1)
+    error = float(r[0])
+    error_per_order[0] = error
+
+    # Relative floor: error energies at or below machine-noise scale of
+    # r[0] mean the signal is perfectly predictable at a lower order.
+    error_floor = 1e-12 * float(r[0])
+    for m in range(1, order + 1):
+        if error <= error_floor:
+            raise SignalModelError(
+                f"prediction error vanished at order {m - 1}; "
+                "signal is perfectly predictable"
+            )
+        acc = r[m] + float(np.dot(a[1:m], r[1:m][::-1]))
+        k = -acc / error
+        # Update the coefficient vector in place: a_m(i) = a(i) + k a(m-i).
+        new_a = a.copy()
+        new_a[m] = k
+        new_a[1:m] = a[1:m] + k * a[1:m][::-1]
+        a = new_a
+        reflection[m - 1] = k
+        error *= 1.0 - k * k
+        error_per_order[m] = error
+
+    return LevinsonResult(
+        coefficients=a,
+        error=float(error),
+        reflection=reflection,
+        error_per_order=error_per_order,
+    )

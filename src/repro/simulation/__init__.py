@@ -1,0 +1,37 @@
+"""Simulations: the illustrative single-object experiment and the marketplace."""
+
+from repro.simulation.illustrative import (
+    IllustrativeConfig,
+    IllustrativeTrace,
+    generate_illustrative,
+)
+from repro.simulation.marketplace import (
+    AttackSchedule,
+    MarketplaceConfig,
+    MarketplaceWorld,
+    generate_marketplace,
+)
+from repro.simulation.vouching import (
+    VouchingConfig,
+    VouchingNetwork,
+    build_vouching_network,
+    evaluate_network,
+)
+from repro.simulation.pipeline import MarketplaceRun, PipelineConfig, run_marketplace
+
+__all__ = [
+    "IllustrativeConfig",
+    "IllustrativeTrace",
+    "generate_illustrative",
+    "AttackSchedule",
+    "MarketplaceConfig",
+    "MarketplaceWorld",
+    "generate_marketplace",
+    "VouchingConfig",
+    "VouchingNetwork",
+    "build_vouching_network",
+    "evaluate_network",
+    "MarketplaceRun",
+    "PipelineConfig",
+    "run_marketplace",
+]

@@ -1,0 +1,305 @@
+"""The Section IV marketplace simulation.
+
+A year-long rating marketplace: 800 raters (400 reliable, 200 careless,
+200 potential-collaborative), 60 products (4 honest + 1 dishonest per
+30-day month), qualities uniform in [0.4, 0.6], 10-level rating scale.
+Each month the dishonest product recruits potential-collaborative (PC)
+raters for a 10-day campaign: recruited PC raters rate the dishonest
+product at ``a1 * p_rate`` per day with type 2 biased ratings; PC
+raters who are not recruited that month rate all products honestly at
+``a2 * p_rate``; reliable and careless raters rate every available
+product at ``p_rate`` per day.  One rating per rater per product.
+
+Interpretation choices the paper leaves open (see DESIGN.md §5): the
+daily rating probability ``p_rate``, the recruitment fraction
+``recruit_power3``, and the rule that a *recruited* PC rater spends its
+month on the campaign (it rates the dishonest product only) -- this is
+what lets a dishonest history outweigh a PC rater's honest history, the
+precondition for the trust separation in the paper's Figs. 6-8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.ratings.models import Product, RaterClass, RaterProfile, Rating, fresh_rating_id
+from repro.ratings.quality import ConstantQuality
+from repro.ratings.scales import TEN_LEVEL, RatingScale
+from repro.ratings.store import RatingStore
+
+__all__ = ["MarketplaceConfig", "AttackSchedule", "MarketplaceWorld", "generate_marketplace"]
+
+
+@dataclass(frozen=True)
+class MarketplaceConfig:
+    """Parameters of the marketplace world (Section IV-A defaults)."""
+
+    n_reliable: int = 400
+    n_careless: int = 200
+    n_pc: int = 200
+    good_var: float = 0.2
+    careless_var: float = 0.3
+    n_months: int = 12
+    days_per_month: int = 30
+    honest_per_month: int = 4
+    dishonest_per_month: int = 1
+    quality_low: float = 0.4
+    quality_high: float = 0.6
+    bias_shift2: float = 0.15
+    bad_var: float = 0.02
+    recruit_power3: float = 0.85
+    attack_days: int = 10
+    p_rate: float = 0.025
+    a1: float = 6.0
+    a2: float = 0.5
+    campaign_start_month: int = 0
+    scale: RatingScale = TEN_LEVEL
+
+    def __post_init__(self) -> None:
+        if min(self.n_reliable, self.n_careless, self.n_pc) < 0:
+            raise ConfigurationError("population sizes must be >= 0")
+        if self.n_months < 1 or self.days_per_month < 1:
+            raise ConfigurationError("need at least one month of at least one day")
+        if not 0 < self.attack_days <= self.days_per_month:
+            raise ConfigurationError(
+                f"attack_days must lie in (0, {self.days_per_month}], got {self.attack_days}"
+            )
+        if not 0.0 <= self.recruit_power3 <= 1.0:
+            raise ConfigurationError(
+                f"recruit_power3 must lie in [0, 1], got {self.recruit_power3}"
+            )
+        if not 0.0 < self.p_rate <= 1.0:
+            raise ConfigurationError(f"p_rate must lie in (0, 1], got {self.p_rate}")
+        for name in ("a1", "a2"):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be > 0")
+        if self.a1 * self.p_rate > 1.0 or self.a2 * self.p_rate > 1.0:
+            raise ConfigurationError(
+                "a1 * p_rate and a2 * p_rate must be daily probabilities <= 1"
+            )
+        if not 0.0 <= self.quality_low <= self.quality_high <= 1.0:
+            raise ConfigurationError("need 0 <= quality_low <= quality_high <= 1")
+        if self.campaign_start_month < 0:
+            raise ConfigurationError(
+                f"campaign_start_month must be >= 0, got {self.campaign_start_month}"
+            )
+
+    @property
+    def n_raters(self) -> int:
+        return self.n_reliable + self.n_careless + self.n_pc
+
+    @property
+    def products_per_month(self) -> int:
+        return self.honest_per_month + self.dishonest_per_month
+
+    @property
+    def n_products(self) -> int:
+        return self.products_per_month * self.n_months
+
+    @property
+    def horizon(self) -> float:
+        return float(self.n_months * self.days_per_month)
+
+    def rater_class_of(self, rater_id: int) -> RaterClass:
+        """Ground-truth class by id block: reliable, careless, then PC."""
+        if not 0 <= rater_id < self.n_raters:
+            raise ConfigurationError(f"rater id {rater_id} out of range")
+        if rater_id < self.n_reliable:
+            return RaterClass.RELIABLE
+        if rater_id < self.n_reliable + self.n_careless:
+            return RaterClass.CARELESS
+        return RaterClass.POTENTIAL_COLLABORATIVE
+
+
+@dataclass(frozen=True)
+class AttackSchedule:
+    """One month's campaign against its dishonest product."""
+
+    month: int
+    product_id: int
+    attack_start: float
+    attack_end: float
+    recruited_rater_ids: Tuple[int, ...]
+
+
+@dataclass
+class MarketplaceWorld:
+    """A fully generated marketplace: ratings plus all ground truth."""
+
+    config: MarketplaceConfig
+    store: RatingStore
+    qualities: Dict[int, float]
+    schedules: List[AttackSchedule]
+    rater_classes: Dict[int, RaterClass] = field(default_factory=dict)
+
+    @property
+    def dishonest_product_ids(self) -> List[int]:
+        return sorted(s.product_id for s in self.schedules)
+
+    @property
+    def honest_product_ids(self) -> List[int]:
+        dishonest = set(self.dishonest_product_ids)
+        return [pid for pid in sorted(self.qualities) if pid not in dishonest]
+
+    def schedule_for_month(self, month: int) -> AttackSchedule:
+        return self.schedules[month]
+
+
+def _draw_values(
+    quality: float, variance: float, scale: RatingScale, rng: np.random.Generator, n: int
+) -> np.ndarray:
+    """n quantized Gaussian ratings around ``quality``."""
+    if n == 0:
+        return np.empty(0)
+    std = float(np.sqrt(variance))
+    raw = rng.normal(quality, std, size=n) if std > 0 else np.full(n, quality)
+    return scale.quantize_array(raw)
+
+
+def generate_marketplace(
+    config: MarketplaceConfig, rng: np.random.Generator
+) -> MarketplaceWorld:
+    """Generate one marketplace year.
+
+    The daily loop is vectorized over the rater population: for each
+    (day, product) pair one Bernoulli vector decides who rates, honest
+    values are drawn per class, and recruited PC raters get type 2
+    draws inside the attack window.
+    """
+    store = RatingStore()
+    classes = {rid: config.rater_class_of(rid) for rid in range(config.n_raters)}
+    for rater_id, rater_class in classes.items():
+        variance = {
+            RaterClass.RELIABLE: config.good_var,
+            RaterClass.CARELESS: config.careless_var,
+            RaterClass.POTENTIAL_COLLABORATIVE: config.good_var,
+        }[rater_class]
+        store.add_rater(
+            RaterProfile(rater_id=rater_id, rater_class=rater_class, variance=variance)
+        )
+
+    n = config.n_raters
+    reliable_mask = np.zeros(n, dtype=bool)
+    careless_mask = np.zeros(n, dtype=bool)
+    pc_mask = np.zeros(n, dtype=bool)
+    reliable_mask[: config.n_reliable] = True
+    careless_mask[config.n_reliable : config.n_reliable + config.n_careless] = True
+    pc_mask[config.n_reliable + config.n_careless :] = True
+    variances = np.where(careless_mask, config.careless_var, config.good_var)
+
+    qualities: Dict[int, float] = {}
+    schedules: List[AttackSchedule] = []
+
+    for month in range(config.n_months):
+        month_start = month * config.days_per_month
+        month_end = month_start + config.days_per_month
+        product_ids = list(
+            range(month * config.products_per_month, (month + 1) * config.products_per_month)
+        )
+        dishonest_id = product_ids[-1]
+        for pid in product_ids:
+            quality = float(rng.uniform(config.quality_low, config.quality_high))
+            qualities[pid] = quality
+            store.add_product(
+                Product(
+                    product_id=pid,
+                    quality=ConstantQuality(quality),
+                    dishonest=(pid == dishonest_id),
+                    available_from=float(month_start),
+                    available_until=float(month_end),
+                )
+            )
+
+        # Campaigns only run from campaign_start_month on; earlier months
+        # let PC raters build an honest history (the behaviour-switch
+        # scenario of the forgetting experiment).
+        if month < config.campaign_start_month:
+            n_recruited = 0
+        else:
+            n_recruited = int(round(config.recruit_power3 * config.n_pc))
+        pc_ids = np.flatnonzero(pc_mask)
+        recruited_ids = rng.choice(pc_ids, size=n_recruited, replace=False)
+        recruited_mask = np.zeros(n, dtype=bool)
+        recruited_mask[recruited_ids] = True
+        attack_offset = int(rng.integers(0, config.days_per_month - config.attack_days + 1))
+        attack_start = float(month_start + attack_offset)
+        attack_end = attack_start + config.attack_days
+        schedules.append(
+            AttackSchedule(
+                month=month,
+                product_id=dishonest_id,
+                attack_start=attack_start,
+                attack_end=attack_end,
+                recruited_rater_ids=tuple(int(r) for r in sorted(recruited_ids)),
+            )
+        )
+
+        already_rated = {pid: np.zeros(n, dtype=bool) for pid in product_ids}
+        for day in range(month_start, month_end):
+            in_attack = attack_start <= day < attack_end
+            for pid in product_ids:
+                quality = qualities[pid]
+                is_dishonest = pid == dishonest_id
+
+                probs = np.zeros(n)
+                probs[reliable_mask | careless_mask] = config.p_rate
+                # A recruited PC rater spends the month on its campaign:
+                # it rates the dishonest product during the attack window
+                # and nothing else; non-recruited PC raters browse at a2.
+                idle_pc = pc_mask & ~recruited_mask
+                probs[idle_pc] = config.a2 * config.p_rate
+                if is_dishonest and in_attack:
+                    probs[recruited_mask] = config.a1 * config.p_rate
+
+                probs[already_rated[pid]] = 0.0
+                raters_today = np.flatnonzero(rng.uniform(size=n) < probs)
+                if raters_today.size == 0:
+                    continue
+                already_rated[pid][raters_today] = True
+
+                unfair_today = (
+                    recruited_mask[raters_today] if (is_dishonest and in_attack)
+                    else np.zeros(raters_today.size, dtype=bool)
+                )
+                values = np.empty(raters_today.size)
+                honest_sel = ~unfair_today
+                if honest_sel.any():
+                    honest_ids = raters_today[honest_sel]
+                    stds = np.sqrt(variances[honest_ids])
+                    values[honest_sel] = config.scale.quantize_array(
+                        rng.normal(quality, stds)
+                    )
+                if unfair_today.any():
+                    values[unfair_today] = _draw_values(
+                        quality + config.bias_shift2,
+                        config.bad_var,
+                        config.scale,
+                        rng,
+                        int(unfair_today.sum()),
+                    )
+                times = day + rng.uniform(size=raters_today.size)
+                for rater_id, value, t, unfair in zip(
+                    raters_today, values, times, unfair_today
+                ):
+                    store.add_rating(
+                        Rating(
+                            rating_id=fresh_rating_id(),
+                            rater_id=int(rater_id),
+                            product_id=pid,
+                            value=float(value),
+                            time=float(t),
+                            unfair=bool(unfair),
+                        )
+                    )
+
+    return MarketplaceWorld(
+        config=config,
+        store=store,
+        qualities=qualities,
+        schedules=schedules,
+        rater_classes=classes,
+    )

@@ -1,0 +1,161 @@
+"""Vouching networks: exercising the indirect-trust path.
+
+Fig. 1's Recommendation Buffer feeds indirect trust, but the paper's
+evaluation never uses it.  This module builds the canonical scenario it
+exists for: a population where the system has direct history on a core
+of veterans only, newcomers are known solely through vouches, and a
+**self-promotion ring** of colluders vouches enthusiastically for each
+other.  The classic result for concatenation/multipath propagation:
+
+* a ring with no inbound trusted edge is *inert* -- mutual praise
+  yields exactly zero indirect trust;
+* the ring only gains standing through **bridges** (honest raters
+  fooled into vouching for a ring member), and its indirect trust is
+  bounded by the bridges' own trust times their vouch strength.
+
+:func:`build_vouching_network` generates the graph;
+:func:`evaluate_network` scores each class's indirect trust.  The
+bridge-sweep experiment lives in ``repro.experiments.vouching``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.trust.propagation import RecommendationGraph
+
+__all__ = ["VouchingConfig", "VouchingNetwork", "build_vouching_network", "evaluate_network"]
+
+
+@dataclass(frozen=True)
+class VouchingConfig:
+    """Shape of the vouching network.
+
+    Attributes:
+        n_veterans: raters the system has direct beta trust in.
+        n_newcomers: honest raters known only through vouches.
+        n_ring: members of the self-promotion ring.
+        n_bridges: honest veterans fooled into vouching for the ring.
+        veteran_trust_mean / veteran_trust_std: direct-trust
+            distribution of the veterans.
+        vouches_per_newcomer: how many veterans vouch for each newcomer.
+        honest_vouch_mean / honest_vouch_std: score distribution of
+            honest vouches for honest targets.
+        bridge_vouch_score: the fooled vouch's score toward the ring.
+        ring_vouch_score: ring members' mutual vouch score.
+    """
+
+    n_veterans: int = 10
+    n_newcomers: int = 10
+    n_ring: int = 5
+    n_bridges: int = 0
+    veteran_trust_mean: float = 0.9
+    veteran_trust_std: float = 0.05
+    vouches_per_newcomer: int = 2
+    honest_vouch_mean: float = 0.85
+    honest_vouch_std: float = 0.05
+    bridge_vouch_score: float = 0.8
+    ring_vouch_score: float = 1.0
+
+    def __post_init__(self) -> None:
+        if min(self.n_veterans, self.n_newcomers, self.n_ring) < 1:
+            raise ConfigurationError("need at least one member of each class")
+        if self.n_bridges > self.n_veterans:
+            raise ConfigurationError(
+                f"cannot have more bridges ({self.n_bridges}) than veterans "
+                f"({self.n_veterans})"
+            )
+        if self.vouches_per_newcomer < 1:
+            raise ConfigurationError("each newcomer needs at least one vouch")
+
+
+@dataclass
+class VouchingNetwork:
+    """A built network with class membership for grading."""
+
+    graph: RecommendationGraph
+    veterans: List[int]
+    newcomers: List[int]
+    ring: List[int]
+    bridges: List[int]
+
+
+def build_vouching_network(
+    config: VouchingConfig, rng: np.random.Generator
+) -> VouchingNetwork:
+    """Generate the graph: system -> veterans -> {newcomers, ring}."""
+    graph = RecommendationGraph(max_path_length=3)
+    veterans = list(range(config.n_veterans))
+    newcomers = list(
+        range(config.n_veterans, config.n_veterans + config.n_newcomers)
+    )
+    ring_start = config.n_veterans + config.n_newcomers
+    ring = list(range(ring_start, ring_start + config.n_ring))
+
+    for veteran in veterans:
+        trust = float(
+            np.clip(
+                rng.normal(config.veteran_trust_mean, config.veteran_trust_std),
+                0.0,
+                1.0,
+            )
+        )
+        graph.set_system_trust(veteran, trust)
+
+    for newcomer in newcomers:
+        sponsors = rng.choice(
+            veterans,
+            size=min(config.vouches_per_newcomer, len(veterans)),
+            replace=False,
+        )
+        for sponsor in sponsors:
+            score = float(
+                np.clip(
+                    rng.normal(config.honest_vouch_mean, config.honest_vouch_std),
+                    0.0,
+                    1.0,
+                )
+            )
+            graph.add_recommendation(int(sponsor), newcomer, score)
+
+    # The ring vouches for itself, densely.
+    for member in ring:
+        for other in ring:
+            if member != other:
+                graph.add_recommendation(member, other, config.ring_vouch_score)
+
+    # Bridges: fooled veterans vouch for one ring member each.
+    bridges = [int(v) for v in rng.choice(
+        veterans, size=config.n_bridges, replace=False
+    )] if config.n_bridges else []
+    for index, bridge in enumerate(bridges):
+        target = ring[index % len(ring)]
+        graph.add_recommendation(bridge, target, config.bridge_vouch_score)
+
+    return VouchingNetwork(
+        graph=graph,
+        veterans=veterans,
+        newcomers=newcomers,
+        ring=ring,
+        bridges=bridges,
+    )
+
+
+def evaluate_network(network: VouchingNetwork) -> Dict[str, float]:
+    """Mean indirect entropy trust per class."""
+    graph = network.graph
+
+    def mean_trust(ids: List[int]) -> float:
+        if not ids:
+            return 0.0
+        return float(np.mean([graph.indirect_trust(i) for i in ids]))
+
+    return {
+        "veterans": mean_trust(network.veterans),
+        "newcomers": mean_trust(network.newcomers),
+        "ring": mean_trust(network.ring),
+    }

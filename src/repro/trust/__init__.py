@@ -1,0 +1,41 @@
+"""Trust establishment: records, Procedure 2, entropy trust, propagation."""
+
+from repro.trust.buffers import ObservationBuffer, RaterObservation, RecommendationBuffer
+from repro.trust.entropy_trust import (
+    binary_entropy,
+    concatenate,
+    entropy_trust,
+    entropy_trust_inverse,
+    multipath,
+)
+from repro.trust.dynamics import (
+    BehaviourProfile,
+    asymptotic_trust,
+    detection_interval,
+    expected_trust_trajectory,
+)
+from repro.trust.manager import TrustManager, TrustManagerConfig
+from repro.trust.propagation import SYSTEM_NODE, RecommendationGraph
+from repro.trust.records import RecordMaintenance, TrustRecord, beta_trust
+
+__all__ = [
+    "ObservationBuffer",
+    "RaterObservation",
+    "RecommendationBuffer",
+    "binary_entropy",
+    "concatenate",
+    "entropy_trust",
+    "entropy_trust_inverse",
+    "multipath",
+    "BehaviourProfile",
+    "asymptotic_trust",
+    "detection_interval",
+    "expected_trust_trajectory",
+    "TrustManager",
+    "TrustManagerConfig",
+    "SYSTEM_NODE",
+    "RecommendationGraph",
+    "RecordMaintenance",
+    "TrustRecord",
+    "beta_trust",
+]

@@ -1,0 +1,131 @@
+"""Observation and recommendation buffers (Fig. 1).
+
+The observation buffer accumulates, per rater and per update interval,
+the quantities Procedure 2 consumes:
+
+* ``n_i`` -- ratings provided,
+* ``f_i`` -- ratings removed by the rating filter,
+* ``s_i`` -- (non-filtered) ratings lying in at least one suspicious
+  interval,
+* ``C_i`` -- the suspicion value from Procedure 1.
+
+The recommendation buffer stores rater-on-rater usefulness votes (the
+"was this review helpful?" signal some real systems expose), consumed
+by the indirect-trust module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = ["RaterObservation", "ObservationBuffer", "RecommendationBuffer"]
+
+
+@dataclass
+class RaterObservation:
+    """Per-interval behavioural observation of one rater."""
+
+    n_provided: int = 0
+    n_filtered: int = 0
+    n_suspicious: int = 0
+    suspicion_value: float = 0.0
+
+    def merge(self, other: "RaterObservation") -> None:
+        self.n_provided += other.n_provided
+        self.n_filtered += other.n_filtered
+        self.n_suspicious += other.n_suspicious
+        self.suspicion_value += other.suspicion_value
+
+
+class ObservationBuffer:
+    """Accumulates rater observations until the trust manager drains it."""
+
+    def __init__(self) -> None:
+        self._observations: Dict[int, RaterObservation] = {}
+
+    def _get(self, rater_id: int) -> RaterObservation:
+        if rater_id not in self._observations:
+            self._observations[rater_id] = RaterObservation()
+        return self._observations[rater_id]
+
+    def record_provided(self, rater_id: int, count: int = 1) -> None:
+        """Record that a rater provided ``count`` ratings."""
+        if count < 0:
+            raise ConfigurationError(f"count must be >= 0, got {count}")
+        self._get(rater_id).n_provided += count
+
+    def record_filtered(self, rater_id: int, count: int = 1) -> None:
+        """Record that ``count`` of a rater's ratings were filtered out."""
+        if count < 0:
+            raise ConfigurationError(f"count must be >= 0, got {count}")
+        self._get(rater_id).n_filtered += count
+
+    def record_suspicious(self, rater_id: int, count: int = 1) -> None:
+        """Record ratings that fell inside at least one suspicious interval."""
+        if count < 0:
+            raise ConfigurationError(f"count must be >= 0, got {count}")
+        self._get(rater_id).n_suspicious += count
+
+    def record_suspicion_value(self, rater_id: int, value: float) -> None:
+        """Accumulate Procedure 1 suspicion ``C(i)``."""
+        if value < 0:
+            raise ConfigurationError(f"suspicion value must be >= 0, got {value}")
+        self._get(rater_id).suspicion_value += value
+
+    def drain(self) -> Dict[int, RaterObservation]:
+        """Return and clear all buffered observations."""
+        observations = self._observations
+        self._observations = {}
+        return observations
+
+    def peek(self, rater_id: int) -> RaterObservation:
+        """Non-destructive read of one rater's buffered observation."""
+        return self._observations.get(rater_id, RaterObservation())
+
+    def __len__(self) -> int:
+        return len(self._observations)
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One rater's usefulness vote on another rater."""
+
+    source_id: int
+    target_id: int
+    score: float  # in [0, 1]: 1 = fully useful, 0 = useless
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.score <= 1.0:
+            raise ConfigurationError(f"score must lie in [0, 1], got {self.score}")
+        if self.source_id == self.target_id:
+            raise ConfigurationError("self-recommendations are not allowed")
+
+
+class RecommendationBuffer:
+    """Accumulates rater-on-rater recommendations."""
+
+    def __init__(self) -> None:
+        self._recommendations: List[Recommendation] = []
+
+    def record(self, source_id: int, target_id: int, score: float) -> None:
+        self._recommendations.append(
+            Recommendation(source_id=source_id, target_id=target_id, score=score)
+        )
+
+    def drain(self) -> List[Recommendation]:
+        recommendations = self._recommendations
+        self._recommendations = []
+        return recommendations
+
+    def __len__(self) -> int:
+        return len(self._recommendations)
+
+    def __iter__(self) -> Iterator[Recommendation]:
+        return iter(self._recommendations)
+
+    def edges(self) -> List[Tuple[int, int, float]]:
+        """(source, target, score) triples for graph construction."""
+        return [(r.source_id, r.target_id, r.score) for r in self._recommendations]

@@ -1,0 +1,159 @@
+"""Analytical trust dynamics: expected trajectories and detection time.
+
+Procedure 2 makes a rater's trust a deterministic function of its
+accumulated evidence, so *expected* trajectories have a closed form.
+For a rater whose per-interval behaviour is stationary --
+
+* ``honest_rate``   fair ratings per interval,
+* ``unfair_rate``   campaign ratings per interval,
+* ``filter_rate``   fraction of their ratings the filter removes,
+* ``flag_rate``     probability a campaign rating lands in a flagged
+  window,
+* ``level``         suspicion level charged per flagged rating,
+* ``badness``       Procedure 2's ``b``
+
+-- the expected evidence increments per interval are
+
+    dS = honest_rate * (1 - filter_rate) + unfair_rate * (1 - flag_rate)
+    dF = (honest_rate + unfair_rate) * filter_rate
+         + badness * level * unfair_rate * flag_rate
+
+and with forgetting factor ``gamma`` the evidence converges to the
+geometric-series fixed point ``dX / (1 - gamma)``.  These helpers
+compute expected trust over time, its asymptote, and the first interval
+at which expected trust crosses the detection threshold -- the design
+calculator behind the marketplace parameter choices (DESIGN.md §5) and
+the forgetting experiment's predictions, validated against simulation
+in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.trust.records import beta_trust
+
+__all__ = ["BehaviourProfile", "expected_trust_trajectory", "asymptotic_trust", "detection_interval"]
+
+
+@dataclass(frozen=True)
+class BehaviourProfile:
+    """Stationary per-interval behaviour of one rater class.
+
+    Attributes mirror the module docstring's rates; all must be
+    non-negative, with ``filter_rate``/``flag_rate`` in [0, 1].
+    """
+
+    honest_rate: float
+    unfair_rate: float = 0.0
+    filter_rate: float = 0.0
+    flag_rate: float = 0.0
+    level: float = 1.0
+    badness: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.honest_rate < 0 or self.unfair_rate < 0:
+            raise ConfigurationError("rates must be >= 0")
+        for name in ("filter_rate", "flag_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name} must lie in [0, 1], got {value}")
+        if self.level < 0 or self.badness < 0:
+            raise ConfigurationError("level and badness must be >= 0")
+
+    @property
+    def success_increment(self) -> float:
+        """Expected dS per interval."""
+        return (
+            self.honest_rate * (1.0 - self.filter_rate)
+            + self.unfair_rate * (1.0 - self.flag_rate)
+        )
+
+    @property
+    def failure_increment(self) -> float:
+        """Expected dF per interval."""
+        filtered = (self.honest_rate + self.unfair_rate) * self.filter_rate
+        flagged = self.badness * self.level * self.unfair_rate * self.flag_rate
+        return filtered + flagged
+
+
+def expected_trust_trajectory(
+    profile: BehaviourProfile,
+    n_intervals: int,
+    forgetting_factor: float = 1.0,
+    initial_successes: float = 0.0,
+    initial_failures: float = 0.0,
+) -> np.ndarray:
+    """Expected trust after each of ``n_intervals`` updates.
+
+    Follows Procedure 2's order of operations: forgetting is applied
+    first, then the interval's evidence lands, then trust is read.
+    """
+    if n_intervals < 1:
+        raise ConfigurationError(f"n_intervals must be >= 1, got {n_intervals}")
+    if not 0.0 <= forgetting_factor <= 1.0:
+        raise ConfigurationError(
+            f"forgetting_factor must lie in [0, 1], got {forgetting_factor}"
+        )
+    s = float(initial_successes)
+    f = float(initial_failures)
+    trajectory = np.empty(n_intervals)
+    for k in range(n_intervals):
+        s = s * forgetting_factor + profile.success_increment
+        f = f * forgetting_factor + profile.failure_increment
+        trajectory[k] = beta_trust(s, f)
+    return trajectory
+
+
+def asymptotic_trust(
+    profile: BehaviourProfile, forgetting_factor: float = 1.0
+) -> float:
+    """The trust value the expected trajectory converges to.
+
+    Without forgetting, evidence grows without bound and trust tends to
+    ``dS / (dS + dF)``; with forgetting the evidence itself converges to
+    ``dX / (1 - gamma)`` and the prior keeps a permanent footprint.
+    """
+    ds = profile.success_increment
+    df = profile.failure_increment
+    if forgetting_factor >= 1.0:
+        total = ds + df
+        if total == 0.0:
+            return 0.5
+        return ds / total
+    scale = 1.0 / (1.0 - forgetting_factor)
+    return beta_trust(ds * scale, df * scale)
+
+
+def detection_interval(
+    profile: BehaviourProfile,
+    threshold: float = 0.5,
+    forgetting_factor: float = 1.0,
+    initial_successes: float = 0.0,
+    initial_failures: float = 0.0,
+    max_intervals: int = 10000,
+) -> int | None:
+    """First interval at which expected trust falls below ``threshold``.
+
+    Returns:
+        The 1-based interval index, or None when the expected
+        trajectory never crosses (e.g. the asymptote sits above the
+        threshold -- the "trust shield" regime the forgetting
+        experiment demonstrates).
+    """
+    if not 0.0 < threshold < 1.0:
+        raise ConfigurationError(f"threshold must lie in (0, 1), got {threshold}")
+    trajectory = expected_trust_trajectory(
+        profile,
+        n_intervals=max_intervals,
+        forgetting_factor=forgetting_factor,
+        initial_successes=initial_successes,
+        initial_failures=initial_failures,
+    )
+    below = np.flatnonzero(trajectory < threshold)
+    if below.size == 0:
+        return None
+    return int(below[0]) + 1

@@ -1,0 +1,115 @@
+"""Entropy-based trust (Sun et al., INFOCOM 2006).
+
+The cited framework measures trust as the information the subject has
+about the agent's behaviour:
+
+    T(p) = 1 - H(p)   for p >= 0.5
+    T(p) = H(p) - 1   for p <  0.5
+
+where ``p`` is the probability the agent behaves well and ``H`` is the
+binary entropy.  Trust lives in ``[-1, 1]``: 0 means maximal
+uncertainty, negative values mean distrust.  Propagation follows the
+framework's two rules: **concatenation** multiplies trust along a
+recommendation path, and **multipath** fuses parallel paths by
+recommendation-trust weighting.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "binary_entropy",
+    "entropy_trust",
+    "entropy_trust_inverse",
+    "concatenate",
+    "multipath",
+]
+
+
+def binary_entropy(p: float) -> float:
+    """Binary entropy ``H(p)`` in bits; ``H(0) = H(1) = 0``."""
+    if not 0.0 <= p <= 1.0:
+        raise ConfigurationError(f"probability must lie in [0, 1], got {p}")
+    if p in (0.0, 1.0):
+        return 0.0
+    return float(-p * np.log2(p) - (1.0 - p) * np.log2(1.0 - p))
+
+
+def entropy_trust(p: float) -> float:
+    """Entropy trust value of a behaviour probability ``p``.
+
+    Monotone in ``p``, ranging from -1 (p = 0, certain misbehaviour)
+    through 0 (p = 0.5, no information) to +1 (p = 1).
+    """
+    h = binary_entropy(p)
+    return 1.0 - h if p >= 0.5 else h - 1.0
+
+
+def entropy_trust_inverse(t: float, tolerance: float = 1e-10) -> float:
+    """Invert :func:`entropy_trust` by bisection.
+
+    Args:
+        t: entropy trust in ``[-1, 1]``.
+        tolerance: bisection stopping width.
+
+    Returns:
+        The probability ``p`` with ``entropy_trust(p) == t``.
+    """
+    if not -1.0 <= t <= 1.0:
+        raise ConfigurationError(f"entropy trust must lie in [-1, 1], got {t}")
+    if t == 0.0:
+        return 0.5
+    # Solve on the upper branch and mirror for distrust.
+    target = abs(t)
+    lo, hi = 0.5, 1.0
+    while hi - lo > tolerance:
+        mid = 0.5 * (lo + hi)
+        if 1.0 - binary_entropy(mid) < target:
+            lo = mid
+        else:
+            hi = mid
+    p = 0.5 * (lo + hi)
+    return p if t > 0 else 1.0 - p
+
+
+def concatenate(recommendation_trust: float, remote_trust: float) -> float:
+    """Trust through a recommendation path (framework rule 1).
+
+    ``A -> B -> C``: A's trust in C is B's reported trust in C scaled by
+    A's recommendation trust in B.  Propagation through a distrusted or
+    uncertain recommender yields no information (clipped at 0 from
+    below: the framework does not let a liar *invert* information).
+    """
+    for name, value in (("recommendation_trust", recommendation_trust),
+                        ("remote_trust", remote_trust)):
+        if not -1.0 <= value <= 1.0:
+            raise ConfigurationError(f"{name} must lie in [-1, 1], got {value}")
+    return max(recommendation_trust, 0.0) * remote_trust
+
+
+def multipath(
+    recommendation_trusts: Sequence[float],
+    remote_trusts: Sequence[float],
+) -> float:
+    """Fuse parallel recommendation paths (framework rule 2).
+
+    Paths are combined as an average weighted by the (non-negative part
+    of the) recommendation trusts; with no informative path the result
+    is 0 (no information).
+    """
+    recs = np.asarray(recommendation_trusts, dtype=float)
+    remotes = np.asarray(remote_trusts, dtype=float)
+    if recs.shape != remotes.shape:
+        raise ConfigurationError(
+            f"need parallel sequences, got {recs.shape} and {remotes.shape}"
+        )
+    weights = np.clip(recs, 0.0, None)
+    total = float(np.sum(weights))
+    if total == 0.0:
+        return 0.0
+    return float(np.dot(weights, remotes) / total)

@@ -1,0 +1,1 @@
+"""Test-suite package (shared fixtures live in conftest.py)."""

@@ -1,0 +1,58 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ratings.models import Product, RaterClass, RaterProfile, Rating
+from repro.ratings.scales import ELEVEN_LEVEL
+from repro.ratings.stream import RatingStream
+from repro.simulation.illustrative import IllustrativeConfig, generate_illustrative
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator; tests must not share state across cases."""
+    return np.random.default_rng(12345)
+
+
+def make_rating(
+    rating_id: int,
+    value: float,
+    time: float,
+    rater_id: int | None = None,
+    product_id: int = 0,
+    unfair: bool = False,
+) -> Rating:
+    """Terse rating constructor for tests."""
+    return Rating(
+        rating_id=rating_id,
+        rater_id=rater_id if rater_id is not None else rating_id,
+        product_id=product_id,
+        value=value,
+        time=time,
+        unfair=unfair,
+    )
+
+
+def make_stream(values, start_time: float = 0.0, spacing: float = 1.0) -> RatingStream:
+    """A stream of one rating per value, evenly spaced in time."""
+    ratings = [
+        make_rating(rating_id=i, value=float(v), time=start_time + i * spacing)
+        for i, v in enumerate(values)
+    ]
+    return RatingStream.from_ratings(ratings)
+
+
+@pytest.fixture
+def small_stream() -> RatingStream:
+    """Ten ratings around 0.7 with one obvious outlier at 0.0."""
+    values = [0.7, 0.8, 0.7, 0.6, 0.7, 0.0, 0.8, 0.7, 0.6, 0.7]
+    return make_stream(values)
+
+
+@pytest.fixture(scope="session")
+def illustrative_trace():
+    """One paper-parameter illustrative trace, shared read-only."""
+    return generate_illustrative(IllustrativeConfig(), np.random.default_rng(7))

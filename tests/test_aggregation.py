@@ -1,0 +1,145 @@
+"""Tests for the four rating-aggregation methods."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.aggregation.methods import (
+    PAPER_METHODS,
+    BetaFunctionAggregator,
+    ModifiedWeightedAverage,
+    PlainWeightedAverage,
+    SimpleAverage,
+    SunTrustModelAggregator,
+)
+from repro.errors import ConfigurationError, EmptyWindowError
+
+
+HONEST = [0.8, 0.82, 0.78, 0.8]
+HONEST_TRUST = [0.95, 0.9, 0.92, 0.94]
+
+
+class TestSimpleAverage:
+    def test_mean(self):
+        assert SimpleAverage().aggregate([0.2, 0.4], [1.0, 1.0]) == pytest.approx(0.3)
+
+    def test_trust_ignored(self):
+        agg = SimpleAverage()
+        assert agg.aggregate([0.2, 0.4], [0.0, 0.0]) == agg.aggregate(
+            [0.2, 0.4], [1.0, 1.0]
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(EmptyWindowError):
+            SimpleAverage().aggregate([], [])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            SimpleAverage().aggregate([0.5], [0.5, 0.5])
+
+
+class TestBetaFunction:
+    def test_matches_formula(self):
+        # S' = 1.2, F' = 0.8 -> (1.2 + 1) / (2 + 2).
+        assert BetaFunctionAggregator().aggregate(
+            [0.8, 0.4], [1.0, 1.0]
+        ) == pytest.approx(2.2 / 4.0)
+
+    def test_prior_pulls_toward_half(self):
+        result = BetaFunctionAggregator().aggregate([1.0], [1.0])
+        assert 0.5 < result < 1.0
+
+    def test_converges_to_mean_with_many_ratings(self):
+        values = [0.8] * 1000
+        result = BetaFunctionAggregator().aggregate(values, [1.0] * 1000)
+        assert result == pytest.approx(0.8, abs=0.01)
+
+
+class TestModifiedWeightedAverage:
+    def test_low_trust_excluded(self):
+        # Collaborative rater with trust 0.4 contributes nothing.
+        result = ModifiedWeightedAverage().aggregate([0.8, 0.1], [0.9, 0.4])
+        assert result == pytest.approx(0.8)
+
+    def test_trust_exactly_at_floor_excluded(self):
+        result = ModifiedWeightedAverage().aggregate([0.8, 0.1], [0.9, 0.5])
+        assert result == pytest.approx(0.8)
+
+    def test_weights_grow_above_floor(self):
+        # Trust 0.9 weighs 4x trust 0.6.
+        result = ModifiedWeightedAverage().aggregate([1.0, 0.0], [0.9, 0.6])
+        assert result == pytest.approx(0.8)
+
+    def test_all_below_floor_falls_back_to_mean(self):
+        result = ModifiedWeightedAverage().aggregate([0.2, 0.6], [0.3, 0.4])
+        assert result == pytest.approx(0.4)
+
+    def test_custom_floor(self):
+        agg = ModifiedWeightedAverage(floor=0.0)
+        assert agg.aggregate([1.0, 0.0], [0.75, 0.25]) == pytest.approx(0.75)
+
+    def test_invalid_floor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ModifiedWeightedAverage(floor=1.0)
+
+    def test_resists_collusion_better_than_simple(self):
+        values = HONEST + [0.4, 0.42, 0.38, 0.4]
+        trusts = HONEST_TRUST + [0.45, 0.4, 0.42, 0.48]
+        mwa = ModifiedWeightedAverage().aggregate(values, trusts)
+        simple = SimpleAverage().aggregate(values, trusts)
+        assert abs(mwa - 0.8) < abs(simple - 0.8)
+
+
+class TestPlainWeightedAverage:
+    def test_weights_by_raw_trust(self):
+        result = PlainWeightedAverage().aggregate([1.0, 0.0], [0.8, 0.2])
+        assert result == pytest.approx(0.8)
+
+    def test_zero_trust_falls_back_to_mean(self):
+        assert PlainWeightedAverage().aggregate([0.2, 0.8], [0.0, 0.0]) == 0.5
+
+    def test_keeps_low_trust_influence(self):
+        values = [0.8, 0.2]
+        trusts = [0.9, 0.45]
+        plain = PlainWeightedAverage().aggregate(values, trusts)
+        gated = ModifiedWeightedAverage().aggregate(values, trusts)
+        assert plain < gated  # the colluder still drags the plain average
+
+
+class TestSunTrustModel:
+    def test_full_trust_passes_rating_through(self):
+        assert SunTrustModelAggregator().aggregate([0.8], [1.0]) == pytest.approx(0.8)
+
+    def test_zero_trust_inverts(self):
+        assert SunTrustModelAggregator().aggregate([0.8], [0.0]) == pytest.approx(0.2)
+
+    def test_neutral_trust_pulls_to_half(self):
+        # T = 0.5 mixes the rating and its inversion equally.
+        assert SunTrustModelAggregator().aggregate([0.9], [0.5]) == pytest.approx(0.5)
+
+    def test_trusts_clipped(self):
+        result = SunTrustModelAggregator().aggregate([0.8], [1.4])
+        assert result == pytest.approx(0.8)
+
+    def test_underperforms_mwa_in_paper_scenario(self, rng):
+        values = np.concatenate((rng.normal(0.8, 0.22, 10), rng.normal(0.4, 0.14, 10)))
+        trusts = np.concatenate((rng.normal(0.95, 0.22, 10), rng.normal(0.6, 0.31, 10)))
+        values, trusts = np.clip(values, 0, 1), np.clip(trusts, 0, 1)
+        sun = SunTrustModelAggregator().aggregate(values, trusts)
+        mwa = ModifiedWeightedAverage().aggregate(values, trusts)
+        assert abs(mwa - 0.8) < abs(sun - 0.8)
+
+
+class TestRegistry:
+    def test_four_methods(self):
+        assert sorted(PAPER_METHODS) == [1, 2, 3, 4]
+
+    def test_instances_are_callable(self):
+        for cls in PAPER_METHODS.values():
+            agg = cls()
+            assert 0.0 <= agg([0.5, 0.7], [0.8, 0.8]) <= 1.0
+
+    def test_names_unique(self):
+        names = {cls().name for cls in PAPER_METHODS.values()}
+        assert len(names) == 4

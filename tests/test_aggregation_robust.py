@@ -1,0 +1,92 @@
+"""Tests for the robust-statistics aggregators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.aggregation.methods import ModifiedWeightedAverage, SimpleAverage
+from repro.aggregation.robust import MedianAggregator, TrimmedMeanAggregator
+from repro.errors import ConfigurationError, EmptyWindowError
+
+
+class TestMedian:
+    def test_odd_count(self):
+        assert MedianAggregator().aggregate([0.1, 0.9, 0.5], [1, 1, 1]) == 0.5
+
+    def test_even_count_interpolates(self):
+        assert MedianAggregator().aggregate([0.4, 0.6], [1, 1]) == pytest.approx(0.5)
+
+    def test_ignores_trust(self):
+        agg = MedianAggregator()
+        assert agg.aggregate([0.2, 0.8], [0.0, 1.0]) == agg.aggregate(
+            [0.2, 0.8], [1.0, 0.0]
+        )
+
+    def test_resists_minority_outliers(self):
+        values = [0.7] * 9 + [0.0]
+        assert MedianAggregator().aggregate(values, [1.0] * 10) == pytest.approx(0.7)
+
+    def test_empty_rejected(self):
+        with pytest.raises(EmptyWindowError):
+            MedianAggregator().aggregate([], [])
+
+
+class TestTrimmedMean:
+    def test_trims_both_tails(self):
+        values = [0.0] + [0.5] * 8 + [1.0]
+        result = TrimmedMeanAggregator(trim=0.1).aggregate(values, [1.0] * 10)
+        assert result == pytest.approx(0.5)
+
+    def test_zero_trim_is_mean(self):
+        values = [0.2, 0.4, 0.9]
+        agg = TrimmedMeanAggregator(trim=0.0)
+        assert agg.aggregate(values, [1] * 3) == pytest.approx(np.mean(values))
+
+    def test_small_samples_fall_back_to_mean(self):
+        agg = TrimmedMeanAggregator(trim=0.2)
+        assert agg.aggregate([0.0, 1.0], [1, 1]) == pytest.approx(0.5)
+
+    def test_invalid_trim_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TrimmedMeanAggregator(trim=0.5)
+        with pytest.raises(ConfigurationError):
+            TrimmedMeanAggregator(trim=-0.1)
+
+    def test_bounded_by_value_range(self, rng):
+        values = rng.uniform(0, 1, size=30)
+        result = TrimmedMeanAggregator(trim=0.2).aggregate(values, np.ones(30))
+        assert values.min() <= result <= values.max()
+
+
+class TestRobustVsTrustGated:
+    def test_near_majority_collusion_defeats_robust_statistics(self, rng):
+        # 50/50 mix: colluders at +0.2, not value-outliers.  Robust
+        # location estimators track the contaminated center; the
+        # trust-gated average (with informative trust) does not.
+        honest = rng.normal(0.6, 0.05, size=20)
+        colluders = rng.normal(0.8, 0.02, size=20)
+        values = np.clip(np.concatenate((honest, colluders)), 0, 1)
+        trusts = np.concatenate((np.full(20, 0.9), np.full(20, 0.3)))
+        desired = 0.6
+        median_err = abs(MedianAggregator().aggregate(values, trusts) - desired)
+        trimmed_err = abs(
+            TrimmedMeanAggregator(0.1).aggregate(values, trusts) - desired
+        )
+        gated_err = abs(
+            ModifiedWeightedAverage().aggregate(values, trusts) - desired
+        )
+        assert gated_err < median_err
+        assert gated_err < trimmed_err
+
+    def test_majority_collusion_breaks_median_worse_than_mean(self, rng):
+        # With colluders at 2:1, the median sits inside the collusion
+        # cluster -- worse than the mean, which still blends.
+        honest = rng.normal(0.8, 0.05, size=10)
+        colluders = rng.normal(0.4, 0.02, size=20)
+        values = np.clip(np.concatenate((honest, colluders)), 0, 1)
+        trusts = np.ones(30)
+        desired = 0.8
+        median_err = abs(MedianAggregator().aggregate(values, trusts) - desired)
+        mean_err = abs(SimpleAverage().aggregate(values, trusts) - desired)
+        assert median_err > mean_err

@@ -1,0 +1,190 @@
+"""Tests for collusion strategies, campaigns, and trace injection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks.campaign import CollusionCampaign
+from repro.attacks.injection import estimate_trace_statistics, inject_campaign
+from repro.attacks.strategies import LARGE_BIAS, MODERATE_BIAS, required_colluders
+from repro.errors import ConfigurationError, EmptyWindowError
+from repro.ratings.scales import ELEVEN_LEVEL
+from repro.ratings.stream import RatingStream
+from tests.conftest import make_rating, make_stream
+
+
+class TestRequiredColluders:
+    def test_paper_example_strategy_one(self):
+        # Paper eq. (1): quality 3/5 = 0.6, target 3.5/5 = 0.7, rating 1.0
+        # (the "5" level): M > N/3.
+        m = required_colluders(n_honest=30, quality=0.6, target=0.7, collusion_value=1.0)
+        assert m == pytest.approx(10.0)
+
+    def test_paper_example_strategy_two(self):
+        # Moderate rating 4/5 = 0.8: M > N.
+        m = required_colluders(n_honest=30, quality=0.6, target=0.7, collusion_value=0.8)
+        assert m == pytest.approx(30.0)
+
+    def test_unreachable_target(self):
+        assert required_colluders(10, 0.6, 0.9, 0.8) == float("inf")
+
+    def test_moderate_bias_needs_more_colluders(self):
+        extreme = required_colluders(100, 0.6, 0.7, 1.0)
+        moderate = required_colluders(100, 0.6, 0.7, 0.75)
+        assert moderate > extreme
+
+    def test_negative_population_rejected(self):
+        with pytest.raises(ConfigurationError):
+            required_colluders(-1, 0.5, 0.6, 1.0)
+
+    def test_strategy_presets(self):
+        assert LARGE_BIAS.detectable_by_filters
+        assert not MODERATE_BIAS.detectable_by_filters
+        assert MODERATE_BIAS.bias_shift < LARGE_BIAS.bias_shift
+
+
+class TestCampaignValidation:
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            CollusionCampaign(start=10.0, end=10.0)
+
+    def test_type1_power_is_fraction(self):
+        with pytest.raises(ConfigurationError):
+            CollusionCampaign(start=0.0, end=1.0, type1_power=1.5)
+
+    def test_covers(self):
+        campaign = CollusionCampaign(start=10.0, end=20.0)
+        assert campaign.covers(10.0)
+        assert campaign.covers(19.99)
+        assert not campaign.covers(20.0)
+        assert not campaign.covers(9.99)
+
+
+class TestInfluence:
+    def make_campaign(self, power=1.0):
+        return CollusionCampaign(
+            start=0.0, end=10.0, type1_bias=0.2, type1_power=power
+        )
+
+    def test_all_in_window_shifted_at_full_power(self, rng):
+        stream = make_stream([0.5] * 5)  # times 0..4, inside window
+        influenced = self.make_campaign().influence(stream, ELEVEN_LEVEL, rng)
+        np.testing.assert_allclose(influenced.values, 0.7)
+        assert influenced.unfair_flags.all()
+
+    def test_outside_window_untouched(self, rng):
+        stream = RatingStream.from_ratings(
+            [make_rating(0, 0.5, time=50.0)]
+        )
+        influenced = self.make_campaign().influence(stream, ELEVEN_LEVEL, rng)
+        assert influenced[0].value == 0.5
+        assert not influenced[0].unfair
+
+    def test_zero_power_is_identity(self, rng):
+        stream = make_stream([0.5] * 3)
+        campaign = self.make_campaign(power=0.0)
+        assert campaign.influence(stream, ELEVEN_LEVEL, rng) is stream
+
+    def test_partial_power_shifts_roughly_that_fraction(self, rng):
+        stream = make_stream([0.5] * 400, spacing=0.01)
+        campaign = self.make_campaign(power=0.3)
+        influenced = campaign.influence(stream, ELEVEN_LEVEL, rng)
+        shifted = influenced.unfair_flags.mean()
+        assert shifted == pytest.approx(0.3, abs=0.08)
+
+    def test_original_ids_preserved(self, rng):
+        stream = make_stream([0.5] * 5)
+        influenced = self.make_campaign().influence(stream, ELEVEN_LEVEL, rng)
+        assert [r.rating_id for r in influenced] == [r.rating_id for r in stream]
+
+
+class TestRecruit:
+    def test_recruited_ratings_inside_window(self, rng):
+        campaign = CollusionCampaign(
+            start=10.0, end=20.0, type2_bias=0.15, type2_variance=0.01, type2_power=1.0
+        )
+        ratings = campaign.recruit(
+            product_id=0,
+            quality_at=lambda t: 0.6,
+            base_rate=5.0,
+            scale=ELEVEN_LEVEL,
+            rng=rng,
+            rater_id_start=1000,
+        )
+        assert all(10.0 <= r.time < 20.0 for r in ratings)
+        assert all(r.unfair for r in ratings)
+        assert all(r.rater_id >= 1000 for r in ratings)
+        values = np.array([r.value for r in ratings])
+        assert np.mean(values) == pytest.approx(0.75, abs=0.05)
+
+    def test_fresh_rater_per_rating(self, rng):
+        campaign = CollusionCampaign(
+            start=0.0, end=50.0, type2_bias=0.1, type2_power=1.0
+        )
+        ratings = campaign.recruit(0, lambda t: 0.5, 3.0, ELEVEN_LEVEL, rng, 10)
+        rater_ids = [r.rater_id for r in ratings]
+        assert len(set(rater_ids)) == len(rater_ids)
+
+    def test_zero_power_recruits_nobody(self, rng):
+        campaign = CollusionCampaign(start=0.0, end=10.0, type2_power=0.0)
+        assert campaign.recruit(0, lambda t: 0.5, 5.0, ELEVEN_LEVEL, rng, 0) == []
+
+
+class TestInjection:
+    def make_trace(self, rng, n=300):
+        times = np.sort(rng.uniform(0, 100, size=n))
+        ratings = [
+            make_rating(i, float(ELEVEN_LEVEL.quantize(rng.normal(0.6, 0.2))), float(t))
+            for i, t in enumerate(times)
+        ]
+        return RatingStream.from_ratings(ratings)
+
+    def test_statistics(self, rng):
+        trace = self.make_trace(rng)
+        stats = estimate_trace_statistics(trace)
+        assert stats.mean == pytest.approx(0.6, abs=0.05)
+        assert stats.arrival_rate == pytest.approx(3.0, rel=0.2)
+
+    def test_statistics_need_two_ratings(self):
+        with pytest.raises(EmptyWindowError):
+            estimate_trace_statistics(make_stream([0.5]))
+
+    def test_injection_adds_unfair_ratings(self, rng):
+        trace = self.make_trace(rng)
+        campaign = CollusionCampaign(
+            start=30.0, end=60.0, type1_bias=0.2, type1_power=0.5,
+            type2_bias=0.25, type2_variance=0.01, type2_power=1.0,
+        )
+        attacked = inject_campaign(trace, campaign, ELEVEN_LEVEL, rng)
+        assert len(attacked) > len(trace)
+        unfair = attacked.unfair_only()
+        assert len(unfair) > 0
+        assert all(30.0 <= r.time < 60.0 for r in unfair)
+
+    def test_injection_preserves_original_outside_window(self, rng):
+        trace = self.make_trace(rng)
+        campaign = CollusionCampaign(start=30.0, end=60.0, type2_bias=0.2, type2_power=0.5)
+        attacked = inject_campaign(trace, campaign, ELEVEN_LEVEL, rng)
+        before = trace.between(0.0, 30.0)
+        after = attacked.between(0.0, 30.0)
+        assert [r.rating_id for r in before] == [r.rating_id for r in after]
+
+    def test_recruited_ids_above_trace_ids(self, rng):
+        trace = self.make_trace(rng)
+        campaign = CollusionCampaign(start=30.0, end=60.0, type2_bias=0.2, type2_power=1.0)
+        attacked = inject_campaign(trace, campaign, ELEVEN_LEVEL, rng)
+        max_original = int(trace.rater_ids.max())
+        recruited = attacked.unfair_only()
+        assert all(r.rater_id > max_original for r in recruited)
+
+    def test_attack_outside_span_rejected(self, rng):
+        trace = self.make_trace(rng)
+        campaign = CollusionCampaign(start=500.0, end=600.0, type2_power=1.0)
+        with pytest.raises(ConfigurationError):
+            inject_campaign(trace, campaign, ELEVEN_LEVEL, rng)
+
+    def test_empty_trace_rejected(self, rng):
+        campaign = CollusionCampaign(start=0.0, end=1.0, type2_power=1.0)
+        with pytest.raises(EmptyWindowError):
+            inject_campaign(RatingStream(), campaign, ELEVEN_LEVEL, rng)

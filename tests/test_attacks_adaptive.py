@@ -1,0 +1,124 @@
+"""Tests for the adaptive (detector-aware) collusion strategies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks.adaptive import (
+    CamouflageCampaign,
+    DutyCycleCampaign,
+    RampCampaign,
+)
+from repro.attacks.campaign import CollusionCampaign
+from repro.errors import ConfigurationError
+from repro.simulation.illustrative import IllustrativeConfig, generate_illustrative
+
+
+@pytest.fixture
+def honest_trace(rng):
+    config = IllustrativeConfig().without_attack()
+    return generate_illustrative(config, rng), config
+
+
+def apply_campaign(campaign, honest_trace, rng):
+    trace, config = honest_trace
+    return campaign.apply(
+        trace.honest,
+        quality_at=config.quality,
+        base_rate=config.arrival_rate,
+        scale=config.scale,
+        rng=rng,
+    )
+
+
+class TestCommonBehaviour:
+    @pytest.mark.parametrize(
+        "campaign",
+        [
+            CamouflageCampaign(start=30.0, end=44.0, camouflage_variance=0.2),
+            RampCampaign(start=30.0, end=44.0),
+            DutyCycleCampaign(start=30.0, end=44.0),
+        ],
+        ids=["camouflage", "ramp", "duty_cycle"],
+    )
+    def test_recruited_ratings_labeled_and_in_window(
+        self, campaign, honest_trace, rng
+    ):
+        attacked = apply_campaign(campaign, honest_trace, rng)
+        unfair = attacked.unfair_only()
+        assert len(unfair) > 0
+        assert np.all(unfair.times >= 30.0)
+        assert np.all(unfair.times < 44.0)
+
+    def test_honest_stream_untouched(self, honest_trace, rng):
+        trace, _ = honest_trace
+        campaign = RampCampaign(start=30.0, end=44.0)
+        attacked = apply_campaign(campaign, honest_trace, rng)
+        original_ids = {r.rating_id for r in trace.honest}
+        survivors = [r for r in attacked if r.rating_id in original_ids]
+        assert len(survivors) == len(trace.honest)
+        assert not any(r.unfair for r in survivors)
+
+    def test_fresh_rater_ids(self, honest_trace, rng):
+        trace, _ = honest_trace
+        campaign = CamouflageCampaign(start=30.0, end=44.0)
+        attacked = apply_campaign(campaign, honest_trace, rng)
+        max_honest = int(trace.honest.rater_ids.max())
+        assert all(r.rater_id > max_honest for r in attacked.unfair_only())
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RampCampaign(start=10.0, end=10.0)
+
+    def test_from_baseline_copies_parameters(self):
+        baseline = CollusionCampaign(
+            start=5.0, end=15.0, type2_bias=0.25, type2_power=0.5
+        )
+        adapted = CamouflageCampaign.from_baseline(
+            baseline, camouflage_variance=0.1
+        )
+        assert adapted.start == 5.0
+        assert adapted.bias == 0.25
+        assert adapted.power == 0.5
+        assert adapted.camouflage_variance == 0.1
+
+
+class TestCamouflage:
+    def test_variance_matches_honest(self, honest_trace, rng):
+        campaign = CamouflageCampaign(
+            start=30.0, end=44.0, bias=0.0, camouflage_variance=0.2, power=3.0
+        )
+        attacked = apply_campaign(campaign, honest_trace, rng)
+        unfair = attacked.unfair_only().values
+        # Quantized + clipped Gaussian with var 0.2 around ~0.75 has a
+        # wide spread; the tight fingerprint (std ~0.14) must be gone.
+        assert np.std(unfair) > 0.25
+
+
+class TestRamp:
+    def test_bias_grows_across_interval(self, honest_trace, rng):
+        campaign = RampCampaign(
+            start=30.0, end=44.0, bias=0.3, bad_variance=0.001, power=5.0
+        )
+        trace, config = honest_trace
+        attacked = apply_campaign(campaign, honest_trace, rng)
+        unfair = attacked.unfair_only()
+        early = [r.value - config.quality(r.time) for r in unfair if r.time < 33.0]
+        late = [r.value - config.quality(r.time) for r in unfair if r.time > 41.0]
+        assert np.mean(late) > np.mean(early) + 0.1
+
+
+class TestDutyCycle:
+    def test_quiet_gaps_have_no_recruits(self, honest_trace, rng):
+        campaign = DutyCycleCampaign(
+            start=30.0, end=44.0, on_days=2.0, off_days=2.0, power=5.0
+        )
+        attacked = apply_campaign(campaign, honest_trace, rng)
+        for rating in attacked.unfair_only():
+            phase = (rating.time - 30.0) % 4.0
+            assert phase < 2.0
+
+    def test_invalid_duty_cycle_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DutyCycleCampaign(start=0.0, end=10.0, on_days=0.0)

@@ -1,0 +1,109 @@
+"""Tests for the trace-audit entry point."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.audit import audit_file, audit_stream, format_audit
+from repro.errors import ConfigurationError, EmptyWindowError
+from repro.ratings.io import write_csv, write_jsonl
+from repro.simulation.illustrative import IllustrativeConfig, generate_illustrative
+from tests.conftest import make_stream
+
+
+@pytest.fixture(scope="module")
+def attacked_trace():
+    return generate_illustrative(IllustrativeConfig(), np.random.default_rng(3))
+
+
+class TestAuditStream:
+    def test_finds_the_campaign(self, attacked_trace):
+        result = audit_stream(attacked_trace.attacked)
+        assert result.suspicious_intervals
+        config = attacked_trace.config
+        # At least one merged span overlaps the true attack interval.
+        assert any(
+            start < config.attack_end and end > config.attack_start
+            for start, end, _ in result.suspicious_intervals
+        )
+
+    def test_auto_threshold_from_trace(self, attacked_trace):
+        result = audit_stream(attacked_trace.attacked)
+        assert 0.0 < result.threshold < 1.0
+        # The calibrated threshold is trace-relative: ~the configured
+        # quantile of windows flags.
+        flagged = np.sum(result.errors < result.threshold)
+        assert flagged >= 1
+
+    def test_explicit_threshold_respected(self, attacked_trace):
+        result = audit_stream(attacked_trace.attacked, threshold=0.001)
+        assert result.threshold == 0.001
+        assert not result.suspicious_intervals
+
+    def test_ground_truth_scored_when_labels_present(self, attacked_trace):
+        result = audit_stream(attacked_trace.attacked)
+        assert result.ground_truth is not None
+        assert result.ground_truth.detection_ratio > 0.2
+
+    def test_no_ground_truth_on_unlabeled_trace(self, attacked_trace):
+        result = audit_stream(attacked_trace.honest)
+        assert result.ground_truth is None
+
+    def test_top_raters_sorted(self, attacked_trace):
+        result = audit_stream(attacked_trace.attacked, top_n=5)
+        suspicions = [c for _, c in result.top_raters]
+        assert suspicions == sorted(suspicions, reverse=True)
+        assert len(result.top_raters) <= 5
+
+    def test_tiny_trace_rejected(self):
+        with pytest.raises(EmptyWindowError):
+            audit_stream(make_stream([0.5] * 10))
+
+    def test_consecutive_windows_merge(self, attacked_trace):
+        result = audit_stream(attacked_trace.attacked)
+        # Merged spans never overlap each other.
+        spans = result.suspicious_intervals
+        for (s1, e1, _), (s2, e2, _) in zip(spans, spans[1:]):
+            assert s2 > e1
+
+
+class TestAuditFile:
+    def test_jsonl_round_trip(self, attacked_trace, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(attacked_trace.attacked, path)
+        result = audit_file(path)
+        assert result.suspicious_intervals
+
+    def test_csv_round_trip(self, attacked_trace, tmp_path):
+        path = tmp_path / "trace.csv"
+        write_csv(attacked_trace.attacked, path)
+        result = audit_file(path)
+        assert len(result.stream) == len(attacked_trace.attacked)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            audit_file(tmp_path / "nope.jsonl")
+
+    def test_unknown_format_rejected(self, tmp_path):
+        path = tmp_path / "trace.parquet"
+        path.write_text("x")
+        with pytest.raises(ConfigurationError):
+            audit_file(path)
+
+
+class TestCliAudit:
+    def test_end_to_end(self, attacked_trace, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(attacked_trace.attacked, path)
+        assert main(["audit", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "suspicious intervals" in out
+        assert "ground truth present" in out
+
+    def test_format_report(self, attacked_trace):
+        report = format_audit(audit_stream(attacked_trace.attacked))
+        assert "error series" in report
+        assert "threshold" in report

@@ -1,0 +1,51 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments import REGISTRY
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command_with_options(self):
+        args = build_parser().parse_args(
+            ["run", "table1", "--seed", "7", "--runs", "10"]
+        )
+        assert args.experiment == "table1"
+        assert args.seed == 7
+        assert args.runs == 10
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig99"])
+
+
+class TestMain:
+    def test_list_prints_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in REGISTRY:
+            assert name in out
+
+    def test_no_command_lists(self, capsys):
+        assert main([]) == 0
+        assert "available experiments" in capsys.readouterr().out
+
+    def test_run_table1(self, capsys):
+        assert main(["run", "table1", "--runs", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "modified weighted average" in out
+
+    def test_run_detection_small(self, capsys):
+        assert main(["run", "detection", "--runs", "5"]) == 0
+        assert "Detection Ratio" in capsys.readouterr().out
+
+    def test_run_fig4(self, capsys):
+        assert main(["run", "fig4"]) == 0
+        assert "model error" in capsys.readouterr().out

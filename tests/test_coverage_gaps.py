@@ -1,0 +1,166 @@
+"""Targeted tests for paths the main suites exercise only indirectly."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks.strategies import CollusionStrategy
+from repro.core.system import TrustEnhancedRatingSystem
+from repro.detectors.base import SuspicionReport
+from repro.detectors.online import OnlineARDetector
+from repro.errors import ConfigurationError
+from repro.filters.base import WindowedFilter
+from repro.filters.robust import ZScoreFilter
+from repro.ratings.models import Product, RaterClass, RaterProfile
+from repro.reporting import to_jsonable
+from repro.trust.propagation import SYSTEM_NODE, RecommendationGraph
+from tests.conftest import make_rating, make_stream
+
+
+class TestPropagationExtras:
+    def test_paths_to_lists_all_routes(self):
+        graph = RecommendationGraph()
+        graph.set_system_trust(1, 0.9)
+        graph.set_system_trust(2, 0.8)
+        graph.add_recommendation(1, 3, 0.9)
+        graph.add_recommendation(2, 3, 0.7)
+        paths = graph.paths_to(3)
+        assert len(paths) == 2
+        assert all(path[0] == SYSTEM_NODE and path[-1] == 3 for path in paths)
+
+    def test_paths_to_unknown_node(self):
+        assert RecommendationGraph().paths_to(99) == []
+
+    def test_indirect_trust_table(self):
+        graph = RecommendationGraph()
+        graph.set_system_trust(1, 0.9)
+        graph.add_recommendation(1, 2, 0.9)
+        table = graph.indirect_trust_table([1, 2, 77])
+        assert set(table) == {1, 2, 77}
+        assert table[77] == 0.0
+        assert table[1] > table[2] > 0.0
+
+    def test_n_raters_excludes_system_node(self):
+        graph = RecommendationGraph()
+        graph.set_system_trust(1, 0.9)
+        graph.set_system_trust(2, 0.9)
+        assert graph.n_raters == 2
+
+
+class TestSuspicionReportExtras:
+    def test_statistic_series_alignment(self, rng):
+        from repro.detectors.ar_detector import ARModelErrorDetector
+        from repro.signal.windows import CountWindower
+
+        stream = make_stream(
+            np.round(np.clip(rng.normal(0.6, 0.3, size=120), 0, 1), 1)
+        )
+        detector = ARModelErrorDetector(
+            threshold=0.1, windower=CountWindower(size=40, step=20)
+        )
+        report = detector.detect(stream)
+        mids, values = report.statistic_series()
+        assert len(mids) == len(values) == len(report.verdicts)
+
+    def test_empty_report_properties(self):
+        report = SuspicionReport(stream=make_stream([]))
+        assert report.flagged_rating_ids == frozenset()
+        assert report.flagged_rater_ids == frozenset()
+        assert report.suspicious_verdicts == []
+
+
+class TestSystemWithWindowedFilter:
+    def test_windowed_filter_composes_with_system(self, rng):
+        system = TrustEnhancedRatingSystem(
+            rating_filter=WindowedFilter(
+                ZScoreFilter(k=2.0), window_length=5.0, origin=0.0
+            ),
+        )
+        system.register_product(Product(product_id=0, quality=0.6))
+        for rid in range(60):
+            system.register_rater(
+                RaterProfile(rater_id=rid, rater_class=RaterClass.RELIABLE)
+            )
+        ratings = [
+            make_rating(i, float(np.clip(np.round(rng.normal(0.6, 0.1), 1), 0, 1)),
+                        float(i) * 0.2)
+            for i in range(50)
+        ]
+        ratings.append(make_rating(999, 0.0, 2.0, rater_id=59))
+        system.ingest(ratings)
+        report = system.process_interval(0.0, 10.0)
+        assert report.n_filtered >= 1
+        assert system.trust_manager.trust(59) < 0.5
+
+
+class TestOnlineDetectorMethods:
+    @pytest.mark.parametrize("method", ["autocorrelation", "burg"])
+    def test_alternative_estimators(self, method, rng):
+        detector = OnlineARDetector(
+            window_size=30, stride=5, threshold=0.1, method=method
+        )
+        values = np.round(np.clip(rng.normal(0.6, 0.3, size=60), 0, 1), 1)
+        detector.observe_many(make_stream(values))
+        assert detector.verdicts
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OnlineARDetector(method="magic")
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OnlineARDetector(scale=0.0)
+
+
+class TestStrategyValidation:
+    def test_negative_variance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CollusionStrategy(
+                name="x", bias_shift=0.1, bad_variance=-1.0,
+                detectable_by_filters=True,
+            )
+
+
+class TestReportingDepth:
+    def test_cycle_free_deep_nesting_degrades_to_repr(self):
+        nested: object = 1
+        for _ in range(25):
+            nested = {"level": nested}
+        out = to_jsonable(nested)
+        # Somewhere below depth 20 the structure degrades to a string.
+        probe = out
+        depth = 0
+        while isinstance(probe, dict):
+            probe = probe["level"]
+            depth += 1
+        assert isinstance(probe, str)
+        assert depth <= 21
+
+
+class TestExperimentOverrides:
+    def test_fig5_custom_window(self):
+        from repro.experiments import fig5_netflix
+
+        result = fig5_netflix.run(seed=1, window_size=40, window_step=20, order=2)
+        assert result.errors_original.size > 0
+
+    def test_marketplace_detection_compact_config(self):
+        from repro.experiments import marketplace_detection
+        from repro.simulation.marketplace import MarketplaceConfig
+
+        config = MarketplaceConfig(
+            n_reliable=120, n_careless=60, n_pc=60, n_months=2, p_rate=0.04
+        )
+        result = marketplace_detection.run(seed=0, config=config)
+        assert len(result.monthly_rating_detection) == 2
+        # With 2 months the "month 6" snapshot clamps to the last month.
+        assert result.detection_month6.detection_rate >= 0.0
+
+    def test_cli_bias_flag(self, capsys):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["run", "fig10-fig12", "--bias", "0.2"]
+        )
+        assert args.bias == 0.2

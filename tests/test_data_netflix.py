@@ -1,0 +1,98 @@
+"""Tests for the synthetic Netflix-like trace."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.netflix import (
+    DINOSAUR_PLANET,
+    NetflixTraceConfig,
+    generate_netflix_trace,
+)
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_netflix_trace(DINOSAUR_PLANET, np.random.default_rng(1))
+
+
+class TestConfig:
+    def test_arrival_rate_ramps(self):
+        config = DINOSAUR_PLANET
+        assert config.arrival_rate(0.0) == 0.0
+        assert config.arrival_rate(config.ramp_days) > config.arrival_rate(10.0)
+
+    def test_arrival_rate_decays(self):
+        config = DINOSAUR_PLANET
+        late = config.arrival_rate(600.0)
+        peak_era = config.arrival_rate(61.0)
+        assert late < peak_era
+
+    def test_weekend_boost(self):
+        config = NetflixTraceConfig(weekend_boost=2.0)
+        weekday = config.arrival_rate(100.0)  # day 100 % 7 == 2
+        weekend = config.arrival_rate(103.0)  # day 103 % 7 == 5
+        assert weekend == pytest.approx(2.0 * weekday, rel=0.2)
+
+    def test_rate_zero_outside_span(self):
+        assert DINOSAUR_PLANET.arrival_rate(-1.0) == 0.0
+        assert DINOSAUR_PLANET.arrival_rate(1e5) == 0.0
+
+    def test_mean_star_value(self):
+        assert DINOSAUR_PLANET.mean_star_value == pytest.approx(0.644, abs=0.01)
+
+    def test_bad_probabilities_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NetflixTraceConfig(star_probabilities=(0.5, 0.5, 0.0, 0.0, 0.5))
+
+    def test_bad_shape_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NetflixTraceConfig(n_days=0.0)
+        with pytest.raises(ConfigurationError):
+            NetflixTraceConfig(weekend_boost=0.5)
+
+
+class TestTrace:
+    def test_trace_size_plausible(self, trace):
+        # Peak 8/day with decay over 700 days lands in the few-thousand
+        # band like the real title.
+        assert 1500 <= len(trace) <= 8000
+
+    def test_times_span_most_of_the_window(self, trace):
+        assert trace.times.min() < 100.0
+        assert trace.times.max() > 500.0
+
+    def test_values_are_star_levels(self, trace):
+        levels = {0.2, 0.4, 0.6, 0.8, 1.0}
+        assert set(np.round(trace.values, 9)) <= levels
+
+    def test_mean_matches_star_distribution(self, trace):
+        assert trace.mean() == pytest.approx(
+            DINOSAUR_PLANET.mean_star_value, abs=0.03
+        )
+
+    def test_fresh_rater_per_rating(self, trace):
+        rater_ids = trace.rater_ids
+        assert len(set(rater_ids.tolist())) == len(rater_ids)
+
+    def test_no_unfair_ground_truth(self, trace):
+        assert not trace.unfair_flags.any()
+
+    def test_arrivals_denser_near_peak(self, trace):
+        early = len(trace.between(60.0, 160.0))
+        late = len(trace.between(560.0, 660.0))
+        assert early > late
+
+    def test_opinion_drift_tilts_late_ratings(self):
+        config = NetflixTraceConfig(opinion_drift=2.0)
+        drifted = generate_netflix_trace(config, np.random.default_rng(3))
+        early = drifted.between(0.0, 200.0).mean()
+        late = drifted.between(500.0, 700.0).mean()
+        assert late > early
+
+    def test_reproducible(self):
+        a = generate_netflix_trace(DINOSAUR_PLANET, np.random.default_rng(2))
+        b = generate_netflix_trace(DINOSAUR_PLANET, np.random.default_rng(2))
+        np.testing.assert_array_equal(a.values, b.values)

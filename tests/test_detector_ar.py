@@ -1,0 +1,162 @@
+"""Tests for the AR model-error detector (Procedure 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detectors.ar_detector import ARModelErrorDetector
+from repro.errors import ConfigurationError
+from repro.ratings.stream import RatingStream
+from repro.signal.windows import CountWindower, TimeWindower
+from tests.conftest import make_rating, make_stream
+
+
+def attack_stream(rng, n_honest=150, n_attack=80):
+    """Honest noise with a tight biased cluster in the middle third."""
+    ratings = []
+    rid = 0
+    for t in np.sort(rng.uniform(0, 60, size=n_honest)):
+        value = float(np.clip(rng.normal(0.7, 0.45, 1)[0], 0, 1))
+        ratings.append(make_rating(rid, round(value, 1), float(t), rater_id=rid))
+        rid += 1
+    for t in np.sort(rng.uniform(25, 40, size=n_attack)):
+        value = float(np.clip(rng.normal(0.85, 0.14, 1)[0], 0, 1))
+        ratings.append(
+            make_rating(rid, round(value, 1), float(t), rater_id=rid, unfair=True)
+        )
+        rid += 1
+    return RatingStream.from_ratings(ratings)
+
+
+class TestConfiguration:
+    def test_invalid_order(self):
+        with pytest.raises(ConfigurationError):
+            ARModelErrorDetector(order=0)
+
+    def test_invalid_threshold(self):
+        for threshold in (0.0, 1.0, -0.5):
+            with pytest.raises(ConfigurationError):
+                ARModelErrorDetector(threshold=threshold)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ConfigurationError):
+            ARModelErrorDetector(scale=0.0)
+
+    def test_invalid_method(self):
+        with pytest.raises(ConfigurationError):
+            ARModelErrorDetector(method="magic")
+
+    def test_invalid_level_rule(self):
+        with pytest.raises(ConfigurationError):
+            ARModelErrorDetector(level_rule="sometimes")
+
+    def test_default_min_window_guards_order(self):
+        detector = ARModelErrorDetector(order=4)
+        assert detector.min_window > 2 * 4
+
+
+class TestLevels:
+    def test_bounded_level_in_range(self):
+        detector = ARModelErrorDetector(threshold=0.2, scale=0.5, level_rule="bounded")
+        assert detector._level(0.1) == pytest.approx(0.25)
+        assert 0.0 < detector._level(0.001) <= 0.5
+
+    def test_literal_level_clipped(self):
+        detector = ARModelErrorDetector(threshold=0.02, scale=0.5, level_rule="literal")
+        assert detector._level(0.01) == 1.0  # 0.5 * 0.99 / 0.02 >> 1
+
+    def test_bounded_level_vanishes_at_threshold(self):
+        detector = ARModelErrorDetector(threshold=0.2, scale=1.0, level_rule="bounded")
+        assert detector._level(0.2) == pytest.approx(0.0)
+
+
+class TestDetection:
+    def test_attack_windows_flagged(self, rng):
+        stream = attack_stream(rng)
+        detector = ARModelErrorDetector(
+            order=4, threshold=0.15, windower=CountWindower(size=50, step=10)
+        )
+        report = detector.detect(stream)
+        assert report.suspicious_verdicts
+        flagged_mids = [v.window.mid_time for v in report.suspicious_verdicts]
+        assert any(25 <= m <= 40 for m in flagged_mids)
+
+    def test_honest_stream_mostly_clean(self, rng):
+        values = np.clip(rng.normal(0.7, 0.45, size=200), 0, 1)
+        stream = make_stream(np.round(values, 1), spacing=0.3)
+        detector = ARModelErrorDetector(
+            order=4, threshold=0.10, windower=CountWindower(size=50, step=10)
+        )
+        report = detector.detect(stream)
+        assert len(report.suspicious_verdicts) <= 1
+
+    def test_empty_stream(self):
+        report = ARModelErrorDetector().detect(RatingStream())
+        assert report.verdicts == []
+        assert report.rater_suspicion == {}
+
+    def test_short_stream_yields_no_verdicts(self):
+        stream = make_stream([0.5] * 5)
+        report = ARModelErrorDetector().detect(stream)
+        assert report.verdicts == []
+
+    def test_suspicion_charged_to_raters_in_window(self, rng):
+        stream = attack_stream(rng)
+        detector = ARModelErrorDetector(
+            order=4, threshold=0.15, windower=CountWindower(size=50, step=10)
+        )
+        report = detector.detect(stream)
+        for rater_id, value in report.rater_suspicion.items():
+            assert value > 0.0
+        flagged_ratings = report.flagged_rating_ids
+        assert flagged_ratings
+        # Every flagged rating's rater carries suspicion.
+        rater_ids = {r.rater_id for r in stream if r.rating_id in flagged_ratings}
+        assert rater_ids == set(report.rater_suspicion)
+
+    def test_overlapping_windows_charge_max_not_sum(self, rng):
+        # With heavily overlapping windows a rating sits in several
+        # suspicious windows; its charge must be the max level, so a
+        # single-rating rater's suspicion stays <= scale.
+        stream = attack_stream(rng)
+        detector = ARModelErrorDetector(
+            order=4,
+            threshold=0.15,
+            scale=0.5,
+            level_rule="bounded",
+            windower=CountWindower(size=50, step=5),
+        )
+        report = detector.detect(stream)
+        assert report.rater_suspicion
+        assert max(report.rater_suspicion.values()) <= 0.5 + 1e-12
+
+    def test_time_windower_supported(self, rng):
+        stream = attack_stream(rng)
+        detector = ARModelErrorDetector(
+            order=4, threshold=0.15, windower=TimeWindower(length=10.0, step=5.0)
+        )
+        report = detector.detect(stream)
+        assert report.verdicts
+
+    def test_error_series_matches_verdicts(self, rng):
+        stream = attack_stream(rng)
+        detector = ARModelErrorDetector(
+            order=4, threshold=0.15, windower=CountWindower(size=50, step=10)
+        )
+        mids, errors = detector.error_series(stream)
+        verdicts = detector.window_errors(stream)
+        np.testing.assert_allclose(errors, [v.statistic for v in verdicts])
+        assert mids.size == len(verdicts)
+
+    @pytest.mark.parametrize("method", ["covariance", "autocorrelation", "burg"])
+    def test_all_ar_methods_detect(self, method, rng):
+        stream = attack_stream(rng)
+        detector = ARModelErrorDetector(
+            order=4,
+            threshold=0.15,
+            method=method,
+            windower=CountWindower(size=50, step=10),
+        )
+        report = detector.detect(stream)
+        assert report.suspicious_verdicts

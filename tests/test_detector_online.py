@@ -1,0 +1,114 @@
+"""Tests for the streaming AR detector."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detectors.ar_detector import ARModelErrorDetector
+from repro.detectors.online import OnlineARDetector
+from repro.errors import ConfigurationError
+from repro.signal.windows import CountWindower
+from repro.simulation.illustrative import IllustrativeConfig, generate_illustrative
+from tests.conftest import make_rating, make_stream
+
+
+class TestConfiguration:
+    def test_window_must_exceed_order(self):
+        with pytest.raises(ConfigurationError):
+            OnlineARDetector(order=4, window_size=8)
+
+    def test_invalid_stride(self):
+        with pytest.raises(ConfigurationError):
+            OnlineARDetector(stride=0)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ConfigurationError):
+            OnlineARDetector(threshold=1.5)
+
+
+class TestStreaming:
+    def test_no_verdict_until_buffer_full(self, rng):
+        detector = OnlineARDetector(window_size=50, stride=1)
+        for i in range(49):
+            rating = make_rating(i, 0.5, float(i))
+            assert detector.observe(rating) is None
+        assert not detector.buffer_full
+        verdict = detector.observe(make_rating(49, 0.5, 49.0))
+        assert verdict is not None
+        assert detector.buffer_full
+
+    def test_stride_spacing(self, rng):
+        detector = OnlineARDetector(window_size=20, stride=5)
+        values = np.clip(rng.normal(0.7, 0.3, size=60), 0, 1)
+        emitted = detector.observe_many(
+            make_stream(np.round(values, 1), spacing=0.5)
+        )
+        # First verdict at rating 20, then one per 5 arrivals.
+        assert len(emitted) == 1 + (60 - 20) // 5
+
+    def test_out_of_order_rejected(self):
+        detector = OnlineARDetector(window_size=20)
+        detector.observe(make_rating(0, 0.5, 10.0))
+        with pytest.raises(ConfigurationError):
+            detector.observe(make_rating(1, 0.5, 9.0))
+
+    def test_equal_timestamps_allowed(self):
+        detector = OnlineARDetector(window_size=20)
+        detector.observe(make_rating(0, 0.5, 10.0))
+        detector.observe(make_rating(1, 0.6, 10.0))
+        assert detector.n_seen == 2
+
+    def test_reset_clears_state(self, rng):
+        detector = OnlineARDetector(window_size=20, stride=1)
+        values = np.clip(rng.normal(0.7, 0.3, size=30), 0, 1)
+        detector.observe_many(make_stream(np.round(values, 1)))
+        detector.reset()
+        assert detector.n_seen == 0
+        assert detector.verdicts == []
+        # Time ordering restarts too.
+        detector.observe(make_rating(99, 0.5, 0.0))
+
+    def test_statistic_matches_batch_detector(self, rng):
+        # Same window, same estimator -> same normalized error as the
+        # batch detector's last full window.
+        values = np.round(np.clip(rng.normal(0.7, 0.3, size=50), 0, 1), 1)
+        stream = make_stream(values)
+        online = OnlineARDetector(window_size=50, stride=50, threshold=0.10)
+        emitted = online.observe_many(stream)
+        batch = ARModelErrorDetector(
+            order=4, threshold=0.10, windower=CountWindower(size=50)
+        ).window_errors(stream)
+        assert len(emitted) == 1
+        assert emitted[0].statistic == pytest.approx(batch[0].statistic)
+
+
+class TestDetection:
+    def test_alarm_during_campaign(self):
+        config = IllustrativeConfig()
+        trace = generate_illustrative(config, np.random.default_rng(3))
+        detector = OnlineARDetector(window_size=50, stride=5, threshold=0.10)
+        detector.observe_many(trace.attacked)
+        assert detector.alarms
+        alarm_times = [v.window.end_time for v in detector.alarms]
+        # The first alarm lands inside (or right after) the campaign.
+        assert config.attack_start <= min(alarm_times) <= config.attack_end + 10
+
+    def test_quiet_on_honest_stream(self):
+        config = IllustrativeConfig()
+        trace = generate_illustrative(config, np.random.default_rng(3))
+        detector = OnlineARDetector(window_size=50, stride=5, threshold=0.10)
+        detector.observe_many(trace.honest)
+        assert len(detector.alarms) <= 1
+
+    def test_suspicious_raters_charged(self):
+        config = IllustrativeConfig()
+        trace = generate_illustrative(config, np.random.default_rng(3))
+        detector = OnlineARDetector(window_size=50, stride=5, threshold=0.10)
+        detector.observe_many(trace.attacked)
+        suspicion = detector.suspicious_raters()
+        assert suspicion
+        unfair_raters = {r.rater_id for r in trace.attacked if r.unfair}
+        # A solid share of charged raters are true colluders.
+        flagged = set(suspicion)
+        assert len(flagged & unfair_raters) / len(flagged) > 0.3

@@ -1,0 +1,145 @@
+"""Tests for the baseline suspicion detectors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detectors.clustering import ClusteringDetector, two_means_1d
+from repro.detectors.endorsement import EndorsementDetector, endorsement_quality
+from repro.detectors.entropy import EntropyChangeDetector
+from repro.errors import ConfigurationError
+from repro.ratings.scales import ELEVEN_LEVEL
+from repro.ratings.stream import RatingStream
+from repro.signal.windows import CountWindower
+from tests.conftest import make_stream
+
+
+class TestTwoMeans:
+    def test_separates_two_clusters(self):
+        values = np.array([0.1, 0.12, 0.08, 0.9, 0.92, 0.88])
+        labels, low, high = two_means_1d(values)
+        assert labels.tolist() == [0, 0, 0, 1, 1, 1]
+        assert low == pytest.approx(0.1)
+        assert high == pytest.approx(0.9)
+
+    def test_identical_values(self):
+        labels, low, high = two_means_1d(np.full(5, 0.5))
+        assert not labels.any()
+        assert low == high == 0.5
+
+    def test_too_few_samples(self):
+        with pytest.raises(ConfigurationError):
+            two_means_1d(np.array([0.5]))
+
+
+class TestClusteringDetector:
+    def test_flags_separated_minority(self, rng):
+        majority = list(np.clip(rng.normal(0.3, 0.05, size=40), 0, 1))
+        minority = list(np.clip(rng.normal(0.9, 0.02, size=10), 0, 1))
+        stream = make_stream(majority + minority, spacing=0.1)
+        detector = ClusteringDetector(
+            min_separation=0.5, windower=CountWindower(size=50)
+        )
+        report = detector.detect(stream)
+        assert report.suspicious_verdicts
+        # Flagged ratings are the minority cluster.
+        flagged = report.flagged_rating_ids
+        assert flagged <= set(range(40, 50))
+
+    def test_moderate_bias_evades(self, rng):
+        majority = list(np.clip(rng.normal(0.5, 0.2, size=40), 0, 1))
+        colluders = list(np.clip(rng.normal(0.62, 0.05, size=10), 0, 1))
+        stream = make_stream(majority + colluders, spacing=0.1)
+        detector = ClusteringDetector(
+            min_separation=0.5, windower=CountWindower(size=50)
+        )
+        report = detector.detect(stream)
+        assert len(report.flagged_rating_ids) <= 3
+
+    def test_empty_stream(self):
+        assert ClusteringDetector().detect(RatingStream()).verdicts == []
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            ClusteringDetector(min_separation=0.0)
+        with pytest.raises(ConfigurationError):
+            ClusteringDetector(max_minority_fraction=1.0)
+
+
+class TestEndorsementQuality:
+    def test_consensus_scores_high(self):
+        quality = endorsement_quality(np.full(10, 0.7))
+        np.testing.assert_allclose(quality, 1.0)
+
+    def test_outlier_scores_lowest(self):
+        values = np.array([0.7, 0.7, 0.7, 0.7, 0.1])
+        quality = endorsement_quality(values)
+        assert np.argmin(quality) == 4
+
+    def test_needs_two_ratings(self):
+        with pytest.raises(ConfigurationError):
+            endorsement_quality(np.array([0.5]))
+
+    def test_symmetric(self):
+        values = np.array([0.2, 0.8])
+        quality = endorsement_quality(values)
+        assert quality[0] == pytest.approx(quality[1])
+
+
+class TestEndorsementDetector:
+    def test_flags_low_quality_ratings(self, rng):
+        values = [0.7] * 30 + [0.05]
+        stream = make_stream(values, spacing=0.1)
+        detector = EndorsementDetector(
+            quality_threshold=0.6, windower=CountWindower(size=31)
+        )
+        report = detector.detect(stream)
+        assert report.flagged_rating_ids == {30}
+
+    def test_colluders_endorse_each_other(self, rng):
+        # Near-majority colluders keep high endorsement -> no flags.
+        honest = list(np.clip(rng.normal(0.5, 0.15, size=35), 0, 1))
+        colluders = [0.65] * 15
+        stream = make_stream(honest + colluders, spacing=0.1)
+        detector = EndorsementDetector(
+            quality_threshold=0.6, windower=CountWindower(size=50)
+        )
+        report = detector.detect(stream)
+        assert not (report.flagged_rating_ids & set(range(35, 50)))
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ConfigurationError):
+            EndorsementDetector(quality_threshold=1.0)
+
+
+class TestEntropyDetector:
+    def test_flags_entropy_shifts_on_fresh_histogram(self):
+        # The very first ratings shift the (prior-only) histogram the
+        # most; later consensus ratings shift it little.
+        stream = make_stream([0.5] * 50, spacing=0.1)
+        detector = EntropyChangeDetector(scale=ELEVEN_LEVEL, threshold=0.05)
+        report = detector.detect(stream)
+        changes = [v.statistic for v in report.verdicts]
+        assert changes[0] > changes[-1]
+
+    def test_stable_distribution_not_flagged(self, rng):
+        values = ELEVEN_LEVEL.quantize_array(rng.uniform(0, 1, size=300))
+        stream = make_stream(values, spacing=0.1)
+        detector = EntropyChangeDetector(scale=ELEVEN_LEVEL, threshold=0.2)
+        report = detector.detect(stream)
+        late_flags = [
+            v for v in report.suspicious_verdicts if v.window.index > 50
+        ]
+        assert not late_flags
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            EntropyChangeDetector(scale=ELEVEN_LEVEL, threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            EntropyChangeDetector(scale=ELEVEN_LEVEL, prior=0.0)
+
+    def test_verdict_count_matches_stream(self):
+        stream = make_stream([0.3, 0.5, 0.7])
+        report = EntropyChangeDetector(scale=ELEVEN_LEVEL).detect(stream)
+        assert len(report.verdicts) == 3

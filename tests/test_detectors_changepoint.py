@@ -1,0 +1,102 @@
+"""Tests for the CUSUM and variance-ratio detectors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detectors.changepoint import CusumDetector, VarianceRatioDetector
+from repro.errors import ConfigurationError
+from repro.ratings.stream import RatingStream
+from repro.signal.windows import CountWindower
+from tests.conftest import make_stream
+
+
+class TestCusumConfiguration:
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            CusumDetector(threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            CusumDetector(drift=-0.1)
+        with pytest.raises(ConfigurationError):
+            CusumDetector(burn_in=2)
+
+
+class TestCusum:
+    def test_detects_clear_upward_shift(self, rng):
+        before = list(rng.normal(0.4, 0.05, size=100))
+        after = list(rng.normal(0.7, 0.05, size=60))
+        stream = make_stream(np.clip(before + after, 0, 1))
+        report = CusumDetector(threshold=5.0).detect(stream)
+        assert report.suspicious_verdicts
+        flagged = report.flagged_rating_ids
+        assert max(flagged) >= 100  # alarms cover the shifted regime
+
+    def test_detects_downward_shift(self, rng):
+        before = list(rng.normal(0.7, 0.05, size=100))
+        after = list(rng.normal(0.4, 0.05, size=60))
+        stream = make_stream(np.clip(before + after, 0, 1))
+        report = CusumDetector(threshold=5.0).detect(stream)
+        assert report.suspicious_verdicts
+
+    def test_quiet_on_stationary_noise(self, rng):
+        stream = make_stream(np.clip(rng.normal(0.5, 0.1, size=300), 0, 1))
+        report = CusumDetector(threshold=6.0).detect(stream)
+        assert len(report.suspicious_verdicts) <= 1
+
+    def test_short_stream_yields_nothing(self):
+        stream = make_stream([0.5] * 10)
+        report = CusumDetector(burn_in=30).detect(stream)
+        assert report.verdicts == []
+
+    def test_constant_burn_in_does_not_crash(self, rng):
+        values = [0.5] * 40 + list(np.clip(rng.normal(0.8, 0.05, 40), 0, 1))
+        report = CusumDetector().detect(make_stream(values))
+        assert report.suspicious_verdicts  # shift after constant start
+
+    def test_statistic_resets_after_alarm(self, rng):
+        # Two separated shifts produce at least two alarms.
+        a = list(rng.normal(0.5, 0.04, size=80))
+        b = list(rng.normal(0.8, 0.04, size=40))
+        c = list(rng.normal(0.5, 0.04, size=40))
+        d = list(rng.normal(0.2, 0.04, size=40))
+        stream = make_stream(np.clip(a + b + c + d, 0, 1))
+        report = CusumDetector(threshold=5.0).detect(stream)
+        assert len(report.suspicious_verdicts) >= 2
+
+
+class TestVarianceRatio:
+    def test_flags_low_variance_window(self, rng):
+        wide = list(np.clip(rng.normal(0.6, 0.25, size=150), 0, 1))
+        tight = list(np.clip(rng.normal(0.65, 0.02, size=50), 0, 1))
+        stream = make_stream(wide[:100] + tight + wide[100:])
+        detector = VarianceRatioDetector(
+            alpha=0.01, windower=CountWindower(size=50, step=25)
+        )
+        report = detector.detect(stream)
+        assert report.suspicious_verdicts
+        flagged = report.flagged_rating_ids
+        assert flagged & set(range(100, 150))
+
+    def test_quiet_on_homogeneous_noise(self, rng):
+        stream = make_stream(np.clip(rng.normal(0.5, 0.2, size=300), 0, 1))
+        report = VarianceRatioDetector(alpha=0.01).detect(stream)
+        assert len(report.suspicious_verdicts) <= 1
+
+    def test_needs_enough_windows(self, rng):
+        stream = make_stream(np.clip(rng.normal(0.5, 0.2, size=60), 0, 1))
+        detector = VarianceRatioDetector(windower=CountWindower(size=50, step=25))
+        report = detector.detect(stream)
+        assert report.verdicts == []
+
+    def test_unanimous_stream_handled(self):
+        stream = make_stream([0.5] * 200)
+        report = VarianceRatioDetector().detect(stream)
+        assert report.verdicts == []
+
+    def test_empty_stream(self):
+        assert VarianceRatioDetector().detect(RatingStream()).verdicts == []
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ConfigurationError):
+            VarianceRatioDetector(alpha=0.6)

@@ -1,0 +1,150 @@
+"""Tests for co-suspicion graphs and collusion-group recovery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detectors.base import SuspicionReport, WindowVerdict
+from repro.detectors.groups import (
+    build_cosuspicion_graph,
+    detect_collusion_groups,
+    extract_groups,
+)
+from repro.errors import ConfigurationError
+from repro.experiments import REGISTRY, collusion_groups
+from repro.ratings.stream import RatingStream
+from repro.simulation.marketplace import MarketplaceConfig
+from repro.simulation.pipeline import PipelineConfig
+from repro.signal.windows import Window
+from tests.conftest import make_rating
+
+
+def report_with_flags(rater_ids_per_window, suspicious_flags):
+    """Build a synthetic report: one window per rater-id list."""
+    ratings = []
+    index = {}
+    rid_counter = 0
+    all_ids = []
+    for window_raters in rater_ids_per_window:
+        positions = []
+        for rater in window_raters:
+            ratings.append(
+                make_rating(rid_counter, 0.5, float(rid_counter), rater_id=rater)
+            )
+            positions.append(rid_counter)
+            rid_counter += 1
+        all_ids.append(positions)
+    stream = RatingStream(ratings=tuple(ratings))
+    verdicts = [
+        WindowVerdict(
+            window=Window(
+                index=i,
+                indices=np.array(positions),
+                start_time=float(i),
+                end_time=float(i + 1),
+            ),
+            statistic=0.05,
+            suspicious=flag,
+            level=1.0 if flag else 0.0,
+        )
+        for i, (positions, flag) in enumerate(zip(all_ids, suspicious_flags))
+    ]
+    return SuspicionReport(stream=stream, verdicts=verdicts)
+
+
+class TestGraphConstruction:
+    def test_pairs_counted_once_per_report(self):
+        # Two overlapping flagged windows with the same pair: weight 1.
+        report = report_with_flags([[1, 2], [1, 2]], [True, True])
+        graph, n_windows = build_cosuspicion_graph([report])
+        assert n_windows == 2
+        assert graph[1][2]["weight"] == 1
+
+    def test_weight_accumulates_across_reports(self):
+        reports = [
+            report_with_flags([[1, 2, 3]], [True]) for _ in range(4)
+        ]
+        graph, _ = build_cosuspicion_graph(reports)
+        assert graph[1][2]["weight"] == 4
+        assert graph[2][3]["weight"] == 4
+
+    def test_clean_windows_contribute_nothing(self):
+        report = report_with_flags([[1, 2, 3]], [False])
+        graph, n_windows = build_cosuspicion_graph([report])
+        assert n_windows == 0
+        assert graph.number_of_edges() == 0
+
+    def test_oversize_reports_skipped(self):
+        report = report_with_flags([list(range(50))], [True])
+        graph, _ = build_cosuspicion_graph([report], max_members_per_report=10)
+        assert graph.number_of_edges() == 0
+
+
+class TestGroupExtraction:
+    def test_weak_edges_pruned(self):
+        reports = [report_with_flags([[1, 2, 3]], [True])]
+        reports += [report_with_flags([[4, 5, 6]], [True]) for _ in range(3)]
+        graph, _ = build_cosuspicion_graph(reports)
+        groups = extract_groups(graph, min_edge_weight=2, min_group_size=3)
+        assert groups == (frozenset({4, 5, 6}),)
+
+    def test_small_components_discarded(self):
+        reports = [report_with_flags([[1, 2]], [True]) for _ in range(5)]
+        graph, _ = build_cosuspicion_graph(reports)
+        assert extract_groups(graph, min_edge_weight=2, min_group_size=3) == ()
+
+    def test_groups_sorted_largest_first(self):
+        # Each ring co-occurs in its own reports (a report's flagged
+        # members pool together, so mixed windows in one report would
+        # merge the rings by design).
+        reports = [report_with_flags([[1, 2, 3]], [True]) for _ in range(3)]
+        reports += [report_with_flags([[7, 8, 9, 10]], [True]) for _ in range(3)]
+        graph, _ = build_cosuspicion_graph(reports)
+        groups = extract_groups(graph, min_edge_weight=2)
+        assert [len(g) for g in groups] == [4, 3]
+
+    def test_invalid_parameters(self):
+        import networkx as nx
+
+        with pytest.raises(ConfigurationError):
+            extract_groups(nx.Graph(), min_edge_weight=0)
+        with pytest.raises(ConfigurationError):
+            extract_groups(nx.Graph(), min_group_size=1)
+
+    def test_end_to_end_helper(self):
+        reports = [report_with_flags([[1, 2, 3]], [True]) for _ in range(3)]
+        result = detect_collusion_groups(reports, min_edge_weight=2)
+        assert result.groups == (frozenset({1, 2, 3}),)
+        assert result.flagged_raters == frozenset({1, 2, 3})
+        assert result.n_windows == 3
+
+
+class TestMarketplaceExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        config = MarketplaceConfig(
+            n_reliable=120, n_careless=60, n_pc=60, n_months=8, p_rate=0.04
+        )
+        # The compact world has fewer campaigns but a higher honest
+        # co-attendance rate (p_rate 0.04), so the edge threshold stays
+        # at 6 and the achievable precision/recall trade-off is looser
+        # than the full marketplace's 0.94/0.86.
+        return collusion_groups.run(
+            seed=5, config=config, min_edge_weight=6
+        )
+
+    def test_registered(self):
+        assert "collusion-groups" in REGISTRY
+
+    def test_recovers_recruits_with_high_precision(self, result):
+        assert result.membership_precision > 0.6
+        assert result.membership_recall > 0.4
+
+    def test_largest_group_dominated_by_recruits(self, result):
+        assert result.largest_group_purity > 0.6
+
+    def test_report_renders(self, result):
+        report = collusion_groups.format_report(result)
+        assert "precision" in report
+        assert "purity" in report

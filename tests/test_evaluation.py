@@ -1,0 +1,221 @@
+"""Tests for detection metrics, ROC sweeps, and the Monte-Carlo driver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detectors.base import WindowVerdict
+from repro.errors import ConfigurationError
+from repro.evaluation.aggregation_error import aggregation_errors
+from repro.evaluation.detection import (
+    ConfusionCounts,
+    any_suspicious,
+    interval_detected,
+    rater_detection,
+    rating_detection,
+    window_confusion,
+)
+from repro.evaluation.montecarlo import monte_carlo, summarize
+from repro.evaluation.roc import calibrate_threshold, operating_point, roc_from_scores
+from repro.ratings.models import RaterClass
+from repro.ratings.stream import RatingStream
+from repro.signal.windows import Window
+from tests.conftest import make_rating
+
+
+def verdict(start, end, suspicious):
+    return WindowVerdict(
+        window=Window(
+            index=0, indices=np.arange(1), start_time=start, end_time=end
+        ),
+        statistic=0.1,
+        suspicious=suspicious,
+        level=0.5 if suspicious else 0.0,
+    )
+
+
+class TestConfusionCounts:
+    def test_ratios(self):
+        counts = ConfusionCounts(
+            true_positives=8, false_negatives=2, false_positives=1, true_negatives=9
+        )
+        assert counts.detection_ratio == pytest.approx(0.8)
+        assert counts.false_alarm_ratio == pytest.approx(0.1)
+        assert counts.precision == pytest.approx(8.0 / 9.0)
+
+    def test_empty_denominators(self):
+        counts = ConfusionCounts()
+        assert counts.detection_ratio == 0.0
+        assert counts.false_alarm_ratio == 0.0
+        assert counts.precision == 0.0
+
+    def test_merge(self):
+        a = ConfusionCounts(true_positives=1)
+        b = ConfusionCounts(true_positives=2, false_positives=3)
+        merged = a.merged(b)
+        assert merged.true_positives == 3
+        assert merged.false_positives == 3
+
+
+class TestWindowMetrics:
+    def test_window_confusion(self):
+        verdicts = [
+            verdict(0, 10, False),   # clean, quiet -> TN
+            verdict(10, 20, True),   # clean, flagged -> FP
+            verdict(25, 35, True),   # overlaps attack, flagged -> TP
+            verdict(35, 45, False),  # overlaps attack, quiet -> FN
+        ]
+        counts = window_confusion(verdicts, attack_start=30.0, attack_end=44.0)
+        assert counts.true_positives == 1
+        assert counts.false_positives == 1
+        assert counts.true_negatives == 1
+        assert counts.false_negatives == 1
+
+    def test_interval_detected(self):
+        verdicts = [verdict(0, 10, True), verdict(28, 38, False)]
+        assert not interval_detected(verdicts, 30.0, 44.0)
+        verdicts.append(verdict(40, 50, True))
+        assert interval_detected(verdicts, 30.0, 44.0)
+
+    def test_any_suspicious(self):
+        assert not any_suspicious([verdict(0, 10, False)])
+        assert any_suspicious([verdict(0, 10, True)])
+
+
+class TestRatingDetection:
+    def test_counts(self):
+        ratings = [
+            make_rating(0, 0.5, 0.0),
+            make_rating(1, 0.9, 1.0, unfair=True),
+            make_rating(2, 0.9, 2.0, unfair=True),
+            make_rating(3, 0.5, 3.0),
+        ]
+        stream = RatingStream.from_ratings(ratings)
+        counts = rating_detection(stream, flagged_rating_ids=[1, 3])
+        assert counts.true_positives == 1
+        assert counts.false_negatives == 1
+        assert counts.false_positives == 1
+        assert counts.true_negatives == 1
+
+
+class TestRaterDetection:
+    def test_per_class_rates(self):
+        trust = {0: 0.9, 1: 0.3, 2: 0.4, 3: 0.8}
+        classes = {
+            0: RaterClass.RELIABLE,
+            1: RaterClass.RELIABLE,
+            2: RaterClass.POTENTIAL_COLLABORATIVE,
+            3: RaterClass.POTENTIAL_COLLABORATIVE,
+        }
+        stats = rater_detection(trust, classes, threshold=0.5)
+        assert stats.detection_rate == 0.5
+        assert stats.false_alarm_rates[RaterClass.RELIABLE] == 0.5
+
+    def test_unknown_rater_defaults_to_prior(self):
+        stats = rater_detection(
+            {}, {0: RaterClass.POTENTIAL_COLLABORATIVE}, threshold=0.5
+        )
+        assert stats.detection_rate == 0.0
+
+
+class TestRoc:
+    def test_perfect_separation(self):
+        curve = roc_from_scores(
+            attack_scores=[0.1, 0.12, 0.09], honest_scores=[0.3, 0.32, 0.29]
+        )
+        assert curve.auc() == pytest.approx(1.0, abs=0.02)
+
+    def test_no_separation(self, rng):
+        scores = rng.uniform(0, 1, size=400)
+        curve = roc_from_scores(scores[:200], scores[200:])
+        assert curve.auc() == pytest.approx(0.5, abs=0.1)
+
+    def test_larger_is_suspicious_mode(self):
+        curve = roc_from_scores(
+            attack_scores=[0.9], honest_scores=[0.1], smaller_is_suspicious=False
+        )
+        assert curve.auc() == pytest.approx(1.0, abs=0.02)
+
+    def test_operating_point_respects_budget(self):
+        curve = roc_from_scores([0.1, 0.2], [0.15, 0.4])
+        point = operating_point(curve, max_false_alarm=0.0)
+        assert point.false_alarm_ratio == 0.0
+
+    def test_operating_point_invalid_budget(self):
+        curve = roc_from_scores([0.1], [0.5])
+        with pytest.raises(ConfigurationError):
+            operating_point(curve, max_false_alarm=1.5)
+
+    def test_empty_scores_rejected(self):
+        with pytest.raises(ConfigurationError):
+            roc_from_scores([], [0.5])
+
+    def test_calibrate_threshold_quantile(self):
+        scores = np.linspace(0.1, 1.0, 100)
+        threshold = calibrate_threshold(scores, quantile=0.05)
+        assert np.mean(scores < threshold) <= 0.05
+
+    def test_calibrate_invalid_quantile(self):
+        with pytest.raises(ConfigurationError):
+            calibrate_threshold([0.5], quantile=0.0)
+
+
+class TestMonteCarlo:
+    def test_reproducible(self):
+        run = lambda rng: float(rng.uniform())
+        a = monte_carlo(run, n_runs=5, master_seed=1)
+        b = monte_carlo(run, n_runs=5, master_seed=1)
+        assert a.outcomes == b.outcomes
+
+    def test_runs_independent(self):
+        run = lambda rng: float(rng.uniform())
+        result = monte_carlo(run, n_runs=10, master_seed=0)
+        assert len(set(result.outcomes)) == 10
+
+    def test_mean_and_fraction(self):
+        result = monte_carlo(lambda rng: rng.uniform(), n_runs=500, master_seed=3)
+        assert result.mean_of(float) == pytest.approx(0.5, abs=0.05)
+        assert result.fraction(lambda v: v < 0.5) == pytest.approx(0.5, abs=0.07)
+
+    def test_zero_runs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            monte_carlo(lambda rng: 0, n_runs=0)
+
+    def test_summarize(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert summary.mean == 2.0
+        assert summary.minimum == 1.0
+        assert summary.maximum == 3.0
+        assert summary.n == 3
+        assert summary.ci95_halfwidth > 0.0
+
+    def test_summarize_single_value(self):
+        summary = summarize([4.0])
+        assert summary.std == 0.0
+
+    def test_summarize_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            summarize([])
+
+
+class TestAggregationErrors:
+    def test_error_statistics(self):
+        aggregated = {1: 0.6, 2: 0.5}
+        quality = {1: 0.5, 2: 0.5}
+        errors = aggregation_errors(aggregated, quality)
+        assert errors.mean_abs_error == pytest.approx(0.05)
+        assert errors.max_abs_error == pytest.approx(0.1)
+        assert errors.mean_signed_error == pytest.approx(0.05)
+        assert errors.n_products == 2
+
+    def test_subset_of_products(self):
+        aggregated = {1: 0.6, 2: 0.9}
+        quality = {1: 0.5, 2: 0.5}
+        errors = aggregation_errors(aggregated, quality, product_ids=[1])
+        assert errors.n_products == 1
+        assert errors.max_abs_error == pytest.approx(0.1)
+
+    def test_no_products_rejected(self):
+        with pytest.raises(ConfigurationError):
+            aggregation_errors({}, {})

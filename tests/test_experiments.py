@@ -1,0 +1,168 @@
+"""Tests for the paper-experiment modules (scaled-down sizes)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    REGISTRY,
+    baselines,
+    detection500,
+    fig2_fig3,
+    fig4,
+    fig5_netflix,
+    table1,
+)
+from repro.experiments.table1 import Table1Config
+from repro.simulation.illustrative import IllustrativeConfig
+
+
+class TestRegistry:
+    def test_every_entry_has_runner_reporter_description(self):
+        for name, (runner, reporter, description) in REGISTRY.items():
+            assert callable(runner)
+            assert callable(reporter)
+            assert description
+
+
+class TestFig2Fig3:
+    def test_histograms_cover_all_ratings(self):
+        result = fig2_fig3.run(seed=0)
+        assert result.histogram_honest.sum() == len(result.trace.honest)
+        assert result.histogram_attacked.sum() == len(result.trace.attacked)
+
+    def test_value_overlap_is_high(self):
+        # The figure's message: unfair ratings hide inside honest levels.
+        result = fig2_fig3.run(seed=0)
+        assert result.overlap_fraction > 0.8
+
+    def test_report_renders(self):
+        report = fig2_fig3.format_report(fig2_fig3.run(seed=0))
+        assert "Fig. 2/3" in report
+        assert "level" in report
+
+
+class TestFig4:
+    def test_error_drops_inside_attack(self):
+        result = fig4.run(seed=0)
+        assert result.attack_error_drop > 1.5
+
+    def test_attack_lifts_average(self):
+        result = fig4.run(seed=1)
+        assert result.peak_average_lift > 0.0
+
+    def test_series_nonempty(self):
+        result = fig4.run(seed=0)
+        assert result.err_honest.size > 5
+        assert result.err_attacked.size > 5
+        assert result.avg_filtered.size > 0
+
+    def test_report_renders(self):
+        report = fig4.format_report(fig4.run(seed=0))
+        assert "error drop factor" in report
+
+
+class TestDetection500:
+    def test_small_run_shapes(self):
+        result = detection500.run(n_runs=20, seed=0)
+        assert result.n_runs == 20
+        assert 0.0 <= result.detection_ratio <= 1.0
+        assert 0.0 <= result.false_alarm_ratio <= 1.0
+        assert result.attacked_error_minima.shape == (20,)
+
+    def test_detection_beats_false_alarm(self):
+        result = detection500.run(n_runs=30, seed=0)
+        assert result.detection_ratio > result.false_alarm_ratio + 0.3
+
+    def test_report_mentions_paper_numbers(self):
+        report = detection500.format_report(detection500.run(n_runs=10, seed=0))
+        assert "0.782" in report
+        assert "Detection Ratio" in report
+
+    def test_reproducible(self):
+        a = detection500.run(n_runs=10, seed=3)
+        b = detection500.run(n_runs=10, seed=3)
+        assert a.detection_ratio == b.detection_ratio
+        np.testing.assert_array_equal(
+            a.honest_error_minima, b.honest_error_minima
+        )
+
+
+class TestFig5:
+    def test_error_drops_during_injection(self):
+        result = fig5_netflix.run(seed=0)
+        assert result.error_drop > 1.5
+
+    def test_injection_adds_ratings(self):
+        result = fig5_netflix.run(seed=0)
+        assert len(result.attacked) > len(result.original)
+
+    def test_report_renders(self):
+        report = fig5_netflix.format_report(fig5_netflix.run(seed=0))
+        assert "Netflix" in report
+
+
+class TestTable1:
+    def test_method3_wins(self):
+        result = table1.run(n_runs=200, seed=0)
+        assert result.best_method() == 3
+
+    def test_all_methods_below_desired(self):
+        # Every method under a 50 % downgrade mix lands below 0.8.
+        result = table1.run(n_runs=200, seed=0)
+        for value in result.aggregates.values():
+            assert value < result.desired
+
+    def test_method3_margin_is_large(self):
+        result = table1.run(n_runs=200, seed=0)
+        others = [v for m, v in result.aggregates.items() if m != 3]
+        assert result.aggregates[3] > max(others) + 0.04
+
+    def test_matches_paper_band(self):
+        result = table1.run(n_runs=300, seed=1)
+        # Shapes, not exact numbers: method 3 within ~0.15 of desired,
+        # the rest collapsed toward ~0.6.
+        assert abs(result.aggregates[3] - 0.8) < 0.15
+        for method in (1, 2, 4):
+            assert abs(result.aggregates[method] - 0.6) < 0.08
+
+    def test_std_interpretation_supported(self):
+        config = Table1Config(spread_is_std=True)
+        result = table1.run(n_runs=100, seed=0, config=config)
+        assert result.best_method() == 3
+
+    def test_report_renders(self):
+        report = table1.format_report(table1.run(n_runs=50, seed=0))
+        assert "method 3" in report
+        assert "0.7445" in report
+
+
+class TestBaselines:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return baselines.run(n_runs=4, seed=0)
+
+    def test_all_detectors_present(self, result):
+        assert set(result.table) == {
+            "ar_model_error",
+            "entropy_change",
+            "clustering",
+            "endorsement",
+            "beta_filter",
+            "cusum",
+            "variance_ratio",
+        }
+
+    def test_ar_detects_moderate_bias(self, result):
+        counts = result.table["ar_model_error"]["moderate_bias"]
+        assert counts.detection_ratio > 0.4
+
+    def test_baselines_blind_to_moderate_bias(self, result):
+        for name in ("entropy_change", "clustering", "endorsement", "beta_filter"):
+            counts = result.table[name]["moderate_bias"]
+            assert counts.detection_ratio < 0.2, name
+
+    def test_report_renders(self, result):
+        report = baselines.format_report(result)
+        assert "moderate_bias" in report

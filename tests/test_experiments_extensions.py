@@ -1,0 +1,125 @@
+"""Tests for the extension experiments (adaptive attacks, forgetting)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import REGISTRY, adaptive_attacks, forgetting
+from repro.simulation.marketplace import MarketplaceConfig, generate_marketplace
+
+
+class TestRegistry:
+    def test_extensions_registered(self):
+        assert "adaptive-attacks" in REGISTRY
+        assert "forgetting" in REGISTRY
+
+
+class TestAdaptiveAttacks:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return adaptive_attacks.run(n_runs=10, seed=0)
+
+    def test_all_strategies_measured(self, result):
+        assert set(result.outcomes) == {
+            "naive_tight",
+            "camouflage",
+            "ramp",
+            "duty_cycle",
+        }
+
+    def test_naive_is_most_detectable(self, result):
+        naive_auc = result.outcomes["naive_tight"].auc
+        assert naive_auc > 0.9
+        assert naive_auc >= max(o.auc for o in result.outcomes.values()) - 0.05
+
+    def test_camouflage_evades(self, result):
+        # At small run counts camouflage and duty-cycling can swap rank;
+        # both must clearly beat the naive channel at evading.
+        assert result.most_evasive in ("camouflage", "duty_cycle")
+        assert (
+            result.outcomes["camouflage"].auc
+            < result.outcomes["naive_tight"].auc - 0.1
+        )
+
+    def test_camouflage_pays_damage_cost(self, result):
+        # Wide recruited ratings clip at the scale top: less shift.
+        assert (
+            result.outcomes["camouflage"].damage
+            < result.outcomes["naive_tight"].damage
+        )
+
+    def test_all_strategies_do_damage(self, result):
+        for name, outcome in result.outcomes.items():
+            assert outcome.damage > 0.0, name
+
+    def test_report_renders(self, result):
+        report = adaptive_attacks.format_report(result)
+        assert "camouflage" in report
+        assert "damage" in report
+
+
+class TestCampaignStartMonth:
+    def test_no_unfair_ratings_before_start(self):
+        config = MarketplaceConfig(
+            n_reliable=60,
+            n_careless=30,
+            n_pc=30,
+            n_months=4,
+            p_rate=0.04,
+            campaign_start_month=2,
+        )
+        world = generate_marketplace(config, np.random.default_rng(0))
+        all_ratings = world.store.all_ratings()
+        early_unfair = all_ratings.between(0.0, 60.0).unfair_only()
+        late_unfair = all_ratings.between(60.0, 120.0).unfair_only()
+        assert len(early_unfair) == 0
+        assert len(late_unfair) > 0
+
+    def test_negative_start_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            MarketplaceConfig(campaign_start_month=-1)
+
+
+class TestForgetting:
+    @pytest.fixture(scope="class")
+    def result(self):
+        config = MarketplaceConfig(
+            n_reliable=120,
+            n_careless=60,
+            n_pc=60,
+            n_months=8,
+            p_rate=0.04,
+            campaign_start_month=4,
+        )
+        return forgetting.run(seed=0, switch_month=4, config=config)
+
+    def test_all_factors_measured(self, result):
+        assert set(result.outcomes) == set(forgetting.FACTORS)
+
+    def test_no_detection_before_switch(self, result):
+        for outcome in result.outcomes.values():
+            assert np.all(outcome.detection_by_month[: result.switch_month] < 0.1)
+
+    def test_forgetting_recovers_faster(self, result):
+        final_with = result.detection_at(0.5, -1)
+        final_without = result.detection_at(1.0, -1)
+        assert final_with > final_without + 0.2
+
+    def test_forgetting_keeps_false_alarms_low(self, result):
+        for outcome in result.outcomes.values():
+            assert outcome.final_false_alarm <= 0.1
+
+    def test_trust_shield_without_forgetting(self, result):
+        # Pre-built honest capital keeps PC trust above threshold for
+        # months when evidence never decays.
+        no_forget = result.outcomes[1.0]
+        switch = result.switch_month
+        assert no_forget.pc_trust_by_month[switch + 1] > 0.5
+
+    def test_report_renders(self, result):
+        report = forgetting.format_report(result)
+        assert "no forgetting" in report
+        assert "factor 0.5" in report

@@ -1,0 +1,85 @@
+"""Tests for the whitewashing experiment and the pipeline hook."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import REGISTRY, whitewashing
+from repro.simulation.marketplace import MarketplaceConfig, generate_marketplace
+from repro.simulation.pipeline import PipelineConfig, run_marketplace
+
+
+SMALL = MarketplaceConfig(
+    n_reliable=120, n_careless=60, n_pc=60, n_months=6, p_rate=0.04
+)
+
+
+class TestMonthEndHook:
+    def test_hook_called_per_month(self):
+        world = generate_marketplace(SMALL, np.random.default_rng(0))
+        calls = []
+        run_marketplace(
+            world,
+            PipelineConfig(),
+            month_end_hook=lambda system, month: calls.append(month),
+        )
+        assert calls == list(range(SMALL.n_months))
+
+    def test_hook_mutations_reach_snapshots(self):
+        world = generate_marketplace(SMALL, np.random.default_rng(0))
+
+        def zero_out(system, month):
+            record = system.trust_manager.record(0)
+            record.successes = 0.0
+            record.failures = 100.0
+
+        run = run_marketplace(world, PipelineConfig(), month_end_hook=zero_out)
+        assert run.monthly_trust[-1][0] < 0.05
+
+
+class TestWhitewashing:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return whitewashing.run(seed=5, config=SMALL)
+
+    def test_registered(self):
+        assert "whitewashing" in REGISTRY
+
+    def test_three_variants(self, result):
+        assert set(result.outcomes) == {
+            "stable_ids",
+            "whitewashing",
+            "whitewashing_defended",
+        }
+
+    def test_whitewashing_erases_detection(self, result):
+        assert result.outcomes["stable_ids"].detection_month12 > 0.5
+        assert result.outcomes["whitewashing"].detection_month12 < 0.1
+
+    def test_defense_restores_detection(self, result):
+        assert (
+            result.outcomes["whitewashing_defended"].detection_month12
+            > result.outcomes["whitewashing"].detection_month12 + 0.3
+        )
+
+    def test_resets_happen_only_under_churn(self, result):
+        assert result.outcomes["stable_ids"].n_resets == 0
+        assert result.outcomes["whitewashing"].n_resets > 0
+
+    def test_damage_stays_bounded_under_defense(self, result):
+        defended = result.outcomes["whitewashing_defended"]
+        churned = result.outcomes["whitewashing"]
+        assert (
+            defended.dishonest_errors.mean_signed_error
+            <= churned.dishonest_errors.mean_signed_error + 0.01
+        )
+
+    def test_no_false_alarms(self, result):
+        for outcome in result.outcomes.values():
+            assert outcome.false_alarm_month12 <= 0.05
+
+    def test_report_renders(self, result):
+        report = whitewashing.format_report(result)
+        assert "stable_ids" in report
+        assert "identity resets" in report

@@ -1,0 +1,173 @@
+"""Tests for rating filters (feature extraction I)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.filters.base import NullFilter, WindowedFilter
+from repro.filters.beta_quantile import BetaQuantileFilter, moment_matched_beta
+from repro.filters.robust import IQRFilter, ZScoreFilter
+from repro.ratings.stream import RatingStream
+from tests.conftest import make_rating, make_stream
+
+
+class TestNullFilter:
+    def test_keeps_everything(self, small_stream):
+        result = NullFilter().filter(small_stream)
+        assert len(result.kept) == len(small_stream)
+        assert result.n_removed == 0
+
+
+class TestMomentMatchedBeta:
+    def test_mean_preserved(self, rng):
+        values = rng.beta(4.0, 2.0, size=5000)
+        alpha, beta = moment_matched_beta(values)
+        assert alpha / (alpha + beta) == pytest.approx(np.mean(values), abs=0.01)
+
+    def test_recovers_parameters(self, rng):
+        values = rng.beta(5.0, 3.0, size=50000)
+        alpha, beta = moment_matched_beta(values)
+        assert alpha == pytest.approx(5.0, rel=0.15)
+        assert beta == pytest.approx(3.0, rel=0.15)
+
+    def test_degenerate_consensus(self):
+        alpha, beta = moment_matched_beta(np.full(10, 0.7))
+        assert alpha / (alpha + beta) == pytest.approx(0.7, abs=0.01)
+        assert alpha + beta > 1e5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            moment_matched_beta(np.empty(0))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            moment_matched_beta(np.array([0.5, 1.2]))
+
+
+class TestBetaQuantileFilter:
+    def test_obvious_outlier_removed(self, small_stream):
+        result = BetaQuantileFilter(sensitivity=0.1).filter(small_stream)
+        removed_values = [r.value for r in result.removed]
+        assert 0.0 in removed_values
+
+    def test_consensus_kept(self):
+        stream = make_stream([0.7] * 20)
+        result = BetaQuantileFilter().filter(stream)
+        assert result.n_removed == 0
+
+    def test_small_windows_passed_through(self):
+        stream = make_stream([0.9, 0.1, 0.5])
+        result = BetaQuantileFilter(min_ratings=5).filter(stream)
+        assert result.n_removed == 0
+
+    def test_moderate_bias_collusion_survives(self, rng):
+        # The paper's point: colluders one level above the majority are
+        # not outliers by value.
+        honest = list(np.clip(rng.normal(0.5, 0.2, size=60), 0, 1))
+        colluders = list(np.clip(rng.normal(0.65, 0.05, size=40), 0, 1))
+        stream = make_stream(honest + colluders)
+        result = BetaQuantileFilter(sensitivity=0.1).filter(stream)
+        colluder_ids = set(range(60, 100))
+        removed_colluders = colluder_ids & set(result.removed_ids)
+        assert len(removed_colluders) < 5
+
+    def test_sensitivity_bounds_removal_mass(self, rng):
+        values = rng.uniform(0, 1, size=500)
+        stream = make_stream(values)
+        result = BetaQuantileFilter(sensitivity=0.05).filter(stream)
+        assert result.n_removed <= 0.12 * len(stream)
+
+    def test_fitted_mode_interior_outlier(self, rng):
+        values = list(np.clip(rng.normal(0.5, 0.08, size=50), 0, 1)) + [0.95]
+        stream = make_stream(values)
+        result = BetaQuantileFilter(sensitivity=0.05, mode="fitted").filter(stream)
+        assert 50 in result.removed_ids
+
+    def test_fitted_mode_releases_u_shaped_bounds(self, rng):
+        # High-variance clipped ratings produce mass at the extremes;
+        # the fitted mode must not call the modes outliers.
+        values = np.clip(rng.normal(0.7, 0.45, size=200), 0, 1)
+        stream = make_stream(values)
+        result = BetaQuantileFilter(sensitivity=0.1, mode="fitted").filter(stream)
+        removed_top = [r for r in result.removed if r.value == 1.0]
+        assert not removed_top
+
+    def test_invalid_sensitivity_rejected(self):
+        for q in (0.0, 0.5, -0.1):
+            with pytest.raises(ConfigurationError):
+                BetaQuantileFilter(sensitivity=q)
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BetaQuantileFilter(mode="magic")
+
+    def test_result_partition_is_exact(self, small_stream):
+        result = BetaQuantileFilter().filter(small_stream)
+        kept_ids = {r.rating_id for r in result.kept}
+        removed_ids = set(result.removed_ids)
+        assert kept_ids | removed_ids == {r.rating_id for r in small_stream}
+        assert not kept_ids & removed_ids
+
+
+class TestZScoreFilter:
+    def test_outlier_removed(self, small_stream):
+        result = ZScoreFilter(k=2.0).filter(small_stream)
+        assert any(r.value == 0.0 for r in result.removed)
+
+    def test_uniform_window_untouched(self):
+        stream = make_stream([0.5] * 10)
+        assert ZScoreFilter().filter(stream).n_removed == 0
+
+    def test_small_window_passed(self):
+        stream = make_stream([0.9, 0.1])
+        assert ZScoreFilter().filter(stream).n_removed == 0
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ZScoreFilter(k=0.0)
+
+
+class TestIQRFilter:
+    def test_outlier_removed(self):
+        stream = make_stream([0.5, 0.52, 0.48, 0.51, 0.49, 0.5, 0.99])
+        result = IQRFilter(k=1.5).filter(stream)
+        assert any(r.value == 0.99 for r in result.removed)
+
+    def test_needs_four_ratings(self):
+        stream = make_stream([0.1, 0.9, 0.5])
+        assert IQRFilter().filter(stream).n_removed == 0
+
+
+class TestWindowedFilter:
+    def test_filters_within_windows_independently(self, rng):
+        # Window 1: tight around 0.3 with an outlier at 0.9.
+        # Window 2: tight around 0.9 -- 0.9 is normal there.
+        w1_values = [0.3, 0.31, 0.29, 0.3, 0.32, 0.28, 0.3, 0.31, 0.29, 0.9]
+        w2_values = [0.9, 0.91, 0.89, 0.9, 0.92, 0.88, 0.9, 0.91, 0.89, 0.9]
+        ratings = [
+            make_rating(i, v, time=float(i) * 0.1) for i, v in enumerate(w1_values)
+        ] + [
+            make_rating(100 + i, v, time=10.0 + i * 0.1)
+            for i, v in enumerate(w2_values)
+        ]
+        stream = RatingStream.from_ratings(ratings)
+        windowed = WindowedFilter(
+            ZScoreFilter(k=2.0), window_length=10.0, origin=0.0
+        )
+        result = windowed.filter(stream)
+        removed_values = [r.value for r in result.removed]
+        assert removed_values == [0.9]
+
+    def test_empty_stream(self):
+        result = WindowedFilter(ZScoreFilter(), window_length=10.0).filter(
+            RatingStream()
+        )
+        assert result.n_removed == 0
+
+    def test_min_count_skips_sparse_windows(self):
+        ratings = [make_rating(0, 0.9, time=0.5), make_rating(1, 0.1, time=25.0)]
+        stream = RatingStream.from_ratings(ratings)
+        windowed = WindowedFilter(ZScoreFilter(), window_length=10.0, min_count=3)
+        assert windowed.filter(stream).n_removed == 0

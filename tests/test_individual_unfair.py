@@ -1,0 +1,81 @@
+"""Tests for individual unfair raters and their damage experiment."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import REGISTRY, individual_unfair
+from repro.raters.individual import DispositionalRater, RandomRater
+from repro.ratings.models import RaterClass
+from repro.ratings.scales import ELEVEN_LEVEL
+
+
+class TestDispositionalRater:
+    def test_bias_applied(self, rng):
+        rater = DispositionalRater(0, ELEVEN_LEVEL, variance=0.0, disposition=0.2)
+        assert rater.rate(0.5, rng) == pytest.approx(0.7)
+
+    def test_negative_disposition(self, rng):
+        rater = DispositionalRater(0, ELEVEN_LEVEL, variance=0.0, disposition=-0.2)
+        assert rater.rate(0.5, rng) == pytest.approx(0.3)
+
+    def test_mean_with_noise(self, rng):
+        rater = DispositionalRater(0, ELEVEN_LEVEL, variance=0.01, disposition=0.1)
+        ratings = [rater.rate(0.5, rng) for _ in range(300)]
+        assert np.mean(ratings) == pytest.approx(0.6, abs=0.03)
+
+    def test_not_honest_class(self):
+        rater = DispositionalRater(0, ELEVEN_LEVEL, 0.1, 0.2)
+        assert rater.rater_class is RaterClass.INDIVIDUAL_UNFAIR
+        assert not rater.is_honest
+
+    def test_extreme_disposition_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DispositionalRater(0, ELEVEN_LEVEL, 0.1, disposition=1.5)
+
+
+class TestRandomRater:
+    def test_uniform_over_levels(self, rng):
+        rater = RandomRater(0, ELEVEN_LEVEL)
+        ratings = [rater.rate(0.9, rng) for _ in range(2000)]
+        # Mean near the scale midpoint regardless of quality.
+        assert np.mean(ratings) == pytest.approx(0.5, abs=0.05)
+        assert len(set(np.round(ratings, 9))) == 11
+
+    def test_variance_attribute_matches_scale(self):
+        rater = RandomRater(0, ELEVEN_LEVEL)
+        assert rater.variance == pytest.approx(np.var(ELEVEN_LEVEL.values))
+
+
+class TestExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return individual_unfair.run(n_runs=15, seed=0)
+
+    def test_registered(self):
+        assert "individual-unfair" in REGISTRY
+
+    def test_symmetric_dispositions_cancel(self, result):
+        symmetric = result.outcomes["individual_symmetric"]
+        campaign = result.outcomes["collaborative_campaign"]
+        assert abs(symmetric.mean_shift) < 0.4 * abs(campaign.mean_shift)
+
+    def test_campaign_transient_dominates(self, result):
+        campaign = result.outcomes["collaborative_campaign"]
+        for name in ("individual_symmetric", "individual_one_sided"):
+            assert campaign.peak_window_shift > result.outcomes[
+                name
+            ].peak_window_shift
+
+    def test_detector_fires_on_coordination_only(self, result):
+        campaign = result.outcomes["collaborative_campaign"]
+        assert campaign.detection_rate > 0.6
+        for name in ("individual_symmetric", "individual_one_sided"):
+            assert result.outcomes[name].detection_rate < campaign.detection_rate - 0.3
+
+    def test_report_renders(self, result):
+        report = individual_unfair.format_report(result)
+        assert "mean shift" in report
+        assert "AR detected" in report

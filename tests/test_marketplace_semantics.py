@@ -1,0 +1,114 @@
+"""Behavioural-semantics tests for the marketplace generator.
+
+The Section IV prose makes quantitative claims about rater behaviour
+("the potential collaborative raters are 6 times more likely to rate a
+dishonest product"); these tests verify the generator realizes them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulation.marketplace import MarketplaceConfig, generate_marketplace
+
+
+CONFIG = MarketplaceConfig(
+    n_reliable=150, n_careless=50, n_pc=100, n_months=4, p_rate=0.02, a1=6.0, a2=0.5
+)
+
+
+@pytest.fixture(scope="module")
+def world():
+    return generate_marketplace(CONFIG, np.random.default_rng(21))
+
+
+class TestParticipationRates:
+    def test_recruited_pc_concentrate_on_the_campaign(self, world):
+        # Recruited PC raters rate the dishonest product during the
+        # attack window at a1 * p_rate -- far above the honest rate.
+        hits = 0
+        recruited_total = 0
+        for schedule in world.schedules:
+            stream = world.store.stream(schedule.product_id)
+            raters_on_product = set(stream.rater_ids.tolist())
+            recruited = set(schedule.recruited_rater_ids)
+            recruited_total += len(recruited)
+            hits += len(recruited & raters_on_product)
+        recruited_rate = hits / recruited_total
+        # Expected ~1 - (1 - a1*p_rate)^attack_days ~ 0.72.
+        assert recruited_rate > 0.5
+
+        # Honest raters hit the same product at the base daily rate over
+        # the full month (~1 - 0.98^30 ~ 0.45) -- recruited raters get
+        # there in a third of the time.
+        honest_hits = 0
+        for schedule in world.schedules:
+            stream = world.store.stream(schedule.product_id)
+            in_attack = stream.between(schedule.attack_start, schedule.attack_end)
+            honest_in_attack = {
+                r.rater_id
+                for r in in_attack
+                if world.rater_classes[r.rater_id].is_honest
+            }
+            honest_hits += len(honest_in_attack)
+        honest_attack_rate = honest_hits / (
+            (CONFIG.n_reliable + CONFIG.n_careless) * CONFIG.n_months
+        )
+        assert recruited_rate > 2.0 * honest_attack_rate
+
+    def test_idle_pc_rate_at_reduced_probability(self, world):
+        # Non-recruited PC raters browse at a2 * p_rate: their per-
+        # product participation is roughly a2 times the honest one.
+        honest_count = 0
+        idle_pc_count = 0
+        recruited_by_month = [
+            set(s.recruited_rater_ids) for s in world.schedules
+        ]
+        for month, schedule in enumerate(world.schedules):
+            for pid in range(month * 5, month * 5 + 4):  # honest products
+                stream = world.store.stream(pid)
+                for rater_id in set(stream.rater_ids.tolist()):
+                    cls = world.rater_classes[rater_id]
+                    if cls.is_honest:
+                        honest_count += 1
+                    elif rater_id not in recruited_by_month[month]:
+                        idle_pc_count += 1
+        n_honest = CONFIG.n_reliable + CONFIG.n_careless
+        n_idle_pc = CONFIG.n_pc - len(recruited_by_month[0])
+        honest_rate = honest_count / n_honest
+        idle_rate = idle_pc_count / max(1, n_idle_pc)
+        assert idle_rate < 0.8 * honest_rate
+
+    def test_recruited_pc_do_not_rate_honest_products_that_month(self, world):
+        for month, schedule in enumerate(world.schedules):
+            recruited = set(schedule.recruited_rater_ids)
+            for pid in range(month * 5, month * 5 + 4):
+                raters = set(world.store.stream(pid).rater_ids.tolist())
+                assert not raters & recruited
+
+
+class TestScheduleStructure:
+    def test_product_blocks_disjoint_across_months(self, world):
+        seen = set()
+        for month in range(CONFIG.n_months):
+            block = set(range(month * 5, (month + 1) * 5))
+            assert not block & seen
+            seen |= block
+
+    def test_attack_windows_inside_their_months(self, world):
+        for schedule in world.schedules:
+            month_start = schedule.month * CONFIG.days_per_month
+            assert month_start <= schedule.attack_start
+            assert schedule.attack_end <= month_start + CONFIG.days_per_month
+
+    def test_recruited_sets_resampled_monthly(self, world):
+        sets = [frozenset(s.recruited_rater_ids) for s in world.schedules]
+        # With 85 of 100 PC raters drawn each month, identical draws
+        # across months would betray a seeding bug.
+        assert len(set(sets)) > 1
+
+    def test_honest_classes_never_unfair(self, world):
+        for rating in world.store.all_ratings():
+            if rating.unfair:
+                assert not world.rater_classes[rating.rater_id].is_honest

@@ -1,0 +1,46 @@
+"""Tests for the named configuration presets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import presets
+from repro.simulation.marketplace import generate_marketplace
+
+
+class TestPresets:
+    def test_paper_illustrative_matches_section_3a2(self):
+        config = presets.paper_illustrative()
+        assert config.arrival_rate == 3.0
+        assert (config.attack_start, config.attack_end) == (30.0, 44.0)
+        assert config.bias_shift2 == 0.15
+
+    def test_detection_vs_aggregation_scaling(self):
+        detection = presets.paper_marketplace_detection()
+        aggregation = presets.paper_marketplace_aggregation()
+        assert detection.a1 == 6.0
+        assert aggregation.a1 == 8.0
+        assert presets.paper_marketplace_aggregation(0.2).bias_shift2 == 0.2
+
+    def test_factories_return_fresh_objects(self):
+        assert presets.paper_illustrative() is not presets.paper_illustrative()
+
+    def test_illustrative_detector_configuration(self):
+        detector = presets.illustrative_detector()
+        assert detector.order == 4
+        assert detector.threshold == 0.10
+        assert detector.windower.size == 50
+
+    def test_compact_marketplace_keeps_window_volume(self):
+        config = presets.compact_marketplace(n_months=1)
+        world = generate_marketplace(config, np.random.default_rng(0))
+        # Per-product volume near the full marketplace's (~300/month),
+        # so 10-day AR windows hold tens of ratings.
+        counts = [len(world.store.stream(p)) for p in world.qualities]
+        assert min(counts) > 100
+
+    def test_marketplace_pipeline_default(self):
+        pipeline = presets.marketplace_pipeline()
+        assert pipeline.ar_window_days == 10.0
+        assert pipeline.ar_window_step == 5.0

@@ -1,0 +1,244 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.aggregation.methods import (
+    BetaFunctionAggregator,
+    ModifiedWeightedAverage,
+    PlainWeightedAverage,
+    SimpleAverage,
+    SunTrustModelAggregator,
+)
+from repro.filters.beta_quantile import BetaQuantileFilter, moment_matched_beta
+from repro.ratings.scales import RatingScale
+from repro.ratings.stream import RatingStream
+from repro.signal.ar import arcov
+from repro.signal.windows import CountWindower, TimeWindower
+from repro.trust.entropy_trust import entropy_trust, entropy_trust_inverse
+from repro.trust.records import TrustRecord, beta_trust
+from tests.conftest import make_rating
+
+
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+unit_arrays = arrays(
+    dtype=float,
+    shape=st.integers(min_value=1, max_value=30),
+    elements=unit,
+)
+
+
+def parallel_values_trusts(draw):
+    values = draw(unit_arrays)
+    trusts = draw(
+        arrays(dtype=float, shape=values.shape, elements=unit)
+    )
+    return values, trusts
+
+
+pairs = st.builds(lambda: None).flatmap(lambda _: st.nothing())  # placeholder
+
+
+@st.composite
+def values_and_trusts(draw):
+    values = draw(unit_arrays)
+    trusts = draw(arrays(dtype=float, shape=values.shape, elements=unit))
+    return values, trusts
+
+
+AGGREGATORS = [
+    SimpleAverage(),
+    BetaFunctionAggregator(),
+    ModifiedWeightedAverage(),
+    PlainWeightedAverage(),
+    SunTrustModelAggregator(),
+]
+
+
+class TestAggregatorProperties:
+    @given(values_and_trusts())
+    def test_aggregate_stays_in_unit_interval(self, pair):
+        values, trusts = pair
+        for aggregator in AGGREGATORS:
+            result = aggregator.aggregate(values, trusts)
+            assert 0.0 <= result <= 1.0, aggregator.name
+
+    @given(unit, st.integers(min_value=1, max_value=20))
+    def test_unanimous_ratings_full_trust(self, value, n):
+        # With full trust and unanimous ratings, trust-aware methods
+        # return (nearly) that value.
+        values = [value] * n
+        trusts = [1.0] * n
+        assert SimpleAverage().aggregate(values, trusts) == pytest.approx(value)
+        assert ModifiedWeightedAverage().aggregate(values, trusts) == pytest.approx(
+            value
+        )
+        assert SunTrustModelAggregator().aggregate(values, trusts) == pytest.approx(
+            value
+        )
+
+    @given(values_and_trusts())
+    def test_simple_average_permutation_invariant(self, pair):
+        values, trusts = pair
+        order = np.argsort(values)
+        a = SimpleAverage().aggregate(values, trusts)
+        b = SimpleAverage().aggregate(values[order], trusts[order])
+        assert a == pytest.approx(b)
+
+    @given(values_and_trusts())
+    def test_mwa_bounded_by_value_range(self, pair):
+        values, trusts = pair
+        result = ModifiedWeightedAverage().aggregate(values, trusts)
+        assert values.min() - 1e-9 <= result <= values.max() + 1e-9
+
+
+class TestBetaTrustProperties:
+    @given(
+        st.floats(min_value=0.0, max_value=1e6),
+        st.floats(min_value=0.0, max_value=1e6),
+    )
+    def test_trust_in_open_unit_interval(self, s, f):
+        assert 0.0 < beta_trust(s, f) < 1.0
+
+    @given(
+        st.floats(min_value=0.0, max_value=100.0),
+        st.floats(min_value=0.0, max_value=100.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_forgetting_moves_toward_neutral(self, s, f, factor):
+        record = TrustRecord(rater_id=0, successes=s, failures=f)
+        before = record.trust
+        record.forget(factor)
+        after = record.trust
+        if before >= 0.5:
+            assert 0.5 - 1e-12 <= after <= before + 1e-12
+        else:
+            assert before - 1e-12 <= after <= 0.5 + 1e-12
+
+
+class TestEntropyTrustProperties:
+    @given(unit)
+    def test_range(self, p):
+        assert -1.0 <= entropy_trust(p) <= 1.0
+
+    @given(unit)
+    def test_sign_matches_side(self, p):
+        t = entropy_trust(p)
+        if p > 0.5:
+            assert t > 0.0
+        elif p < 0.5:
+            assert t < 0.0
+        else:
+            assert t == 0.0
+
+    @given(st.floats(min_value=0.001, max_value=0.999))
+    def test_inverse_round_trip(self, p):
+        assert entropy_trust_inverse(entropy_trust(p)) == pytest.approx(p, abs=1e-5)
+
+
+class TestScaleProperties:
+    @given(
+        st.integers(min_value=2, max_value=20),
+        st.floats(min_value=-2.0, max_value=3.0, allow_nan=False),
+    )
+    def test_quantize_is_idempotent_and_legal(self, levels, raw):
+        scale = RatingScale(levels=levels)
+        q = scale.quantize(raw)
+        assert scale.quantize(q) == pytest.approx(q)
+        assert 0.0 <= q <= 1.0
+        # q is one of the scale's levels.
+        assert np.min(np.abs(scale.values - q)) < 1e-9
+
+    @given(arrays(dtype=float, shape=st.integers(1, 50), elements=st.floats(-1, 2)))
+    def test_quantize_array_matches_scalar(self, raw):
+        scale = RatingScale(levels=11)
+        np.testing.assert_allclose(
+            scale.quantize_array(raw),
+            [scale.quantize(float(v)) for v in raw],
+        )
+
+
+class TestWindowProperties:
+    @given(
+        st.integers(min_value=1, max_value=20),
+        st.integers(min_value=1, max_value=20),
+        st.integers(min_value=0, max_value=100),
+    )
+    def test_count_windows_cover_without_gaps(self, size, step, n):
+        times = np.arange(float(n))
+        windows = list(CountWindower(size=size, step=step).windows(times))
+        for window in windows:
+            assert window.size == size
+            assert np.all(np.diff(window.indices) == 1)
+        if step <= size and n >= size:
+            covered = set()
+            for window in windows:
+                covered |= set(window.indices.tolist())
+            # Contiguous prefix coverage: all indices up to the last
+            # window's end are covered.
+            last_end = windows[-1].indices[-1]
+            assert covered == set(range(int(last_end) + 1))
+
+    @given(st.lists(st.floats(min_value=0, max_value=100), min_size=1, max_size=50))
+    def test_time_windows_contain_only_their_span(self, raw_times):
+        times = np.sort(np.asarray(raw_times))
+        for window in TimeWindower(length=10.0, origin=0.0).windows(times):
+            inside = times[window.indices]
+            assert np.all(inside >= window.start_time - 1e-9)
+            assert np.all(inside < window.end_time + 1e-9)
+
+
+class TestFilterProperties:
+    @given(
+        arrays(dtype=float, shape=st.integers(5, 60), elements=unit),
+        st.floats(min_value=0.01, max_value=0.3),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_filter_partition_and_mass_bound(self, values, sensitivity):
+        stream = RatingStream.from_ratings(
+            [make_rating(i, float(v), float(i)) for i, v in enumerate(values)]
+        )
+        result = BetaQuantileFilter(sensitivity=sensitivity).filter(stream)
+        assert len(result.kept) + len(result.removed) == len(stream)
+        # The quantile band keeps at least 1 - 2q of the mass.
+        assert len(result.removed) <= int(np.ceil(2 * sensitivity * len(stream))) + 1
+
+    @given(arrays(dtype=float, shape=st.integers(1, 100), elements=unit))
+    @settings(max_examples=50, deadline=None)
+    def test_moment_matched_beta_mean(self, values):
+        alpha, beta = moment_matched_beta(values)
+        assert alpha > 0 and beta > 0
+        mean = float(np.mean(values))
+        if 0.02 < mean < 0.98 and np.var(values) > 1e-4:
+            assert alpha / (alpha + beta) == pytest.approx(mean, abs=0.05)
+
+
+class TestArProperties:
+    @given(
+        arrays(
+            dtype=float,
+            shape=st.integers(min_value=20, max_value=80),
+            elements=st.floats(min_value=0.0, max_value=1.0),
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_normalized_error_bounded(self, values):
+        model = arcov(values, order=4)
+        assert 0.0 <= model.normalized_error <= 1.0
+
+    @given(
+        arrays(
+            dtype=float,
+            shape=st.integers(min_value=20, max_value=60),
+            elements=st.floats(min_value=0.1, max_value=1.0),
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_error_never_exceeds_signal_energy(self, values):
+        model = arcov(values, order=3)
+        assert model.error_energy <= model.signal_energy + 1e-6

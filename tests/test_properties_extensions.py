@@ -1,0 +1,160 @@
+"""Property-based tests for the extension modules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.detectors.online import OnlineARDetector
+from repro.evaluation.textplot import line_chart, sparkline
+from repro.ratings.io import read_jsonl, write_jsonl
+from repro.ratings.stream import RatingStream
+from repro.reporting import to_jsonable
+from repro.trust.dynamics import (
+    BehaviourProfile,
+    asymptotic_trust,
+    detection_interval,
+    expected_trust_trajectory,
+)
+from tests.conftest import make_rating
+
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+rates = st.floats(min_value=0.0, max_value=10.0, allow_nan=False)
+
+
+@st.composite
+def profiles(draw):
+    return BehaviourProfile(
+        honest_rate=draw(rates),
+        unfair_rate=draw(rates),
+        filter_rate=draw(unit),
+        flag_rate=draw(unit),
+        level=draw(unit),
+        badness=draw(st.floats(min_value=0.0, max_value=3.0)),
+    )
+
+
+class TestDynamicsProperties:
+    @given(profiles(), st.integers(min_value=1, max_value=50))
+    def test_trajectory_stays_in_unit_interval(self, profile, n):
+        trajectory = expected_trust_trajectory(profile, n)
+        assert np.all(trajectory > 0.0)
+        assert np.all(trajectory < 1.0)
+
+    @given(profiles())
+    def test_asymptote_brackets_long_run(self, profile):
+        # Vanishing evidence rates converge arbitrarily slowly past the
+        # Beta(1,1) prior; require a minimally active rater.
+        assume(profile.success_increment + profile.failure_increment > 0.05)
+        trajectory = expected_trust_trajectory(profile, 4000)
+        assert trajectory[-1] == pytest.approx(
+            asymptotic_trust(profile), abs=0.03
+        )
+
+    @given(profiles(), st.floats(min_value=0.1, max_value=0.9))
+    def test_forgetting_asymptote_closer_to_prior(self, profile, factor):
+        free = asymptotic_trust(profile, 1.0)
+        damped = asymptotic_trust(profile, factor)
+        assert abs(damped - 0.5) <= abs(free - 0.5) + 1e-9
+
+    @given(profiles())
+    def test_detection_interval_consistent_with_trajectory(self, profile):
+        interval = detection_interval(profile, max_intervals=200)
+        trajectory = expected_trust_trajectory(profile, 200)
+        if interval is None:
+            assert np.all(trajectory >= 0.5)
+        else:
+            assert trajectory[interval - 1] < 0.5
+            assert np.all(trajectory[: interval - 1] >= 0.5)
+
+
+class TestOnlineDetectorProperties:
+    @given(
+        arrays(dtype=float, shape=st.integers(1, 120), elements=unit),
+        st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_verdict_count_matches_stride_schedule(self, values, stride):
+        detector = OnlineARDetector(window_size=20, stride=stride, threshold=0.1)
+        ratings = [
+            make_rating(i, float(np.round(v, 2)), float(i))
+            for i, v in enumerate(values)
+        ]
+        emitted = detector.observe_many(ratings)
+        n = len(values)
+        expected = 0 if n < 20 else 1 + (n - 20) // stride
+        # Evaluations can be skipped only on fit failure, never added.
+        assert len(emitted) <= expected
+        assert len(detector.verdicts) == len(emitted)
+
+    @given(arrays(dtype=float, shape=st.integers(25, 60), elements=unit))
+    @settings(max_examples=40, deadline=None)
+    def test_statistics_bounded(self, values):
+        detector = OnlineARDetector(window_size=20, stride=3, threshold=0.1)
+        ratings = [
+            make_rating(i, float(np.round(v, 2)), float(i))
+            for i, v in enumerate(values)
+        ]
+        detector.observe_many(ratings)
+        for verdict in detector.verdicts:
+            assert 0.0 <= verdict.statistic <= 1.0
+
+
+class TestTextplotProperties:
+    @given(arrays(dtype=float, shape=st.integers(1, 60), elements=unit))
+    def test_sparkline_length_and_charset(self, values):
+        strip = sparkline(values)
+        assert len(strip) == len(values)
+        assert set(strip) <= set("▁▂▃▄▅▆▇█")
+
+    @given(
+        arrays(dtype=float, shape=st.integers(1, 40), elements=unit),
+        st.integers(min_value=2, max_value=12),
+    )
+    def test_line_chart_row_count(self, values, height):
+        chart = line_chart({"s": values}, height=height)
+        assert len(chart.splitlines()) == height + 2
+
+
+class TestIoProperties:
+    @given(
+        rows=st.lists(
+            st.tuples(unit, st.floats(min_value=0.0, max_value=1e6), st.booleans()),
+            min_size=0,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_jsonl_round_trip(self, rows, tmp_path_factory):
+        path = tmp_path_factory.mktemp("io") / "trace.jsonl"
+        ratings = [
+            make_rating(i, float(np.round(v, 6)), float(t), unfair=u)
+            for i, (v, t, u) in enumerate(rows)
+        ]
+        stream = RatingStream.from_ratings(ratings)
+        write_jsonl(stream, path)
+        loaded = read_jsonl(path)
+        assert len(loaded) == len(stream)
+        for a, b in zip(stream, loaded):
+            assert a.value == pytest.approx(b.value)
+            assert a.unfair == b.unfair
+
+
+class TestReportingProperties:
+    @given(
+        st.recursive(
+            st.one_of(st.none(), st.booleans(), st.integers(), unit, st.text(max_size=10)),
+            lambda children: st.one_of(
+                st.lists(children, max_size=4),
+                st.dictionaries(st.text(max_size=5), children, max_size=4),
+            ),
+            max_leaves=20,
+        )
+    )
+    def test_to_jsonable_always_serializable(self, obj):
+        import json
+
+        json.dumps(to_jsonable(obj))

@@ -1,0 +1,118 @@
+"""Tests for rater behaviour models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.raters.collaborative import (
+    PotentialCollaborativeRater,
+    Type1CollaborativeRater,
+    Type2CollaborativeRater,
+)
+from repro.raters.honest import CarelessRater, ReliableRater
+from repro.ratings.models import RaterClass
+from repro.ratings.scales import ELEVEN_LEVEL
+
+
+class TestHonestRaters:
+    def test_mean_tracks_quality(self, rng):
+        rater = ReliableRater(rater_id=0, scale=ELEVEN_LEVEL, variance=0.01)
+        ratings = [rater.rate(0.7, rng) for _ in range(500)]
+        assert np.mean(ratings) == pytest.approx(0.7, abs=0.03)
+
+    def test_zero_variance_is_deterministic(self, rng):
+        rater = ReliableRater(rater_id=0, scale=ELEVEN_LEVEL, variance=0.0)
+        assert rater.rate(0.73, rng) == pytest.approx(0.7)
+
+    def test_careless_wider_than_reliable(self, rng):
+        reliable = ReliableRater(0, ELEVEN_LEVEL, variance=0.05)
+        careless = CarelessRater(1, ELEVEN_LEVEL, variance=0.3)
+        rng2 = np.random.default_rng(12345)
+        r_vals = [reliable.rate(0.5, rng) for _ in range(500)]
+        c_vals = [careless.rate(0.5, rng2) for _ in range(500)]
+        assert np.std(c_vals) > np.std(r_vals)
+
+    def test_ratings_always_on_scale(self, rng):
+        rater = CarelessRater(0, ELEVEN_LEVEL, variance=0.5)
+        levels = set(np.round(ELEVEN_LEVEL.values, 9))
+        for _ in range(100):
+            assert round(rater.rate(0.5, rng), 9) in levels
+
+    def test_classes_and_honesty(self):
+        assert ReliableRater(0, ELEVEN_LEVEL, 0.1).is_honest
+        assert CarelessRater(0, ELEVEN_LEVEL, 0.1).is_honest
+        assert CarelessRater(0, ELEVEN_LEVEL, 0.1).rater_class is RaterClass.CARELESS
+
+    def test_profile_carries_variance(self):
+        profile = ReliableRater(7, ELEVEN_LEVEL, 0.2).profile()
+        assert profile.rater_id == 7
+        assert profile.variance == 0.2
+
+    def test_negative_variance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ReliableRater(0, ELEVEN_LEVEL, variance=-0.1)
+
+
+class TestType1:
+    def test_shift_applied(self, rng):
+        rater = Type1CollaborativeRater(0, ELEVEN_LEVEL, variance=0.0, bias_shift=0.2)
+        assert rater.rate(0.5, rng) == pytest.approx(0.7)
+
+    def test_honest_opinion_unshifted(self, rng):
+        rater = Type1CollaborativeRater(0, ELEVEN_LEVEL, variance=0.0, bias_shift=0.2)
+        assert rater.honest_opinion(0.5, rng) == pytest.approx(0.5)
+
+    def test_mean_shift_with_noise(self, rng):
+        rater = Type1CollaborativeRater(0, ELEVEN_LEVEL, variance=0.01, bias_shift=0.2)
+        ratings = [rater.rate(0.5, rng) for _ in range(500)]
+        assert np.mean(ratings) == pytest.approx(0.7, abs=0.03)
+
+    def test_not_honest(self):
+        rater = Type1CollaborativeRater(0, ELEVEN_LEVEL, 0.1, 0.2)
+        assert not rater.is_honest
+
+
+class TestType2:
+    def test_mean_and_tightness(self, rng):
+        rater = Type2CollaborativeRater(
+            0, ELEVEN_LEVEL, bias_shift=0.15, bad_variance=0.02
+        )
+        ratings = np.array([rater.rate(0.6, rng) for _ in range(500)])
+        assert np.mean(ratings) == pytest.approx(0.75, abs=0.03)
+        assert np.std(ratings) < 0.2
+
+    def test_downgrade_direction(self, rng):
+        rater = Type2CollaborativeRater(
+            0, ELEVEN_LEVEL, bias_shift=-0.3, bad_variance=0.0
+        )
+        assert rater.rate(0.8, rng) == pytest.approx(0.5)
+
+
+class TestPotentialCollaborative:
+    def test_honest_until_recruited(self, rng):
+        rater = PotentialCollaborativeRater(
+            0, ELEVEN_LEVEL, honest_variance=0.0, bias_shift=0.2, bad_variance=0.0
+        )
+        assert rater.rate(0.5, rng) == pytest.approx(0.5)
+        rater.recruited = True
+        assert rater.rate(0.5, rng) == pytest.approx(0.7)
+        rater.recruited = False
+        assert rater.rate(0.5, rng) == pytest.approx(0.5)
+
+    def test_recruited_variance_is_bad_variance(self, rng):
+        rater = PotentialCollaborativeRater(
+            0, ELEVEN_LEVEL, honest_variance=0.3, bias_shift=0.1, bad_variance=0.001
+        )
+        rater.recruited = True
+        ratings = [rater.rate(0.5, rng) for _ in range(200)]
+        assert np.std(ratings) < 0.1
+
+    def test_negative_bad_variance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PotentialCollaborativeRater(0, ELEVEN_LEVEL, 0.1, 0.1, bad_variance=-1.0)
+
+    def test_class(self):
+        rater = PotentialCollaborativeRater(0, ELEVEN_LEVEL, 0.1, 0.1, 0.01)
+        assert rater.rater_class is RaterClass.POTENTIAL_COLLABORATIVE

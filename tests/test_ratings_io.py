@@ -1,0 +1,101 @@
+"""Tests for rating-trace serialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ratings.io import read_csv, read_jsonl, write_csv, write_jsonl
+from repro.ratings.stream import RatingStream
+from tests.conftest import make_rating, make_stream
+
+
+@pytest.fixture
+def stream():
+    ratings = [
+        make_rating(0, 0.5, 2.0),
+        make_rating(1, 0.7, 0.5, rater_id=9, unfair=True),
+        make_rating(2, 1.0, 1.25, product_id=3),
+    ]
+    return RatingStream.from_ratings(ratings)
+
+
+def assert_streams_equal(a: RatingStream, b: RatingStream) -> None:
+    assert len(a) == len(b)
+    for x, y in zip(a, b):
+        assert x.rating_id == y.rating_id
+        assert x.rater_id == y.rater_id
+        assert x.product_id == y.product_id
+        assert x.value == pytest.approx(y.value)
+        assert x.time == pytest.approx(y.time)
+        assert x.unfair == y.unfair
+
+
+class TestCsv:
+    def test_round_trip(self, stream, tmp_path):
+        path = tmp_path / "trace.csv"
+        assert write_csv(stream, path) == 3
+        assert_streams_equal(read_csv(path), stream)
+
+    def test_read_sorts_by_time(self, stream, tmp_path):
+        path = tmp_path / "trace.csv"
+        write_csv(stream, path)
+        loaded = read_csv(path)
+        assert np.all(np.diff(loaded.times) >= 0)
+
+    def test_empty_stream(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        write_csv(RatingStream(), path)
+        assert len(read_csv(path)) == 0
+
+    def test_malformed_row_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "rating_id,rater_id,product_id,value,time,unfair\n"
+            "1,2,3,not_a_float,0.0,False\n"
+        )
+        with pytest.raises(ConfigurationError):
+            read_csv(path)
+
+    def test_unfair_flag_survives(self, stream, tmp_path):
+        path = tmp_path / "trace.csv"
+        write_csv(stream, path)
+        loaded = read_csv(path)
+        assert [r.unfair for r in loaded] == [r.unfair for r in stream]
+
+
+class TestJsonl:
+    def test_round_trip(self, stream, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        assert write_jsonl(stream, path) == 3
+        assert_streams_equal(read_jsonl(path), stream)
+
+    def test_blank_lines_skipped(self, stream, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(stream, path)
+        padded = path.read_text().replace("\n", "\n\n")
+        path.write_text(padded)
+        assert len(read_jsonl(path)) == 3
+
+    def test_invalid_json_rejected_with_line_number(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        good = (
+            '{"rating_id": 1, "rater_id": 2, "product_id": 3, '
+            '"value": 0.5, "time": 0.0}'
+        )
+        path.write_text(good + "\nnot json\n")
+        with pytest.raises(ConfigurationError, match=":2:"):
+            read_jsonl(path)
+
+    def test_missing_field_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"rating_id": 1, "rater_id": 2}\n')
+        with pytest.raises(ConfigurationError):
+            read_jsonl(path)
+
+    def test_large_round_trip(self, tmp_path, rng):
+        big = make_stream(np.round(rng.uniform(0, 1, size=500), 3))
+        path = tmp_path / "big.jsonl"
+        write_jsonl(big, path)
+        assert_streams_equal(read_jsonl(path), big)

@@ -1,0 +1,93 @@
+"""Tests for the core record types."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ratings.models import (
+    Product,
+    RaterClass,
+    RaterProfile,
+    Rating,
+    fresh_rating_id,
+)
+from repro.ratings.quality import LinearRampQuality
+
+
+class TestRating:
+    def test_valid_construction(self):
+        rating = Rating(rating_id=1, rater_id=2, product_id=3, value=0.5, time=1.0)
+        assert rating.value == 0.5
+        assert not rating.unfair
+
+    def test_value_above_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Rating(rating_id=1, rater_id=1, product_id=1, value=1.2, time=0.0)
+
+    def test_value_below_zero_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Rating(rating_id=1, rater_id=1, product_id=1, value=-0.1, time=0.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Rating(rating_id=1, rater_id=1, product_id=1, value=0.5, time=-1.0)
+
+    def test_boundary_values_accepted(self):
+        for v in (0.0, 1.0):
+            Rating(rating_id=1, rater_id=1, product_id=1, value=v, time=0.0)
+
+    def test_frozen(self):
+        rating = Rating(rating_id=1, rater_id=1, product_id=1, value=0.5, time=0.0)
+        with pytest.raises(AttributeError):
+            rating.value = 0.9
+
+
+class TestFreshRatingId:
+    def test_ids_are_unique_and_increasing(self):
+        a, b, c = fresh_rating_id(), fresh_rating_id(), fresh_rating_id()
+        assert a < b < c
+
+
+class TestRaterClass:
+    def test_honest_classes(self):
+        assert RaterClass.RELIABLE.is_honest
+        assert RaterClass.CARELESS.is_honest
+
+    def test_dishonest_classes(self):
+        assert not RaterClass.TYPE1_COLLABORATIVE.is_honest
+        assert not RaterClass.TYPE2_COLLABORATIVE.is_honest
+        assert not RaterClass.POTENTIAL_COLLABORATIVE.is_honest
+
+    def test_profile_delegates(self):
+        profile = RaterProfile(rater_id=1, rater_class=RaterClass.CARELESS)
+        assert profile.is_honest
+
+
+class TestProduct:
+    def test_constant_quality(self):
+        product = Product(product_id=1, quality=0.6)
+        assert product.quality_at(0.0) == 0.6
+        assert product.quality_at(100.0) == 0.6
+
+    def test_callable_quality(self):
+        ramp = LinearRampQuality(0.7, 0.8, 0.0, 60.0)
+        product = Product(product_id=1, quality=ramp)
+        assert product.quality_at(30.0) == pytest.approx(0.75)
+
+    def test_quality_clipped(self):
+        product = Product(product_id=1, quality=lambda t: 1.5)
+        assert product.quality_at(0.0) == 1.0
+
+    def test_availability_window(self):
+        product = Product(
+            product_id=1, quality=0.5, available_from=10.0, available_until=20.0
+        )
+        assert not product.is_available(5.0)
+        assert product.is_available(10.0)
+        assert product.is_available(19.9)
+        assert not product.is_available(20.0)
+
+    def test_forever_available(self):
+        product = Product(product_id=1, quality=0.5)
+        assert product.is_available(1e9)

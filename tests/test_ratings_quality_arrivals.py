@@ -1,0 +1,95 @@
+"""Tests for quality profiles and arrival processes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ratings.arrivals import nonhomogeneous_arrival_times, poisson_arrival_times
+from repro.ratings.quality import ConstantQuality, LinearRampQuality, PiecewiseQuality
+
+
+class TestQualityProfiles:
+    def test_constant(self):
+        q = ConstantQuality(0.6)
+        assert q(0.0) == q(1e6) == 0.6
+
+    def test_constant_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConstantQuality(1.2)
+
+    def test_ramp_interpolates(self):
+        q = LinearRampQuality(0.7, 0.8, 0.0, 60.0)
+        assert q(0.0) == 0.7
+        assert q(60.0) == 0.8
+        assert q(30.0) == pytest.approx(0.75)
+
+    def test_ramp_saturates_outside(self):
+        q = LinearRampQuality(0.7, 0.8, 10.0, 20.0)
+        assert q(0.0) == 0.7
+        assert q(100.0) == 0.8
+
+    def test_ramp_can_decrease(self):
+        q = LinearRampQuality(0.8, 0.4, 0.0, 10.0)
+        assert q(5.0) == pytest.approx(0.6)
+
+    def test_ramp_bad_interval_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LinearRampQuality(0.7, 0.8, 10.0, 10.0)
+
+    def test_piecewise_steps(self):
+        q = PiecewiseQuality(breakpoints=[10.0, 20.0], values=[0.3, 0.6, 0.9])
+        assert q(5.0) == 0.3
+        assert q(10.0) == 0.6
+        assert q(25.0) == 0.9
+
+    def test_piecewise_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PiecewiseQuality(breakpoints=[1.0], values=[0.5])
+
+    def test_piecewise_unsorted_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PiecewiseQuality(breakpoints=[5.0, 2.0], values=[0.1, 0.2, 0.3])
+
+
+class TestPoissonArrivals:
+    def test_count_matches_rate(self, rng):
+        times = poisson_arrival_times(rate=5.0, start=0.0, end=100.0, rng=rng)
+        assert times.size == pytest.approx(500, rel=0.2)
+
+    def test_times_sorted_and_bounded(self, rng):
+        times = poisson_arrival_times(rate=3.0, start=10.0, end=20.0, rng=rng)
+        assert np.all(np.diff(times) >= 0)
+        assert np.all((times >= 10.0) & (times < 20.0))
+
+    def test_zero_rate(self, rng):
+        assert poisson_arrival_times(0.0, 0.0, 10.0, rng).size == 0
+
+    def test_empty_interval(self, rng):
+        assert poisson_arrival_times(5.0, 3.0, 3.0, rng).size == 0
+
+    def test_negative_rate_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            poisson_arrival_times(-1.0, 0.0, 1.0, rng)
+
+    def test_inverted_interval_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            poisson_arrival_times(1.0, 5.0, 4.0, rng)
+
+
+class TestNonhomogeneousArrivals:
+    def test_thinning_respects_rate_shape(self, rng):
+        # Rate 10 in the first half, 0 in the second half.
+        rate_fn = lambda t: 10.0 if t < 50.0 else 0.0
+        times = nonhomogeneous_arrival_times(rate_fn, 10.0, 0.0, 100.0, rng)
+        assert np.all(times < 50.0)
+        assert times.size == pytest.approx(500, rel=0.2)
+
+    def test_constant_rate_matches_homogeneous(self, rng):
+        times = nonhomogeneous_arrival_times(lambda t: 4.0, 4.0, 0.0, 100.0, rng)
+        assert times.size == pytest.approx(400, rel=0.25)
+
+    def test_rate_above_bound_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            nonhomogeneous_arrival_times(lambda t: 20.0, 10.0, 0.0, 10.0, rng)

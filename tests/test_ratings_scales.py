@@ -1,0 +1,78 @@
+"""Tests for rating scales and quantization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ratings.scales import ELEVEN_LEVEL, FIVE_STAR, TEN_LEVEL, RatingScale
+
+
+class TestScaleDefinition:
+    def test_eleven_level_values(self):
+        np.testing.assert_allclose(ELEVEN_LEVEL.values, np.arange(11) / 10.0)
+
+    def test_ten_level_values(self):
+        np.testing.assert_allclose(TEN_LEVEL.values, np.arange(1, 11) / 10.0)
+
+    def test_five_star_values(self):
+        np.testing.assert_allclose(FIVE_STAR.values, [0.2, 0.4, 0.6, 0.8, 1.0])
+
+    def test_step(self):
+        assert ELEVEN_LEVEL.step == pytest.approx(0.1)
+        assert TEN_LEVEL.step == pytest.approx(0.1)
+
+    def test_single_level_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RatingScale(levels=1)
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RatingScale(levels=5, minimum=0.9, maximum=0.1)
+
+
+class TestQuantize:
+    def test_rounds_to_nearest_level(self):
+        assert ELEVEN_LEVEL.quantize(0.34) == pytest.approx(0.3)
+        assert ELEVEN_LEVEL.quantize(0.36) == pytest.approx(0.4)
+
+    def test_clips_below(self):
+        assert ELEVEN_LEVEL.quantize(-0.7) == 0.0
+        assert TEN_LEVEL.quantize(-0.7) == pytest.approx(0.1)
+
+    def test_clips_above(self):
+        assert ELEVEN_LEVEL.quantize(2.0) == 1.0
+
+    def test_exact_levels_preserved(self):
+        for level in TEN_LEVEL.values:
+            assert TEN_LEVEL.quantize(float(level)) == pytest.approx(level)
+
+    def test_quantize_array_matches_scalar(self, rng):
+        raw = rng.uniform(-0.5, 1.5, size=50)
+        arr = ELEVEN_LEVEL.quantize_array(raw)
+        scalars = [ELEVEN_LEVEL.quantize(float(v)) for v in raw]
+        np.testing.assert_allclose(arr, scalars)
+
+    def test_output_is_always_a_level(self, rng):
+        raw = rng.uniform(-1, 2, size=200)
+        quantized = TEN_LEVEL.quantize_array(raw)
+        levels = set(np.round(TEN_LEVEL.values, 9))
+        assert set(np.round(quantized, 9)) <= levels
+
+
+class TestFromStars:
+    def test_five_star_mapping(self):
+        assert FIVE_STAR.from_stars(1) == pytest.approx(0.2)
+        assert FIVE_STAR.from_stars(3) == pytest.approx(0.6)
+        assert FIVE_STAR.from_stars(5) == pytest.approx(1.0)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FIVE_STAR.from_stars(0)
+        with pytest.raises(ConfigurationError):
+            FIVE_STAR.from_stars(6)
+
+    def test_stars_onto_different_scale(self):
+        # 3 of 5 stars lands mid-scale on the 11-level scale.
+        assert ELEVEN_LEVEL.from_stars(3, n_stars=5) == pytest.approx(0.5)

@@ -1,0 +1,151 @@
+"""Tests for RatingStream and RatingStore."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import UnknownProductError, UnknownRaterError
+from repro.ratings.models import Product, RaterClass, RaterProfile
+from repro.ratings.store import RatingStore
+from repro.ratings.stream import RatingStream
+from tests.conftest import make_rating, make_stream
+
+
+class TestRatingStream:
+    def test_from_ratings_sorts_by_time(self):
+        ratings = [
+            make_rating(0, 0.5, time=3.0),
+            make_rating(1, 0.6, time=1.0),
+            make_rating(2, 0.7, time=2.0),
+        ]
+        stream = RatingStream.from_ratings(ratings)
+        assert stream.times.tolist() == [1.0, 2.0, 3.0]
+
+    def test_ties_break_by_rating_id(self):
+        ratings = [make_rating(5, 0.5, time=1.0), make_rating(2, 0.6, time=1.0)]
+        stream = RatingStream.from_ratings(ratings)
+        assert [r.rating_id for r in stream] == [2, 5]
+
+    def test_parallel_arrays(self):
+        stream = make_stream([0.1, 0.2, 0.3])
+        np.testing.assert_allclose(stream.values, [0.1, 0.2, 0.3])
+        assert stream.rater_ids.tolist() == [0, 1, 2]
+        assert not stream.unfair_flags.any()
+
+    def test_between_half_open(self):
+        stream = make_stream([0.5] * 5)  # times 0..4
+        sub = stream.between(1.0, 3.0)
+        assert sub.times.tolist() == [1.0, 2.0]
+
+    def test_by_rater(self):
+        ratings = [make_rating(i, 0.5, time=i, rater_id=i % 2) for i in range(6)]
+        stream = RatingStream.from_ratings(ratings)
+        assert len(stream.by_rater(0)) == 3
+
+    def test_without(self):
+        stream = make_stream([0.5, 0.6, 0.7])
+        remaining = stream.without([1])
+        assert [r.rating_id for r in remaining] == [0, 2]
+
+    def test_select(self):
+        stream = make_stream([0.5, 0.6, 0.7, 0.8])
+        sub = stream.select([2, 0])
+        assert [r.rating_id for r in sub] == [0, 2]
+
+    def test_merge_stays_sorted(self):
+        a = make_stream([0.5, 0.6], start_time=0.0, spacing=2.0)  # 0, 2
+        b = make_stream([0.7], start_time=1.0)
+        b = RatingStream.from_ratings(
+            [make_rating(99, 0.7, time=1.0)]
+        )
+        merged = a.merge(b)
+        assert merged.times.tolist() == [0.0, 1.0, 2.0]
+
+    def test_fair_unfair_partition(self):
+        ratings = [
+            make_rating(0, 0.5, time=0.0),
+            make_rating(1, 0.9, time=1.0, unfair=True),
+        ]
+        stream = RatingStream.from_ratings(ratings)
+        assert len(stream.fair_only()) == 1
+        assert len(stream.unfair_only()) == 1
+        assert stream.unfair_only()[0].rating_id == 1
+
+    def test_mean(self):
+        assert make_stream([0.2, 0.4]).mean() == pytest.approx(0.3)
+
+    def test_empty_mean_is_zero(self):
+        assert RatingStream().mean() == 0.0
+
+    def test_len_iter_getitem(self):
+        stream = make_stream([0.1, 0.2])
+        assert len(stream) == 2
+        assert [r.value for r in stream] == [0.1, 0.2]
+        assert stream[1].value == 0.2
+
+
+class TestRatingStore:
+    @pytest.fixture
+    def store(self):
+        store = RatingStore()
+        store.add_product(Product(product_id=1, quality=0.5))
+        store.add_product(Product(product_id=2, quality=0.7, dishonest=True))
+        for rid in range(3):
+            store.add_rater(
+                RaterProfile(rater_id=rid, rater_class=RaterClass.RELIABLE)
+            )
+        return store
+
+    def test_rating_requires_registered_product(self, store):
+        with pytest.raises(UnknownProductError):
+            store.add_rating(make_rating(0, 0.5, time=0.0, product_id=99))
+
+    def test_rating_requires_registered_rater(self, store):
+        with pytest.raises(UnknownRaterError):
+            store.add_rating(make_rating(0, 0.5, time=0.0, rater_id=99, product_id=1))
+
+    def test_streams_by_product(self, store):
+        store.add_rating(make_rating(0, 0.5, time=0.0, rater_id=0, product_id=1))
+        store.add_rating(make_rating(1, 0.6, time=1.0, rater_id=1, product_id=2))
+        assert len(store.stream(1)) == 1
+        assert len(store.stream(2)) == 1
+        assert store.n_ratings == 2
+
+    def test_rater_stream_crosses_products(self, store):
+        store.add_rating(make_rating(0, 0.5, time=0.0, rater_id=0, product_id=1))
+        store.add_rating(make_rating(1, 0.6, time=1.0, rater_id=0, product_id=2))
+        assert len(store.rater_stream(0)) == 2
+
+    def test_has_rated(self, store):
+        assert not store.has_rated(0, 1)
+        store.add_rating(make_rating(0, 0.5, time=0.0, rater_id=0, product_id=1))
+        assert store.has_rated(0, 1)
+        assert not store.has_rated(0, 2)
+
+    def test_unknown_lookups_raise(self, store):
+        with pytest.raises(UnknownProductError):
+            store.stream(42)
+        with pytest.raises(UnknownRaterError):
+            store.rater_stream(42)
+        with pytest.raises(UnknownProductError):
+            store.product(42)
+        with pytest.raises(UnknownRaterError):
+            store.rater(42)
+
+    def test_all_ratings_sorted(self, store):
+        store.add_rating(make_rating(0, 0.5, time=5.0, rater_id=0, product_id=1))
+        store.add_rating(make_rating(1, 0.6, time=1.0, rater_id=1, product_id=2))
+        assert store.all_ratings().times.tolist() == [1.0, 5.0]
+
+    def test_raters_by_class(self, store):
+        store.add_rater(
+            RaterProfile(rater_id=9, rater_class=RaterClass.POTENTIAL_COLLABORATIVE)
+        )
+        grouped = store.raters_by_class()
+        assert grouped[RaterClass.RELIABLE] == [0, 1, 2]
+        assert grouped[RaterClass.POTENTIAL_COLLABORATIVE] == [9]
+
+    def test_ids_sorted(self, store):
+        assert store.product_ids == [1, 2]
+        assert store.rater_ids == [0, 1, 2]

@@ -1,0 +1,104 @@
+"""Tests for structured result export."""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+
+import numpy as np
+import pytest
+
+from repro.ratings.models import RaterClass
+from repro.reporting import dump_json, to_jsonable
+
+
+@dataclasses.dataclass(frozen=True)
+class Inner:
+    values: np.ndarray
+    label: RaterClass
+
+
+@dataclasses.dataclass(frozen=True)
+class Outer:
+    inner: Inner
+    table: dict
+    opaque: object
+
+
+class TestToJsonable:
+    def test_primitives_pass_through(self):
+        assert to_jsonable(5) == 5
+        assert to_jsonable("x") == "x"
+        assert to_jsonable(None) is None
+        assert to_jsonable(True) is True
+
+    def test_numpy_scalars_and_arrays(self):
+        assert to_jsonable(np.int64(3)) == 3
+        assert to_jsonable(np.float64(0.5)) == 0.5
+        assert to_jsonable(np.array([1.0, 2.0])) == [1.0, 2.0]
+
+    def test_huge_array_summarized(self):
+        big = np.zeros(200_001)
+        out = to_jsonable(big)
+        assert out["__array_summary__"] is True
+        assert out["shape"] == [200_001]
+
+    def test_enum_becomes_value(self):
+        assert to_jsonable(RaterClass.CARELESS) == "careless"
+
+    def test_nested_dataclasses(self):
+        outer = Outer(
+            inner=Inner(values=np.array([0.1]), label=RaterClass.RELIABLE),
+            table={1: 0.5, RaterClass.CARELESS: 0.4},
+            opaque=object(),
+        )
+        out = to_jsonable(outer)
+        assert out["inner"]["values"] == [0.1]
+        assert out["inner"]["label"] == "reliable"
+        assert out["table"]["1"] == 0.5
+        assert isinstance(out["opaque"], str)
+
+    def test_sets_become_lists(self):
+        assert sorted(to_jsonable({2, 1})) == [1, 2]
+
+    def test_depth_cap_prevents_runaway(self):
+        nested = [0]
+        for _ in range(30):
+            nested = [nested]
+        out = to_jsonable(nested)
+        assert out is not None  # degraded to repr somewhere, no crash
+
+    def test_result_is_json_serializable(self):
+        outer = Outer(
+            inner=Inner(values=np.arange(3.0), label=RaterClass.RELIABLE),
+            table={"a": np.float32(1.5)},
+            opaque=lambda: None,
+        )
+        json.dumps(to_jsonable(outer))
+
+
+class TestDumpJson:
+    def test_round_trip(self, tmp_path):
+        path = dump_json({"x": np.array([1.0])}, tmp_path / "out.json")
+        loaded = json.loads(path.read_text())
+        assert loaded == {"x": [1.0]}
+
+    def test_experiment_result_dumps(self, tmp_path):
+        from repro.experiments import table1
+
+        result = table1.run(n_runs=5, seed=0)
+        path = dump_json(result, tmp_path / "table1.json")
+        loaded = json.loads(path.read_text())
+        assert "aggregates" in loaded
+        assert loaded["n_runs"] == 5
+
+
+class TestCliJson:
+    def test_json_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "result.json"
+        assert main(["run", "table1", "--runs", "5", "--json", str(out)]) == 0
+        loaded = json.loads(out.read_text())
+        assert loaded["n_runs"] == 5

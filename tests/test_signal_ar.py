@@ -1,0 +1,167 @@
+"""Tests for the AR estimators (covariance, Yule-Walker, Burg)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import InsufficientDataError, SignalModelError
+from repro.signal.ar import AR_METHODS, arburg, arcov, aryule, normalized_model_error
+
+
+def ar2_signal(rng, n=500, a1=-1.5, a2=0.7, std=0.1):
+    """A stable AR(2) process driven by white noise."""
+    x = np.zeros(n + 100)
+    noise = rng.normal(0.0, std, size=n + 100)
+    for t in range(2, n + 100):
+        x[t] = -a1 * x[t - 1] - a2 * x[t - 2] + noise[t]
+    return x[100:]
+
+
+class TestArcov:
+    def test_recovers_ar2_coefficients(self, rng):
+        x = ar2_signal(rng)
+        model = arcov(x, order=2)
+        assert model.coefficients[0] == 1.0
+        assert model.coefficients[1] == pytest.approx(-1.5, abs=0.05)
+        assert model.coefficients[2] == pytest.approx(0.7, abs=0.05)
+
+    def test_normalized_error_in_unit_interval(self, rng):
+        x = rng.normal(0.5, 0.2, size=100)
+        model = arcov(x, order=4)
+        assert 0.0 <= model.normalized_error <= 1.0
+
+    def test_constant_signal_is_perfectly_predictable(self):
+        x = np.full(50, 0.7)
+        model = arcov(x, order=3)
+        assert model.normalized_error == pytest.approx(0.0, abs=1e-9)
+
+    def test_white_noise_with_dc_has_small_error(self, rng):
+        # DC level dominates the energy, so the normalized error is the
+        # noise-to-total-energy ratio.
+        x = 0.8 + rng.normal(0.0, 0.1, size=400)
+        model = arcov(x, order=4)
+        expected = 0.01 / (0.64 + 0.01)
+        assert model.normalized_error == pytest.approx(expected, rel=0.5)
+
+    def test_residuals_match_error_energy(self, rng):
+        x = rng.normal(0.5, 0.2, size=80)
+        model = arcov(x, order=3)
+        assert np.dot(model.residuals, model.residuals) == pytest.approx(
+            model.error_energy
+        )
+
+    def test_residual_count(self, rng):
+        x = rng.normal(0.0, 1.0, size=60)
+        model = arcov(x, order=5)
+        assert model.residuals.size == 60 - 5
+
+    def test_too_few_samples_raises(self):
+        with pytest.raises(InsufficientDataError):
+            arcov(np.ones(8), order=4)
+
+    def test_nan_raises(self):
+        x = np.ones(50)
+        x[10] = np.nan
+        with pytest.raises(SignalModelError):
+            arcov(x, order=2)
+
+    def test_order_zero_rejected(self):
+        with pytest.raises(SignalModelError):
+            arcov(np.arange(50.0), order=0)
+
+    def test_covariance_beats_zeroth_order(self, rng):
+        # The LS fit can never have more residual energy than the
+        # trivial zero predictor over the same support.
+        x = rng.normal(0.3, 0.25, size=120)
+        model = arcov(x, order=4)
+        assert model.error_energy <= model.signal_energy + 1e-9
+
+    def test_predict_matches_residuals_on_fit_window(self, rng):
+        x = rng.normal(0.5, 0.2, size=60)
+        model = arcov(x, order=3)
+        predictions = model.predict(x)
+        np.testing.assert_allclose(x[3:] - predictions, model.residuals, atol=1e-9)
+
+    def test_predict_needs_enough_samples(self, rng):
+        model = arcov(rng.normal(size=40), order=4)
+        with pytest.raises(InsufficientDataError):
+            model.predict(np.ones(4))
+
+
+class TestAryule:
+    def test_recovers_ar2_coefficients(self, rng):
+        x = ar2_signal(rng, n=3000)
+        model = aryule(x, order=2)
+        assert model.coefficients[1] == pytest.approx(-1.5, abs=0.05)
+        assert model.coefficients[2] == pytest.approx(0.7, abs=0.05)
+
+    def test_constant_signal_handled(self):
+        # The biased autocorrelation estimator tapers the edges, so the
+        # Yule-Walker fit of a constant is near-perfect, not exact.
+        model = aryule(np.full(40, 0.3), order=2)
+        assert model.normalized_error < 0.01
+
+    def test_zero_signal_handled(self):
+        model = aryule(np.zeros(40), order=2)
+        assert model.normalized_error == 0.0
+
+    def test_method_label(self, rng):
+        model = aryule(rng.normal(size=50), order=2)
+        assert model.method == "autocorrelation"
+
+
+class TestArburg:
+    def test_recovers_ar2_coefficients(self, rng):
+        x = ar2_signal(rng, n=2000)
+        model = arburg(x, order=2)
+        assert model.coefficients[1] == pytest.approx(-1.5, abs=0.05)
+        assert model.coefficients[2] == pytest.approx(0.7, abs=0.05)
+
+    def test_constant_signal_short_circuits(self):
+        model = arburg(np.full(30, 0.9), order=3)
+        assert model.normalized_error == pytest.approx(0.0, abs=1e-9)
+
+    def test_reflection_magnitudes_stable(self, rng):
+        # Burg's method guarantees a stable model: all poles inside the
+        # unit circle.
+        x = rng.normal(0.0, 1.0, size=200)
+        model = arburg(x, order=6)
+        roots = np.roots(model.coefficients)
+        assert np.all(np.abs(roots) < 1.0 + 1e-8)
+
+
+class TestCrossMethod:
+    @pytest.mark.parametrize("method", sorted(AR_METHODS))
+    def test_all_methods_agree_on_strong_ar1(self, method, rng):
+        x = ar2_signal(rng, n=2000, a1=-0.9, a2=0.0)
+        model = AR_METHODS[method](x, order=1)
+        assert model.coefficients[1] == pytest.approx(-0.9, abs=0.05)
+
+    @pytest.mark.parametrize("method", sorted(AR_METHODS))
+    def test_error_energy_nonnegative(self, method, rng):
+        model = AR_METHODS[method](rng.normal(size=100), order=4)
+        assert model.error_energy >= 0.0
+        assert model.signal_energy >= 0.0
+
+    def test_collusion_window_has_lower_error_than_honest(self, rng):
+        # The core detection premise on raw arrays: a window whose
+        # second half is a tight biased cluster models better than
+        # plain honest noise.
+        honest = np.clip(rng.normal(0.7, 0.45, size=50), 0, 1)
+        attacked = honest.copy()
+        attacked[25:] = np.clip(rng.normal(0.85, 0.14, size=25), 0, 1)
+        e_honest = arcov(honest, 4).normalized_error
+        e_attacked = arcov(attacked, 4).normalized_error
+        assert e_attacked < e_honest
+
+
+class TestNormalizedModelError:
+    def test_zero_energy_means_perfectly_predictable(self):
+        assert normalized_model_error(0.0, 0.0) == 0.0
+
+    def test_clipping_to_one(self):
+        assert normalized_model_error(5.0, 1.0) == 1.0
+
+    def test_ratio(self):
+        assert normalized_model_error(0.2, 0.8) == pytest.approx(0.25)

@@ -1,0 +1,90 @@
+"""Tests for the Levinson-Durbin recursion and autocorrelation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy.linalg import toeplitz
+
+from repro.errors import SignalModelError
+from repro.signal.levinson import autocorrelation_sequence, levinson_durbin
+
+
+class TestAutocorrelation:
+    def test_zero_lag_is_mean_square(self, rng):
+        x = rng.normal(size=200)
+        r = autocorrelation_sequence(x, max_lag=5)
+        assert r[0] == pytest.approx(np.mean(x**2))
+
+    def test_biased_estimator_divides_by_n(self):
+        x = np.array([1.0, 1.0, 1.0, 1.0])
+        r = autocorrelation_sequence(x, max_lag=2)
+        assert r[1] == pytest.approx(3.0 / 4.0)
+        assert r[2] == pytest.approx(2.0 / 4.0)
+
+    def test_lag_too_large_raises(self):
+        with pytest.raises(SignalModelError):
+            autocorrelation_sequence(np.ones(5), max_lag=5)
+
+    def test_white_noise_decorrelates(self, rng):
+        x = rng.normal(size=20000)
+        r = autocorrelation_sequence(x, max_lag=3)
+        assert abs(r[1] / r[0]) < 0.05
+        assert abs(r[2] / r[0]) < 0.05
+
+
+class TestLevinsonDurbin:
+    def test_matches_direct_toeplitz_solve(self, rng):
+        x = rng.normal(size=1000)
+        x = np.convolve(x, [1.0, 0.6, 0.3], mode="full")[: x.size]
+        r = autocorrelation_sequence(x, max_lag=4)
+        result = levinson_durbin(r, order=4)
+        direct = np.linalg.solve(toeplitz(r[:4]), -r[1:5])
+        np.testing.assert_allclose(result.coefficients[1:], direct, atol=1e-8)
+
+    def test_error_decreases_with_order(self, rng):
+        x = rng.normal(size=2000)
+        x = np.convolve(x, [1.0, 0.8], mode="full")[: x.size]
+        r = autocorrelation_sequence(x, max_lag=6)
+        result = levinson_durbin(r, order=6)
+        diffs = np.diff(result.error_per_order)
+        assert np.all(diffs <= 1e-12)
+
+    def test_reflection_coefficients_bounded(self, rng):
+        x = rng.normal(size=500)
+        r = autocorrelation_sequence(x, max_lag=5)
+        result = levinson_durbin(r, order=5)
+        assert np.all(np.abs(result.reflection) <= 1.0)
+
+    def test_known_ar1(self):
+        # For AR(1) with coefficient a, r[k] = r[0] * (-a)^k.
+        a = -0.5
+        r = np.array([1.0, -a, a * a])
+        result = levinson_durbin(r, order=1)
+        assert result.coefficients[1] == pytest.approx(a)
+        assert result.error == pytest.approx(1.0 - a * a)
+
+    def test_short_sequence_raises(self):
+        with pytest.raises(SignalModelError):
+            levinson_durbin(np.array([1.0, 0.5]), order=2)
+
+    def test_nonpositive_r0_raises(self):
+        with pytest.raises(SignalModelError):
+            levinson_durbin(np.array([0.0, 0.0, 0.0]), order=2)
+
+    def test_order_below_one_raises(self):
+        with pytest.raises(SignalModelError):
+            levinson_durbin(np.array([1.0, 0.5]), order=0)
+
+    def test_perfectly_predictable_raises(self):
+        # The analytic autocorrelation of a pure cosine is exactly
+        # predictable at order 2, so the order-3 recursion hits a zero
+        # prediction error.
+        r = np.cos(0.3 * np.arange(5))
+        with pytest.raises(SignalModelError):
+            levinson_durbin(r, order=3)
+
+    def test_cosine_nearly_predictable_at_order_two(self):
+        r = np.cos(0.3 * np.arange(3))
+        result = levinson_durbin(r, order=2)
+        assert result.error == pytest.approx(0.0, abs=1e-12)

@@ -1,0 +1,77 @@
+"""Tests for AR power-spectrum estimation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.signal.ar import arcov, aryule
+from repro.signal.spectrum import ar_power_spectrum, spectral_flatness
+
+
+def narrowband_signal(rng, f0=0.15, n=2000):
+    """A resonant AR(2) process with a spectral peak near f0."""
+    r = 0.97
+    a1 = -2 * r * np.cos(2 * np.pi * f0)
+    a2 = r * r
+    x = np.zeros(n + 200)
+    noise = rng.normal(size=n + 200)
+    for t in range(2, n + 200):
+        x[t] = -a1 * x[t - 1] - a2 * x[t - 2] + noise[t]
+    return x[200:]
+
+
+class TestPowerSpectrum:
+    def test_frequencies_span_nyquist(self, rng):
+        model = arcov(rng.normal(size=100), order=4)
+        spectrum = ar_power_spectrum(model, n_points=64)
+        assert spectrum.frequencies[0] == 0.0
+        assert spectrum.frequencies[-1] == 0.5
+        assert spectrum.power.shape == (64,)
+
+    def test_power_positive(self, rng):
+        model = arcov(rng.normal(size=100), order=4)
+        spectrum = ar_power_spectrum(model)
+        assert np.all(spectrum.power > 0.0)
+
+    def test_peak_at_resonance(self, rng):
+        x = narrowband_signal(rng, f0=0.15)
+        model = aryule(x, order=4)
+        spectrum = ar_power_spectrum(model, n_points=512)
+        assert spectrum.dominant_frequency() == pytest.approx(0.15, abs=0.02)
+
+    def test_white_noise_flat(self, rng):
+        x = rng.normal(size=5000)
+        model = aryule(x, order=4)
+        spectrum = ar_power_spectrum(model)
+        assert spectral_flatness(spectrum) > 0.9
+
+    def test_narrowband_not_flat(self, rng):
+        x = narrowband_signal(rng)
+        model = aryule(x, order=4)
+        spectrum = ar_power_spectrum(model)
+        assert spectral_flatness(spectrum) < 0.5
+
+    def test_total_power_positive(self, rng):
+        model = arcov(rng.normal(size=200), order=3)
+        assert ar_power_spectrum(model).total_power > 0.0
+
+    def test_too_few_points_rejected(self, rng):
+        model = arcov(rng.normal(size=50), order=2)
+        with pytest.raises(ConfigurationError):
+            ar_power_spectrum(model, n_points=1)
+
+    def test_collusion_window_less_flat_than_honest(self, rng):
+        # Spectral view of the paper's premise: the campaign injects a
+        # slowly varying component, tilting power toward low frequency.
+        honest = np.clip(rng.normal(0.7, 0.45, size=60), 0, 1)
+        attacked = honest.copy()
+        attacked[20:50] = np.clip(rng.normal(0.85, 0.1, size=30), 0, 1)
+        flat_honest = spectral_flatness(
+            ar_power_spectrum(arcov(honest - honest.mean(), 4))
+        )
+        flat_attacked = spectral_flatness(
+            ar_power_spectrum(arcov(attacked - attacked.mean(), 4))
+        )
+        assert flat_attacked < flat_honest

@@ -1,0 +1,91 @@
+"""Tests for whiteness diagnostics and detrending."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SignalModelError
+from repro.signal.detrend import remove_linear_trend, remove_mean
+from repro.signal.whiteness import ljung_box, sample_autocorrelation
+
+
+class TestSampleAutocorrelation:
+    def test_rho0_is_one(self, rng):
+        rho = sample_autocorrelation(rng.normal(size=100), max_lag=5)
+        assert rho[0] == pytest.approx(1.0)
+
+    def test_constant_series_raises(self):
+        with pytest.raises(SignalModelError):
+            sample_autocorrelation(np.full(20, 0.4), max_lag=3)
+
+    def test_alternating_series_has_negative_lag1(self):
+        x = np.tile([1.0, -1.0], 50)
+        rho = sample_autocorrelation(x, max_lag=2)
+        assert rho[1] < -0.9
+
+
+class TestLjungBox:
+    def test_white_noise_passes(self, rng):
+        result = ljung_box(rng.normal(size=500), lags=10)
+        assert result.is_white
+        assert result.p_value > 0.05
+
+    def test_correlated_series_fails(self, rng):
+        noise = rng.normal(size=500)
+        x = np.convolve(noise, np.ones(5) / 5, mode="same")
+        result = ljung_box(x, lags=10)
+        assert not result.is_white
+        assert result.p_value < 0.01
+
+    def test_lags_clipped_for_short_series(self, rng):
+        result = ljung_box(rng.normal(size=6), lags=10)
+        assert result.lags == 4
+
+    def test_too_short_raises(self):
+        with pytest.raises(SignalModelError):
+            ljung_box(np.array([1.0, 2.0, 3.0]))
+
+    def test_alpha_threshold_respected(self, rng):
+        x = rng.normal(size=300)
+        loose = ljung_box(x, lags=5, alpha=0.0001)
+        assert loose.is_white  # extremely strict alpha rarely rejects noise
+
+    def test_honest_ratings_look_white(self, rng):
+        # The paper's premise: mean-removed honest ratings are ~white.
+        ratings = np.clip(rng.normal(0.7, 0.45, size=200), 0, 1)
+        result = ljung_box(ratings, lags=8)
+        assert result.is_white
+
+
+class TestDetrend:
+    def test_remove_mean(self):
+        x = remove_mean(np.array([1.0, 2.0, 3.0]))
+        assert np.mean(x) == pytest.approx(0.0)
+
+    def test_remove_mean_returns_new_array(self):
+        original = np.array([1.0, 2.0])
+        result = remove_mean(original)
+        assert result is not original
+        assert original[0] == 1.0
+
+    def test_remove_linear_trend_kills_ramp(self):
+        t = np.linspace(0, 10, 50)
+        x = 0.2 + 0.05 * t
+        detrended = remove_linear_trend(t, x)
+        np.testing.assert_allclose(detrended, 0.0, atol=1e-10)
+
+    def test_remove_linear_trend_preserves_noise_shape(self, rng):
+        t = np.linspace(0, 10, 200)
+        noise = rng.normal(0, 0.1, size=200)
+        x = 0.5 + 0.03 * t + noise
+        detrended = remove_linear_trend(t, x)
+        assert np.std(detrended) == pytest.approx(np.std(noise), rel=0.1)
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            remove_linear_trend(np.arange(3.0), np.arange(4.0))
+
+    def test_degenerate_times_fall_back_to_mean(self):
+        x = remove_linear_trend(np.zeros(5), np.arange(5.0))
+        assert np.mean(x) == pytest.approx(0.0)

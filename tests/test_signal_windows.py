@@ -1,0 +1,148 @@
+"""Tests for count and time windowers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.signal.windows import CountWindower, TimeWindower, Window, moving_average
+
+
+class TestCountWindower:
+    def test_non_overlapping_partition(self):
+        times = np.arange(10.0)
+        windows = list(CountWindower(size=5).windows(times))
+        assert len(windows) == 2
+        assert windows[0].indices.tolist() == [0, 1, 2, 3, 4]
+        assert windows[1].indices.tolist() == [5, 6, 7, 8, 9]
+
+    def test_overlapping_step(self):
+        times = np.arange(10.0)
+        windows = list(CountWindower(size=4, step=2).windows(times))
+        assert [w.indices[0] for w in windows] == [0, 2, 4, 6]
+        assert all(w.size == 4 for w in windows)
+
+    def test_window_times_match_edges(self):
+        times = np.array([0.0, 1.5, 3.0, 7.0])
+        (window,) = CountWindower(size=4).windows(times)
+        assert window.start_time == 0.0
+        assert window.end_time == 7.0
+        assert window.mid_time == pytest.approx(3.5)
+
+    def test_tail_included_on_request(self):
+        times = np.arange(7.0)
+        windows = list(CountWindower(size=3, include_tail=True).windows(times))
+        assert windows[-1].indices.tolist() == [6]
+
+    def test_tail_respects_min_tail(self):
+        times = np.arange(7.0)
+        windows = list(
+            CountWindower(size=3, include_tail=True, min_tail=2).windows(times)
+        )
+        assert windows[-1].indices.tolist() == [3, 4, 5]
+
+    def test_too_few_samples_yields_nothing(self):
+        assert list(CountWindower(size=5).windows(np.arange(3.0))) == []
+
+    def test_indices_are_sequential(self):
+        times = np.arange(30.0)
+        windows = list(CountWindower(size=10, step=5).windows(times))
+        assert [w.index for w in windows] == list(range(len(windows)))
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CountWindower(size=0)
+
+    def test_invalid_step_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CountWindower(size=5, step=0)
+
+    def test_values_extraction(self):
+        times = np.arange(6.0)
+        data = times * 10
+        (w1, w2) = CountWindower(size=3).windows(times)
+        np.testing.assert_array_equal(w2.values(data), [30.0, 40.0, 50.0])
+
+
+class TestTimeWindower:
+    def test_partition_by_days(self):
+        times = np.array([0.5, 1.5, 2.5, 3.5, 4.5])
+        windows = list(TimeWindower(length=2.0, origin=0.0).windows(times))
+        assert [w.indices.tolist() for w in windows] == [[0, 1], [2, 3], [4]]
+
+    def test_overlap(self):
+        times = np.linspace(0, 9.9, 100)
+        windows = list(TimeWindower(length=10.0, step=5.0, origin=0.0).windows(times))
+        # One full window plus one half-covered window starting at 5.
+        assert len(windows) == 2
+        assert windows[1].start_time == 5.0
+
+    def test_drop_empty_windows(self):
+        times = np.array([0.5, 20.5])
+        windows = list(TimeWindower(length=1.0, origin=0.0).windows(times))
+        assert len(windows) == 2
+
+    def test_keep_empty_windows(self):
+        times = np.array([0.5, 2.5])
+        windows = list(
+            TimeWindower(length=1.0, origin=0.0, drop_empty=False).windows(times)
+        )
+        assert len(windows) == 3
+        assert windows[1].size == 0
+
+    def test_min_count(self):
+        times = np.array([0.1, 0.2, 0.3, 1.5])
+        windows = list(
+            TimeWindower(length=1.0, origin=0.0, min_count=2).windows(times)
+        )
+        assert len(windows) == 1
+        assert windows[0].size == 3
+
+    def test_horizon_extends_coverage(self):
+        times = np.array([0.5])
+        windows = list(
+            TimeWindower(length=1.0, origin=0.0, drop_empty=False).windows(
+                times, horizon=3.0
+            )
+        )
+        assert len(windows) == 4  # [0,1) [1,2) [2,3) [3,4)
+
+    def test_default_origin_is_first_rating(self):
+        times = np.array([10.0, 10.5, 11.0])
+        (window,) = TimeWindower(length=2.0).windows(times)
+        assert window.start_time == 10.0
+
+    def test_empty_times(self):
+        assert list(TimeWindower(length=1.0).windows(np.empty(0))) == []
+
+    def test_boundaries_left_closed_right_open(self):
+        times = np.array([0.0, 1.0, 2.0])
+        windows = list(TimeWindower(length=1.0, origin=0.0).windows(times))
+        assert [w.indices.tolist() for w in windows] == [[0], [1], [2]]
+
+    def test_invalid_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TimeWindower(length=0.0)
+
+    def test_invalid_step_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TimeWindower(length=1.0, step=-1.0)
+
+
+class TestMovingAverage:
+    def test_window_means(self):
+        times = np.arange(4.0)
+        values = np.array([0.0, 1.0, 2.0, 3.0])
+        mids, means = moving_average(times, values, size=2, step=2)
+        np.testing.assert_allclose(means, [0.5, 2.5])
+
+    def test_overlapping_average(self):
+        times = np.arange(6.0)
+        values = np.ones(6)
+        _, means = moving_average(times, values, size=4, step=1)
+        np.testing.assert_allclose(means, np.ones(3))
+
+    def test_empty_when_too_short(self):
+        mids, means = moving_average([0.0], [1.0], size=2, step=1)
+        assert mids.size == 0 and means.size == 0

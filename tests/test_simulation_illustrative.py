@@ -1,0 +1,110 @@
+"""Tests for the illustrative single-object simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simulation.illustrative import IllustrativeConfig, generate_illustrative
+
+
+class TestConfig:
+    def test_paper_defaults(self):
+        config = IllustrativeConfig()
+        assert config.simu_time == 60.0
+        assert config.arrival_rate == 3.0
+        assert config.levels == 11
+        assert config.attack_start == 30.0
+        assert config.attack_end == 44.0
+
+    def test_quality_ramp(self):
+        config = IllustrativeConfig()
+        assert config.quality(0.0) == 0.7
+        assert config.quality(60.0) == 0.8
+
+    def test_without_attack_disables_channels(self):
+        config = IllustrativeConfig().without_attack()
+        assert config.recruit_power1 == 0.0
+        assert config.recruit_power2 == 0.0
+
+    def test_invalid_attack_interval(self):
+        with pytest.raises(ConfigurationError):
+            IllustrativeConfig(attack_start=50.0, attack_end=40.0)
+        with pytest.raises(ConfigurationError):
+            IllustrativeConfig(attack_end=80.0)
+
+    def test_invalid_time(self):
+        with pytest.raises(ConfigurationError):
+            IllustrativeConfig(simu_time=0.0, attack_start=0.0, attack_end=0.0)
+
+
+class TestGeneration:
+    def test_honest_count_matches_rate(self, rng):
+        trace = generate_illustrative(IllustrativeConfig(), rng)
+        assert len(trace.honest) == pytest.approx(180, rel=0.25)
+
+    def test_honest_has_no_unfair(self, rng):
+        trace = generate_illustrative(IllustrativeConfig(), rng)
+        assert not trace.honest.unfair_flags.any()
+
+    def test_attacked_contains_unfair(self, rng):
+        trace = generate_illustrative(IllustrativeConfig(), rng)
+        assert trace.n_unfair > 0
+        unfair_times = trace.attacked.unfair_only().times
+        assert np.all((unfair_times >= 30.0) & (unfair_times < 44.0))
+
+    def test_values_on_eleven_level_scale(self, rng):
+        trace = generate_illustrative(IllustrativeConfig(), rng)
+        levels = set(np.round(np.arange(11) / 10.0, 9))
+        assert set(np.round(trace.attacked.values, 9)) <= levels
+
+    def test_honest_mean_tracks_quality(self, rng):
+        config = IllustrativeConfig(good_var=0.01)
+        trace = generate_illustrative(config, rng)
+        early = trace.honest.between(0.0, 20.0).mean()
+        assert early == pytest.approx(0.71, abs=0.05)
+
+    def test_recruited_raters_have_fresh_ids(self, rng):
+        trace = generate_illustrative(IllustrativeConfig(), rng)
+        n_honest = len(trace.honest)
+        recruited_ids = {
+            r.rater_id
+            for r in trace.attacked.unfair_only()
+            if r.rater_id >= n_honest
+        }
+        assert recruited_ids  # type 2 channel active
+
+    def test_type1_influences_subset_of_honest(self, rng):
+        config = IllustrativeConfig(recruit_power2=0.0)  # only type 1
+        trace = generate_illustrative(config, rng)
+        assert len(trace.attacked) == len(trace.honest)
+        influenced = trace.attacked.unfair_only()
+        in_window_honest = trace.honest.between(30.0, 44.0)
+        if len(in_window_honest):
+            fraction = len(influenced) / len(in_window_honest)
+            assert fraction == pytest.approx(0.3, abs=0.2)
+
+    def test_without_attack_streams_identical(self, rng):
+        config = IllustrativeConfig().without_attack()
+        trace = generate_illustrative(config, rng)
+        assert len(trace.attacked) == len(trace.honest)
+        assert not trace.attacked.unfair_flags.any()
+
+    def test_reproducible_from_seed(self):
+        config = IllustrativeConfig()
+        a = generate_illustrative(config, np.random.default_rng(5))
+        b = generate_illustrative(config, np.random.default_rng(5))
+        np.testing.assert_array_equal(a.attacked.values, b.attacked.values)
+        np.testing.assert_array_equal(a.attacked.times, b.attacked.times)
+
+    def test_attack_raises_mean_inside_window(self):
+        # Average over many seeds: the campaign lifts the in-window mean.
+        lifts = []
+        for seed in range(10):
+            rng = np.random.default_rng(seed)
+            trace = generate_illustrative(IllustrativeConfig(), rng)
+            honest = trace.honest.between(30.0, 44.0).mean()
+            attacked = trace.attacked.between(30.0, 44.0).mean()
+            lifts.append(attacked - honest)
+        assert np.mean(lifts) > 0.03

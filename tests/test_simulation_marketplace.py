@@ -1,0 +1,144 @@
+"""Tests for the Section IV marketplace generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ratings.models import RaterClass
+from repro.simulation.marketplace import MarketplaceConfig, generate_marketplace
+
+
+SMALL = MarketplaceConfig(
+    n_reliable=40, n_careless=20, n_pc=20, n_months=2, p_rate=0.02
+)
+
+
+@pytest.fixture(scope="module")
+def small_world():
+    return generate_marketplace(SMALL, np.random.default_rng(42))
+
+
+class TestConfig:
+    def test_paper_defaults(self):
+        config = MarketplaceConfig()
+        assert config.n_raters == 800
+        assert config.n_products == 60
+        assert config.horizon == 360.0
+        assert config.products_per_month == 5
+
+    def test_rater_class_blocks(self):
+        config = MarketplaceConfig()
+        assert config.rater_class_of(0) is RaterClass.RELIABLE
+        assert config.rater_class_of(399) is RaterClass.RELIABLE
+        assert config.rater_class_of(400) is RaterClass.CARELESS
+        assert config.rater_class_of(599) is RaterClass.CARELESS
+        assert config.rater_class_of(600) is RaterClass.POTENTIAL_COLLABORATIVE
+        assert config.rater_class_of(799) is RaterClass.POTENTIAL_COLLABORATIVE
+
+    def test_rater_id_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            MarketplaceConfig().rater_class_of(800)
+
+    def test_invalid_probabilities_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MarketplaceConfig(p_rate=0.0)
+        with pytest.raises(ConfigurationError):
+            MarketplaceConfig(p_rate=0.5, a1=6.0)  # a1 * p_rate > 1
+        with pytest.raises(ConfigurationError):
+            MarketplaceConfig(recruit_power3=1.5)
+        with pytest.raises(ConfigurationError):
+            MarketplaceConfig(attack_days=0)
+
+
+class TestWorldStructure:
+    def test_one_dishonest_product_per_month(self, small_world):
+        assert len(small_world.schedules) == 2
+        assert small_world.dishonest_product_ids == [4, 9]
+        assert len(small_world.honest_product_ids) == 8
+
+    def test_products_available_within_their_month(self, small_world):
+        product = small_world.store.product(0)
+        assert product.available_from == 0.0
+        assert product.available_until == 30.0
+        later = small_world.store.product(5)
+        assert later.available_from == 30.0
+
+    def test_qualities_in_configured_band(self, small_world):
+        for quality in small_world.qualities.values():
+            assert 0.4 <= quality <= 0.6
+
+    def test_attack_window_inside_month(self, small_world):
+        for schedule in small_world.schedules:
+            month_start = schedule.month * 30
+            assert month_start <= schedule.attack_start
+            assert schedule.attack_end <= month_start + 30
+            assert schedule.attack_end - schedule.attack_start == 10
+
+    def test_recruited_are_pc_raters(self, small_world):
+        for schedule in small_world.schedules:
+            for rater_id in schedule.recruited_rater_ids:
+                assert (
+                    small_world.rater_classes[rater_id]
+                    is RaterClass.POTENTIAL_COLLABORATIVE
+                )
+
+    def test_recruitment_fraction(self, small_world):
+        expected = round(SMALL.recruit_power3 * SMALL.n_pc)
+        for schedule in small_world.schedules:
+            assert len(schedule.recruited_rater_ids) == expected
+
+
+class TestRatings:
+    def test_ratings_only_during_product_month(self, small_world):
+        for pid in small_world.qualities:
+            product = small_world.store.product(pid)
+            stream = small_world.store.stream(pid)
+            if len(stream) == 0:
+                continue
+            assert stream.times.min() >= product.available_from
+            assert stream.times.max() < product.available_until
+
+    def test_one_rating_per_rater_per_product(self, small_world):
+        for pid in small_world.qualities:
+            rater_ids = small_world.store.stream(pid).rater_ids
+            assert len(rater_ids) == len(set(rater_ids.tolist()))
+
+    def test_unfair_ratings_only_on_dishonest_products_in_attack(self, small_world):
+        for pid in small_world.honest_product_ids:
+            assert not small_world.store.stream(pid).unfair_flags.any()
+        for schedule in small_world.schedules:
+            unfair = small_world.store.stream(schedule.product_id).unfair_only()
+            assert len(unfair) > 0
+            assert np.all(unfair.times >= schedule.attack_start)
+            assert np.all(unfair.times < schedule.attack_end)
+            recruited = set(schedule.recruited_rater_ids)
+            assert {r.rater_id for r in unfair} <= recruited
+
+    def test_unfair_ratings_biased_upward(self, small_world):
+        for schedule in small_world.schedules:
+            stream = small_world.store.stream(schedule.product_id)
+            unfair_mean = stream.unfair_only().mean()
+            quality = small_world.qualities[schedule.product_id]
+            assert unfair_mean > quality + 0.05
+
+    def test_values_on_ten_level_scale(self, small_world):
+        values = small_world.store.all_ratings().values
+        levels = set(np.round((np.arange(1, 11)) / 10.0, 9))
+        assert set(np.round(values, 9)) <= levels
+
+    def test_honest_rating_volume_reasonable(self, small_world):
+        # 60 honest raters, p_rate 0.02, 30 days, 5 products:
+        # expected per product ~ 60 * (1 - 0.98^30) ~ 27.
+        for pid in small_world.honest_product_ids:
+            n = len(small_world.store.stream(pid))
+            assert 5 <= n <= 80
+
+    def test_reproducible(self):
+        a = generate_marketplace(SMALL, np.random.default_rng(9))
+        b = generate_marketplace(SMALL, np.random.default_rng(9))
+        assert a.qualities == b.qualities
+        np.testing.assert_array_equal(
+            a.store.all_ratings().values, b.store.all_ratings().values
+        )

@@ -1,0 +1,95 @@
+"""Tests for the marketplace pipeline runner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.aggregation.methods import ModifiedWeightedAverage, SimpleAverage
+from repro.ratings.models import RaterClass
+from repro.simulation.marketplace import MarketplaceConfig, generate_marketplace
+from repro.simulation.pipeline import PipelineConfig, run_marketplace
+
+
+# The AR detector needs tens of ratings per 10-day window (the paper
+# uses 50-rating windows), so the scaled-down world keeps the rating
+# volume per product near the full marketplace's by raising p_rate.
+CONFIG = MarketplaceConfig(
+    n_reliable=120, n_careless=60, n_pc=60, n_months=3, p_rate=0.04
+)
+
+
+@pytest.fixture(scope="module")
+def run_result():
+    world = generate_marketplace(CONFIG, np.random.default_rng(11))
+    return run_marketplace(world, PipelineConfig())
+
+
+class TestPipelineRun:
+    def test_one_trust_snapshot_per_month(self, run_result):
+        assert len(run_result.monthly_trust) == 3
+        assert len(run_result.monthly_reports) == 3
+
+    def test_all_raters_tracked(self, run_result):
+        assert len(run_result.monthly_trust[-1]) == CONFIG.n_raters
+
+    def test_mean_trust_series_cover_all_classes(self, run_result):
+        series = run_result.mean_trust_by_class()
+        assert set(series) == {
+            RaterClass.RELIABLE,
+            RaterClass.CARELESS,
+            RaterClass.POTENTIAL_COLLABORATIVE,
+        }
+        for values in series.values():
+            assert values.shape == (3,)
+
+    def test_trust_separates_classes(self, run_result):
+        series = run_result.mean_trust_by_class()
+        final_honest = series[RaterClass.RELIABLE][-1]
+        final_pc = series[RaterClass.POTENTIAL_COLLABORATIVE][-1]
+        assert final_honest > 0.7
+        assert final_pc < final_honest - 0.2
+
+    def test_rater_detection_improves_or_holds(self, run_result):
+        d1 = run_result.rater_detection_at(0)
+        d3 = run_result.rater_detection_at(2)
+        assert d3.detection_rate >= d1.detection_rate - 0.2
+        assert d3.detection_rate > 0.3
+
+    def test_false_alarms_low(self, run_result):
+        stats = run_result.rater_detection_at(2)
+        for rate in stats.false_alarm_rates.values():
+            assert rate <= 0.1
+
+    def test_rating_detection_rows(self, run_result):
+        rows = run_result.rating_detection_by_month()
+        assert len(rows) == 3
+        for row in rows:
+            assert 0.0 <= row["detection_ratio"] <= 1.0
+            assert 0.0 <= row["false_alarm_ratio"] <= 1.0
+        assert rows[-1]["false_alarm_ratio"] < 0.1
+
+    def test_aggregation_table(self, run_result):
+        table = run_result.aggregation_table(
+            {"simple": SimpleAverage(), "mwa": ModifiedWeightedAverage()}
+        )
+        assert set(table) == {"simple", "mwa"}
+        world = run_result.world
+        for scheme in table.values():
+            assert set(scheme) == set(world.qualities)
+
+    def test_proposed_scheme_resists_collusion(self, run_result):
+        world = run_result.world
+        simple = run_result.aggregate_products(SimpleAverage())
+        mwa = run_result.aggregate_products(ModifiedWeightedAverage())
+        dishonest = world.dishonest_product_ids
+        simple_dev = np.mean(
+            [simple[p] - world.qualities[p] for p in dishonest]
+        )
+        mwa_dev = np.mean([mwa[p] - world.qualities[p] for p in dishonest])
+        assert abs(mwa_dev) < abs(simple_dev) + 0.02
+
+    def test_trust_snapshot_is_a_copy(self, run_result):
+        snapshot = run_result.trust_snapshot(0)
+        snapshot[0] = -1.0
+        assert run_result.monthly_trust[0][0] != -1.0

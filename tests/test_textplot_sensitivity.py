@@ -1,0 +1,106 @@
+"""Tests for terminal plots and the sensitivity-surface experiment."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.evaluation.textplot import line_chart, sparkline
+from repro.experiments import REGISTRY, sensitivity
+
+
+class TestSparkline:
+    def test_length_matches_series(self):
+        assert len(sparkline([1.0, 2.0, 3.0])) == 3
+
+    def test_monotone_series_monotone_blocks(self):
+        strip = sparkline(np.linspace(0, 1, 8))
+        assert strip == "▁▂▃▄▅▆▇█"
+
+    def test_constant_series_is_flat(self):
+        assert sparkline([0.5, 0.5, 0.5]) == "▁▁▁"
+
+    def test_explicit_bounds_clip(self):
+        strip = sparkline([-1.0, 0.5, 2.0], lo=0.0, hi=1.0)
+        assert strip[0] == "▁"
+        assert strip[-1] == "█"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sparkline([])
+
+
+class TestLineChart:
+    def test_renders_all_series_markers(self):
+        chart = line_chart({"a": [0.1, 0.9], "b": [0.9, 0.1]})
+        assert "o=a" in chart
+        assert "x=b" in chart
+        assert "o" in chart.split("\n")[0] + chart  # markers plotted
+
+    def test_row_count(self):
+        chart = line_chart({"a": [0.0, 1.0]}, height=5)
+        rows = chart.splitlines()
+        # 5 chart rows + axis + legend.
+        assert len(rows) == 7
+
+    def test_extremes_land_on_edge_rows(self):
+        chart = line_chart({"a": [0.0, 1.0]}, height=4, y_min=0.0, y_max=1.0)
+        rows = chart.splitlines()
+        assert "o" in rows[0]       # the 1.0 point on the top row
+        assert "o" in rows[3]       # the 0.0 point on the bottom row
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            line_chart({"a": [1.0], "b": [1.0, 2.0]})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            line_chart({})
+        with pytest.raises(ConfigurationError):
+            line_chart({"a": []})
+
+    def test_too_many_series_rejected(self):
+        series = {f"s{i}": [0.0, 1.0] for i in range(9)}
+        with pytest.raises(ConfigurationError):
+            line_chart(series)
+
+    def test_degenerate_range_padded(self):
+        chart = line_chart({"a": [0.5, 0.5]})
+        assert chart  # no division by zero
+
+
+class TestSensitivitySurface:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return sensitivity.run(
+            n_runs=10, seed=0, biases=(0.05, 0.15), powers=(0.25, 1.0)
+        )
+
+    def test_registered(self):
+        assert "sensitivity" in REGISTRY
+
+    def test_grid_complete(self, result):
+        assert set(result.detection) == {
+            (b, p) for b in result.biases for p in result.powers
+        }
+        assert set(result.damage) == set(result.detection)
+
+    def test_power_drives_detection(self, result):
+        for bias in result.biases:
+            assert (
+                result.detection[(bias, 1.0)]
+                >= result.detection[(bias, 0.25)]
+            )
+
+    def test_damage_monotone_in_power(self, result):
+        for bias in result.biases:
+            assert result.damage[(bias, 1.0)] > result.damage[(bias, 0.25)]
+
+    def test_threshold_calibrated_in_band(self, result):
+        assert 0.05 < result.threshold < 0.25
+
+    def test_report_renders(self, result):
+        report = sensitivity.format_report(result)
+        assert "detection ratio" in report
+        assert "damage" in report

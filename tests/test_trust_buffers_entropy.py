@@ -1,0 +1,152 @@
+"""Tests for observation/recommendation buffers and entropy trust."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.trust.buffers import ObservationBuffer, RecommendationBuffer
+from repro.trust.entropy_trust import (
+    binary_entropy,
+    concatenate,
+    entropy_trust,
+    entropy_trust_inverse,
+    multipath,
+)
+
+
+class TestObservationBuffer:
+    def test_accumulates_per_rater(self):
+        buffer = ObservationBuffer()
+        buffer.record_provided(1, count=3)
+        buffer.record_filtered(1)
+        buffer.record_suspicious(1, count=2)
+        buffer.record_suspicion_value(1, 0.7)
+        obs = buffer.peek(1)
+        assert obs.n_provided == 3
+        assert obs.n_filtered == 1
+        assert obs.n_suspicious == 2
+        assert obs.suspicion_value == pytest.approx(0.7)
+
+    def test_drain_clears(self):
+        buffer = ObservationBuffer()
+        buffer.record_provided(1)
+        drained = buffer.drain()
+        assert 1 in drained
+        assert len(buffer) == 0
+        assert buffer.peek(1).n_provided == 0
+
+    def test_peek_unknown_rater_is_empty(self):
+        assert ObservationBuffer().peek(42).n_provided == 0
+
+    def test_negative_counts_rejected(self):
+        buffer = ObservationBuffer()
+        with pytest.raises(ConfigurationError):
+            buffer.record_provided(1, count=-1)
+        with pytest.raises(ConfigurationError):
+            buffer.record_suspicion_value(1, -0.1)
+
+    def test_merge(self):
+        from repro.trust.buffers import RaterObservation
+
+        a = RaterObservation(n_provided=1, n_filtered=1)
+        b = RaterObservation(n_provided=2, suspicion_value=0.3)
+        a.merge(b)
+        assert a.n_provided == 3
+        assert a.suspicion_value == 0.3
+
+
+class TestRecommendationBuffer:
+    def test_record_and_drain(self):
+        buffer = RecommendationBuffer()
+        buffer.record(1, 2, 0.8)
+        buffer.record(2, 3, 0.4)
+        assert len(buffer) == 2
+        edges = buffer.edges()
+        assert (1, 2, 0.8) in edges
+        recommendations = buffer.drain()
+        assert len(recommendations) == 2
+        assert len(buffer) == 0
+
+    def test_self_recommendation_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RecommendationBuffer().record(1, 1, 0.5)
+
+    def test_score_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RecommendationBuffer().record(1, 2, 1.5)
+
+
+class TestBinaryEntropy:
+    def test_extremes_are_zero(self):
+        assert binary_entropy(0.0) == 0.0
+        assert binary_entropy(1.0) == 0.0
+
+    def test_maximum_at_half(self):
+        assert binary_entropy(0.5) == pytest.approx(1.0)
+
+    def test_symmetric(self):
+        assert binary_entropy(0.3) == pytest.approx(binary_entropy(0.7))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            binary_entropy(1.1)
+
+
+class TestEntropyTrust:
+    def test_no_information_at_half(self):
+        assert entropy_trust(0.5) == 0.0
+
+    def test_full_trust_and_distrust(self):
+        assert entropy_trust(1.0) == 1.0
+        assert entropy_trust(0.0) == -1.0
+
+    def test_antisymmetric(self):
+        assert entropy_trust(0.8) == pytest.approx(-entropy_trust(0.2))
+
+    def test_monotone(self):
+        probs = np.linspace(0.0, 1.0, 21)
+        trusts = [entropy_trust(float(p)) for p in probs]
+        assert all(a <= b + 1e-12 for a, b in zip(trusts, trusts[1:]))
+
+    def test_inverse_round_trip(self):
+        for p in (0.01, 0.3, 0.5, 0.77, 0.99):
+            assert entropy_trust_inverse(entropy_trust(p)) == pytest.approx(
+                p, abs=1e-6
+            )
+
+    def test_inverse_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            entropy_trust_inverse(1.5)
+
+
+class TestPropagation:
+    def test_concatenation_shrinks_trust(self):
+        assert concatenate(0.8, 0.9) == pytest.approx(0.72)
+        assert abs(concatenate(0.5, 0.5)) < 0.5
+
+    def test_distrusted_recommender_carries_nothing(self):
+        assert concatenate(-0.5, 0.9) == 0.0
+
+    def test_concatenation_preserves_distrust_sign(self):
+        assert concatenate(0.8, -0.5) == pytest.approx(-0.4)
+
+    def test_concatenate_range_checked(self):
+        with pytest.raises(ConfigurationError):
+            concatenate(1.5, 0.5)
+
+    def test_multipath_weighted_average(self):
+        fused = multipath([1.0, 1.0], [0.8, 0.4])
+        assert fused == pytest.approx(0.6)
+
+    def test_multipath_weights_by_recommendation_trust(self):
+        fused = multipath([0.9, 0.1], [1.0, 0.0])
+        assert fused == pytest.approx(0.9)
+
+    def test_multipath_no_information(self):
+        assert multipath([0.0, -0.5], [0.9, 0.9]) == 0.0
+
+    def test_multipath_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            multipath([0.5], [0.5, 0.5])

@@ -1,0 +1,159 @@
+"""Tests for the analytical trust-dynamics model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.trust.dynamics import (
+    BehaviourProfile,
+    asymptotic_trust,
+    detection_interval,
+    expected_trust_trajectory,
+)
+from repro.trust.manager import TrustManager, TrustManagerConfig
+
+
+HONEST = BehaviourProfile(honest_rate=2.5, filter_rate=0.05)
+COLLUDER = BehaviourProfile(
+    honest_rate=0.2, unfair_rate=0.7, flag_rate=0.75, level=1.0
+)
+
+
+class TestIncrements:
+    def test_honest_increments(self):
+        assert HONEST.success_increment == pytest.approx(2.375)
+        assert HONEST.failure_increment == pytest.approx(0.125)
+
+    def test_colluder_failures_dominate(self):
+        assert COLLUDER.failure_increment > COLLUDER.success_increment
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BehaviourProfile(honest_rate=-1.0)
+        with pytest.raises(ConfigurationError):
+            BehaviourProfile(honest_rate=1.0, filter_rate=1.5)
+        with pytest.raises(ConfigurationError):
+            BehaviourProfile(honest_rate=1.0, level=-0.1)
+
+
+class TestTrajectory:
+    def test_starts_near_prior_and_converges(self):
+        trajectory = expected_trust_trajectory(HONEST, n_intervals=200)
+        assert 0.5 < trajectory[0] < 0.95
+        assert trajectory[-1] == pytest.approx(asymptotic_trust(HONEST), abs=0.02)
+
+    def test_honest_rises_colluder_falls(self):
+        honest = expected_trust_trajectory(HONEST, n_intervals=12)
+        colluder = expected_trust_trajectory(COLLUDER, n_intervals=12)
+        assert honest[-1] > 0.8
+        assert colluder[-1] < 0.5
+
+    def test_initial_evidence_shifts_start(self):
+        pessimistic = expected_trust_trajectory(
+            HONEST, n_intervals=3, initial_failures=5.0
+        )
+        neutral = expected_trust_trajectory(HONEST, n_intervals=3)
+        assert pessimistic[0] < neutral[0]
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            expected_trust_trajectory(HONEST, n_intervals=0)
+        with pytest.raises(ConfigurationError):
+            expected_trust_trajectory(HONEST, n_intervals=5, forgetting_factor=1.5)
+
+
+class TestAsymptote:
+    def test_no_forgetting_is_rate_ratio(self):
+        assert asymptotic_trust(COLLUDER) == pytest.approx(
+            COLLUDER.success_increment
+            / (COLLUDER.success_increment + COLLUDER.failure_increment)
+        )
+
+    def test_idle_rater_stays_neutral(self):
+        idle = BehaviourProfile(honest_rate=0.0)
+        assert asymptotic_trust(idle) == 0.5
+
+    def test_forgetting_pulls_toward_prior(self):
+        free = asymptotic_trust(HONEST, forgetting_factor=1.0)
+        damped = asymptotic_trust(HONEST, forgetting_factor=0.5)
+        assert 0.5 < damped < free
+
+    def test_trajectory_converges_to_forgetting_asymptote(self):
+        trajectory = expected_trust_trajectory(
+            COLLUDER, n_intervals=300, forgetting_factor=0.8
+        )
+        assert trajectory[-1] == pytest.approx(
+            asymptotic_trust(COLLUDER, forgetting_factor=0.8), abs=1e-6
+        )
+
+
+class TestDetectionInterval:
+    def test_colluder_detected_quickly(self):
+        interval = detection_interval(COLLUDER)
+        assert interval is not None
+        assert interval <= 4
+
+    def test_honest_never_detected(self):
+        assert detection_interval(HONEST, max_intervals=500) is None
+
+    def test_trust_shield_regime(self):
+        # Honest history first: a switch profile whose asymptote is
+        # below 0.5 but whose accumulated capital delays the crossing.
+        shielded = detection_interval(
+            COLLUDER, initial_successes=20.0, max_intervals=200
+        )
+        fresh = detection_interval(COLLUDER, max_intervals=200)
+        assert shielded is not None and fresh is not None
+        assert shielded > fresh
+
+    def test_forgetting_shrinks_shield(self):
+        with_forgetting = detection_interval(
+            COLLUDER, initial_successes=20.0, forgetting_factor=0.5
+        )
+        without = detection_interval(COLLUDER, initial_successes=20.0)
+        assert with_forgetting is not None and without is not None
+        assert with_forgetting < without
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ConfigurationError):
+            detection_interval(COLLUDER, threshold=0.0)
+
+
+class TestAgainstSimulation:
+    def test_matches_trust_manager_exactly_in_expectation(self):
+        # Feed the manager the *expected* integer-free observations via
+        # fractional evidence and confirm the closed form matches.
+        profile = BehaviourProfile(
+            honest_rate=1.0, unfair_rate=0.5, flag_rate=0.8, level=0.9
+        )
+        manager = TrustManager(TrustManagerConfig(badness_weight=1.0))
+        analytic = expected_trust_trajectory(profile, n_intervals=6)
+        record = manager.register_rater(0)
+        for k in range(6):
+            record.add_evidence(
+                successes=profile.success_increment,
+                failures=profile.failure_increment,
+            )
+            assert record.trust == pytest.approx(analytic[k])
+
+    def test_predicts_monte_carlo_trust_manager(self, rng):
+        # Stochastic Bernoulli observations average to the analytic curve.
+        profile = BehaviourProfile(
+            honest_rate=1.0, unfair_rate=1.0, flag_rate=0.7, level=1.0
+        )
+        n_raters, n_intervals = 400, 8
+        manager = TrustManager()
+        manager.register_raters(range(n_raters))
+        for _ in range(n_intervals):
+            for rater_id in range(n_raters):
+                buffer = manager.observations
+                buffer.record_provided(rater_id, count=2)  # 1 honest + 1 unfair
+                if rng.uniform() < profile.flag_rate:
+                    buffer.record_suspicious(rater_id)
+                    buffer.record_suspicion_value(rater_id, profile.level)
+            manager.update()
+        simulated = np.mean([manager.trust(r) for r in range(n_raters)])
+        analytic = expected_trust_trajectory(profile, n_intervals=n_intervals)[-1]
+        assert simulated == pytest.approx(analytic, abs=0.03)

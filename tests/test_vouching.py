@@ -1,0 +1,99 @@
+"""Tests for the vouching network and the bridge-sweep experiment."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import REGISTRY, vouching
+from repro.simulation.vouching import (
+    VouchingConfig,
+    build_vouching_network,
+    evaluate_network,
+)
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        VouchingConfig()
+
+    def test_too_many_bridges_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VouchingConfig(n_veterans=3, n_bridges=4)
+
+    def test_empty_class_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VouchingConfig(n_ring=0)
+
+    def test_zero_vouches_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VouchingConfig(vouches_per_newcomer=0)
+
+
+class TestNetworkStructure:
+    @pytest.fixture
+    def network(self, rng):
+        return build_vouching_network(VouchingConfig(n_bridges=2), rng)
+
+    def test_class_ids_disjoint(self, network):
+        classes = [set(network.veterans), set(network.newcomers), set(network.ring)]
+        for i in range(3):
+            for j in range(i + 1, 3):
+                assert not classes[i] & classes[j]
+
+    def test_bridges_are_veterans(self, network):
+        assert set(network.bridges) <= set(network.veterans)
+
+    def test_counts_match_config(self, network):
+        assert len(network.veterans) == 10
+        assert len(network.newcomers) == 10
+        assert len(network.ring) == 5
+        assert len(network.bridges) == 2
+
+
+class TestTrustStructure:
+    def test_isolated_ring_is_inert(self, rng):
+        network = build_vouching_network(VouchingConfig(n_bridges=0), rng)
+        for member in network.ring:
+            assert network.graph.indirect_trust(member) == 0.0
+
+    def test_newcomers_earn_positive_trust(self, rng):
+        network = build_vouching_network(VouchingConfig(), rng)
+        trusts = evaluate_network(network)
+        assert trusts["newcomers"] > 0.05
+        assert trusts["veterans"] > trusts["newcomers"]
+
+    def test_bridge_leaks_bounded_trust(self, rng):
+        network = build_vouching_network(VouchingConfig(n_bridges=1), rng)
+        trusts = evaluate_network(network)
+        assert 0.0 < trusts["ring"] < trusts["newcomers"]
+
+
+class TestExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return vouching.run(n_runs=10, seed=0)
+
+    def test_registered(self):
+        assert "vouching" in REGISTRY
+
+    def test_zero_bridges_exactly_inert(self, result):
+        assert result.ring_trust(0) == 0.0
+
+    def test_one_bridge_unlocks_but_caps(self, result):
+        assert result.ring_trust(1) > 0.05
+        for n_bridges in result.by_bridges:
+            assert (
+                result.by_bridges[n_bridges]["ring"]
+                < result.by_bridges[n_bridges]["newcomers"]
+            )
+
+    def test_multipath_averaging_caps_growth(self, result):
+        # More bridges must not multiply the ring's trust.
+        assert result.ring_trust(8) < 2.0 * result.ring_trust(1)
+
+    def test_report_renders(self, result):
+        report = vouching.format_report(result)
+        assert "bridges" in report
+        assert "ring" in report
