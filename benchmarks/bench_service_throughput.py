@@ -1,0 +1,172 @@
+"""Service ingest throughput vs. shard count and batch size.
+
+The serving engine's two scaling knobs are sharding (lock domains) and
+trust-flush batching (AR/Procedure-2 amortization).  This bench pushes
+the same synthetic multi-product stream through the engine under a
+grid of both and reports ratings/sec, plus one WAL-enabled
+configuration to price durability.  Concurrent cases drive one writer
+thread per shard (each thread owns the products of its shard, the
+intended deployment shape).
+
+Also runs standalone without pytest::
+
+    PYTHONPATH=src python benchmarks/bench_service_throughput.py
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+
+import numpy as np
+import pytest
+
+try:
+    from benchmarks.conftest import emit
+except ModuleNotFoundError:  # standalone `python benchmarks/bench_...py`
+    def emit(title: str, body: str) -> None:
+        bar = "=" * 72
+        print(f"\n{bar}\n{title}\n{bar}\n{body}")
+from repro.ratings.models import Rating
+from repro.service import RatingEngine, ServiceConfig
+
+N_RATINGS = 4000
+N_PRODUCTS = 32
+N_RATERS = 200
+
+
+def build_stream(n=N_RATINGS, n_products=N_PRODUCTS, seed=0):
+    rng = np.random.default_rng(seed)
+    ratings = []
+    for i in range(n):
+        value = np.clip(0.6 + 0.2 * math.sin(i / 9.0) + rng.normal(0, 0.1), 0, 1)
+        ratings.append(
+            Rating(
+                rating_id=i,
+                rater_id=int(rng.integers(0, N_RATERS)),
+                product_id=i % n_products,
+                value=round(float(value), 3),
+                time=float(i),
+            )
+        )
+    return ratings
+
+
+def make_config(n_shards, batch, wal_dir=None):
+    return ServiceConfig(
+        n_shards=n_shards,
+        batch_max_ratings=batch,
+        detector_window=32,
+        detector_stride=8,
+        wal_dir=None if wal_dir is None else str(wal_dir),
+        wal_fsync_every=256,
+    )
+
+
+def ingest_concurrent(engine, stream):
+    """One writer thread per shard, each feeding its shard's products."""
+    by_shard = [[] for _ in range(engine.n_shards)]
+    for rating in stream:
+        by_shard[hash(rating.product_id) % engine.n_shards].append(rating)
+
+    def worker(part):
+        engine.submit_many(part)
+
+    threads = [threading.Thread(target=worker, args=(part,)) for part in by_shard]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    engine.flush()
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return build_stream()
+
+
+@pytest.mark.parametrize("n_shards", [1, 2, 4, 8])
+def test_ingest_throughput_vs_shards(benchmark, stream, n_shards):
+    def run():
+        engine = RatingEngine(make_config(n_shards, batch=64))
+        ingest_concurrent(engine, stream)
+        return engine
+
+    engine = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert engine.n_accepted == len(stream)
+    rate = len(stream) / benchmark.stats.stats.mean
+    emit(
+        f"service ingest throughput -- {n_shards} shard(s), batch 64",
+        f"{rate:,.0f} ratings/sec over {len(stream)} ratings "
+        f"({engine.snapshot_stats()['windows_flagged']} windows flagged)",
+    )
+
+
+@pytest.mark.parametrize("batch", [8, 64, 512])
+def test_ingest_throughput_vs_batch(benchmark, stream, batch):
+    def run():
+        engine = RatingEngine(make_config(4, batch=batch))
+        ingest_concurrent(engine, stream)
+        return engine
+
+    engine = benchmark.pedantic(run, rounds=3, iterations=1)
+    rate = len(stream) / benchmark.stats.stats.mean
+    emit(
+        f"service ingest throughput -- 4 shards, batch {batch}",
+        f"{rate:,.0f} ratings/sec "
+        f"({engine.snapshot_stats()['trust_updates']} trust updates)",
+    )
+
+
+def test_ingest_throughput_with_wal(benchmark, stream, tmp_path):
+    def run():
+        import shutil
+
+        wal_dir = tmp_path / "wal"
+        if wal_dir.exists():
+            shutil.rmtree(wal_dir)
+        engine = RatingEngine(make_config(4, batch=64, wal_dir=wal_dir))
+        ingest_concurrent(engine, stream)
+        engine.close()
+        return engine
+
+    engine = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert engine.n_accepted == len(stream)
+    rate = len(stream) / benchmark.stats.stats.mean
+    emit(
+        "service ingest throughput -- 4 shards, batch 64, WAL on",
+        f"{rate:,.0f} ratings/sec with write-ahead logging (fsync every 256)",
+    )
+
+
+def main() -> None:
+    """Standalone report: ratings/sec over the shard/batch grid."""
+    stream = build_stream()
+    rows = ["shards  batch  wal  ratings/sec"]
+    for n_shards in (1, 2, 4, 8):
+        engine = RatingEngine(make_config(n_shards, batch=64))
+        start = time.perf_counter()
+        ingest_concurrent(engine, stream)
+        rate = len(stream) / (time.perf_counter() - start)
+        rows.append(f"{n_shards:>6}  {64:>5}  off  {rate:>11,.0f}")
+    for batch in (8, 512):
+        engine = RatingEngine(make_config(4, batch=batch))
+        start = time.perf_counter()
+        ingest_concurrent(engine, stream)
+        rate = len(stream) / (time.perf_counter() - start)
+        rows.append(f"{4:>6}  {batch:>5}  off  {rate:>11,.0f}")
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as wal_dir:
+        engine = RatingEngine(make_config(4, batch=64, wal_dir=wal_dir))
+        start = time.perf_counter()
+        ingest_concurrent(engine, stream)
+        engine.close()
+        rate = len(stream) / (time.perf_counter() - start)
+        rows.append(f"{4:>6}  {64:>5}   on  {rate:>11,.0f}")
+    emit(f"service ingest throughput ({len(stream)} ratings)", "\n".join(rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -64,6 +64,13 @@ from repro.ratings import (
     RatingStore,
     RatingStream,
 )
+from repro.service import (
+    MetricsRegistry,
+    RatingEngine,
+    ServiceConfig,
+    SubmitResult,
+    WriteAheadLog,
+)
 from repro.signal import ARModel, arburg, arcov, aryule
 from repro.simulation import (
     IllustrativeConfig,
@@ -131,4 +138,9 @@ __all__ = [
     "TrustManagerConfig",
     "TrustRecord",
     "beta_trust",
+    "MetricsRegistry",
+    "RatingEngine",
+    "ServiceConfig",
+    "SubmitResult",
+    "WriteAheadLog",
 ]

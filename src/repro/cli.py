@@ -3,14 +3,23 @@
 Runs any paper experiment and prints its paper-vs-measured report.
 ``repro list`` shows what is available; every experiment accepts
 ``--seed`` and, where meaningful, a size knob so quick runs stay quick.
+``repro serve`` runs the long-lived rating service (HTTP API over the
+sharded streaming engine) and ``repro replay`` pushes a recorded trace
+through the same engine offline.
+
+Failures exit nonzero: 2 for library errors (:class:`ReproError`,
+bad traces, bad configs), 1 for unexpected exceptions -- so scripts
+and CI can rely on the status code instead of scraping tracebacks.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
+from repro.errors import ReproError
 from repro.experiments import REGISTRY
 from repro.reporting import dump_json
 
@@ -69,7 +78,63 @@ def build_parser() -> argparse.ArgumentParser:
     audit_parser.add_argument(
         "--window", type=int, default=50, help="ratings per analysis window"
     )
+
+    serve_parser = sub.add_parser(
+        "serve", help="run the rating service (sharded engine + HTTP API)"
+    )
+    _add_engine_arguments(serve_parser)
+    serve_parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve_parser.add_argument("--port", type=int, default=8080, help="bind port")
+    serve_parser.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
+    )
+
+    replay_parser = sub.add_parser(
+        "replay", help="replay a rating trace (.csv or .jsonl) through the engine"
+    )
+    replay_parser.add_argument("trace", help="path to the trace file")
+    _add_engine_arguments(replay_parser)
+    replay_parser.add_argument(
+        "--json",
+        dest="json_path",
+        default=None,
+        help="also dump the replay stats to this JSON file",
+    )
     return parser
+
+
+def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    """Service-engine knobs shared by ``serve`` and ``replay``."""
+    parser.add_argument("--shards", type=int, default=4, help="engine shard count")
+    parser.add_argument(
+        "--batch", type=int, default=64, help="ratings per trust flush (per shard)"
+    )
+    parser.add_argument(
+        "--batch-seconds",
+        type=float,
+        default=None,
+        help="also flush after this many seconds (default: count-only)",
+    )
+    parser.add_argument(
+        "--window", type=int, default=50, help="streaming detector window size"
+    )
+    parser.add_argument(
+        "--stride", type=int, default=5, help="arrivals between AR refits"
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.10, help="model-error alarm threshold"
+    )
+    parser.add_argument(
+        "--wal-dir",
+        default=None,
+        help="write-ahead log directory (enables durability + recovery)",
+    )
+    parser.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=0,
+        help="automatic snapshot every N accepted ratings (0 = off)",
+    )
 
 
 def _run_experiment(args: argparse.Namespace) -> str:
@@ -87,25 +152,114 @@ def _run_experiment(args: argparse.Namespace) -> str:
     return reporter(result)
 
 
+def _build_engine(args: argparse.Namespace):
+    """Construct (or recover) a service engine from CLI arguments."""
+    from repro.service import RatingEngine, ServiceConfig
+    from repro.service.wal import WAL_FILENAME, latest_snapshot
+
+    config = ServiceConfig(
+        n_shards=args.shards,
+        batch_max_ratings=args.batch,
+        batch_max_seconds=args.batch_seconds,
+        detector_window=args.window,
+        detector_stride=args.stride,
+        detector_threshold=args.threshold,
+        wal_dir=args.wal_dir,
+        snapshot_every=args.snapshot_every,
+    )
+    if args.wal_dir is not None:
+        from pathlib import Path
+
+        wal_dir = Path(args.wal_dir)
+        if (wal_dir / WAL_FILENAME).exists() or latest_snapshot(wal_dir) is not None:
+            return RatingEngine.recover(wal_dir, config=config)
+    return RatingEngine(config)
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    from repro.service.http import serve
+
+    engine = _build_engine(args)
+    durability = args.wal_dir if args.wal_dir else "disabled (no --wal-dir)"
+    print(
+        f"repro service on http://{args.host}:{args.port} "
+        f"({args.shards} shards, WAL: {durability}); Ctrl-C to stop"
+    )
+    try:
+        serve(engine, host=args.host, port=args.port, quiet=not args.verbose)
+    finally:
+        if args.wal_dir:
+            engine.snapshot()
+            print(f"final snapshot written to {args.wal_dir}")
+    return 0
+
+
+def _run_replay(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.ratings.io import read_csv, read_jsonl
+
+    trace = Path(args.trace)
+    reader = read_jsonl if trace.suffix == ".jsonl" else read_csv
+    stream = reader(trace)
+    engine = _build_engine(args)
+    start = time.perf_counter()
+    results = engine.submit_many(stream)
+    engine.flush()
+    elapsed = time.perf_counter() - start
+    stats = engine.snapshot_stats()
+    stats["replay_seconds"] = elapsed
+    stats["replay_ratings_per_second"] = len(results) / elapsed if elapsed else 0.0
+    malicious = engine.detected_malicious()
+    accepted = sum(1 for r in results if r.accepted)
+    lines = [
+        f"replayed {trace.name}: {accepted}/{len(results)} ratings accepted "
+        f"in {elapsed:.3f}s ({stats['replay_ratings_per_second']:.0f} ratings/sec)",
+        f"  shards: {stats['n_shards']}  products: {stats['n_products']}  "
+        f"raters: {stats['n_raters']}",
+        f"  AR evaluations: {stats['ar_evaluations']}  "
+        f"windows flagged: {stats['windows_flagged']}  "
+        f"trust updates: {stats['trust_updates']}",
+        f"  detected malicious raters: {malicious if malicious else 'none'}",
+    ]
+    print("\n".join(lines))
+    if args.json_path:
+        dump_json(stats, args.json_path)
+    engine.close()
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code (nonzero on failure)."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.command == "audit":
-        from repro.audit import audit_file, format_audit
+    try:
+        if args.command == "audit":
+            from repro.audit import audit_file, format_audit
 
-        result = audit_file(
-            args.trace, threshold=args.threshold, window_size=args.window
-        )
-        print(format_audit(result))
+            result = audit_file(
+                args.trace, threshold=args.threshold, window_size=args.window
+            )
+            print(format_audit(result))
+            return 0
+        if args.command == "serve":
+            return _run_serve(args)
+        if args.command == "replay":
+            return _run_replay(args)
+        if args.command == "list" or args.command is None:
+            print("available experiments:")
+            for name in sorted(REGISTRY):
+                print(f"  {name:<12} {REGISTRY[name][2]}")
+            return 0
+        print(_run_experiment(args))
         return 0
-    if args.command == "list" or args.command is None:
-        print("available experiments:")
-        for name in sorted(REGISTRY):
-            print(f"  {name:<12} {REGISTRY[name][2]}")
-        return 0
-    print(_run_experiment(args))
-    return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except Exception as exc:  # noqa: BLE001 -- CLI boundary: trade the
+        # traceback for a stable exit status scripts can branch on.
+        print(f"unexpected error ({type(exc).__name__}): {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

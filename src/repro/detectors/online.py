@@ -17,6 +17,7 @@ directly; equivalence is covered by the tests.
 from __future__ import annotations
 
 from collections import deque
+from dataclasses import asdict
 from typing import Deque, List, Optional, Tuple
 
 import numpy as np
@@ -109,6 +110,65 @@ class OnlineARDetector:
         self._last_time = None
         self._rater_by_position = {}
         self.verdicts = []
+
+    # -- persistence ---------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-serializable streaming state (buffer + counters).
+
+        Captures exactly what future :meth:`observe` calls depend on:
+        the buffered ratings, refit phase, and arrival counters.  The
+        verdict history and the position -> rater map are deliberately
+        excluded -- they grow with the stream, and long-running
+        deployments (see :mod:`repro.service.engine`) consume verdicts
+        as they are emitted and call :meth:`prune`.
+        """
+        return {
+            "buffer": [asdict(rating) for rating in self._buffer],
+            "since_last_fit": self._since_last_fit,
+            "n_seen": self._n_seen,
+            "n_evaluations": self._n_evaluations,
+            "last_time": self._last_time,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output; replaces current state.
+
+        A restored detector emits the same verdict sequence for the
+        same subsequent arrivals as the detector that saved the state.
+        """
+        buffered = [Rating(**row) for row in state["buffer"]]
+        if len(buffered) > self.window_size:
+            raise ConfigurationError(
+                f"state buffer has {len(buffered)} ratings but window_size "
+                f"is {self.window_size}"
+            )
+        self.reset()
+        self._buffer.extend(buffered)
+        self._since_last_fit = int(state["since_last_fit"])
+        self._n_seen = int(state["n_seen"])
+        self._n_evaluations = int(state["n_evaluations"])
+        last_time = state["last_time"]
+        self._last_time = None if last_time is None else float(last_time)
+
+    def prune(self) -> None:
+        """Drop emitted verdicts and stale position -> rater entries.
+
+        For long-lived streams the verdict list and the position map
+        grow without bound; a deployment that has already drained the
+        verdicts (charged their windows to raters) calls this per
+        trust interval to keep memory proportional to ``window_size``.
+        Afterwards :attr:`alarms` / :meth:`suspicious_raters` only
+        reflect evaluations made since the prune.
+        """
+        self.verdicts = []
+        cutoff = self._n_seen - self.window_size
+        if cutoff > 0:
+            self._rater_by_position = {
+                position: rater_id
+                for position, rater_id in self._rater_by_position.items()
+                if position >= cutoff
+            }
 
     # -- streaming -------------------------------------------------------------
 

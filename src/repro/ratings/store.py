@@ -54,6 +54,39 @@ class RatingStore:
         for rating in ratings:
             self.add_rating(rating)
 
+    # -- container protocol / recycling -----------------------------------
+
+    def __len__(self) -> int:
+        """Total number of ratings recorded."""
+        return self._n_ratings
+
+    def __contains__(self, product_id: object) -> bool:
+        """``product_id in store`` -- membership over *product* ids.
+
+        Products are the store's primary routing key (streams, shard
+        hashing); use :meth:`has_rater` for rater membership.
+        """
+        return product_id in self._products
+
+    def has_product(self, product_id: int) -> bool:
+        """True when the product id is registered."""
+        return product_id in self._products
+
+    def has_rater(self, rater_id: int) -> bool:
+        """True when the rater id is registered."""
+        return rater_id in self._raters
+
+    def clear(self) -> None:
+        """Drop every rating but keep registered products and raters.
+
+        Long-running services recycle a store between epochs without
+        re-registering the catalog; the product/rater indexes survive,
+        only the rating lists are emptied.
+        """
+        self._by_product.clear()
+        self._by_rater.clear()
+        self._n_ratings = 0
+
     # -- lookups ----------------------------------------------------------
 
     @property

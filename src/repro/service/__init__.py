@@ -1,0 +1,51 @@
+"""Production serving subsystem: the long-running rating platform.
+
+Everything before this package was batch -- re-processing intervals
+offline.  ``repro.service`` is the live half of the paper's Fig. 1
+portal: a sharded, thread-safe :class:`RatingEngine` streaming ratings
+through per-product online AR detectors and batched Procedure 2 trust
+updates, write-ahead-log durability with atomic snapshots
+(:mod:`repro.service.wal`), dependency-free Prometheus metrics
+(:mod:`repro.service.metrics`), and a stdlib JSON HTTP API
+(:mod:`repro.service.http`).
+
+Run it from the command line::
+
+    repro serve --port 8080 --shards 4 --wal-dir ./wal
+    repro replay trace.csv --shards 4
+
+or embed it::
+
+    from repro.service import RatingEngine, ServiceConfig
+    engine = RatingEngine(ServiceConfig(n_shards=4, wal_dir="./wal"))
+    engine.submit(rating)
+    engine.score(rating.product_id)
+"""
+
+from repro.service.config import ServiceConfig
+from repro.service.engine import RatingEngine, SubmitResult
+from repro.service.http import RatingServiceServer, make_server, serve
+from repro.service.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.service.wal import (
+    WriteAheadLog,
+    latest_snapshot,
+    read_snapshot,
+    write_snapshot,
+)
+
+__all__ = [
+    "ServiceConfig",
+    "RatingEngine",
+    "SubmitResult",
+    "RatingServiceServer",
+    "make_server",
+    "serve",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "WriteAheadLog",
+    "latest_snapshot",
+    "read_snapshot",
+    "write_snapshot",
+]

@@ -1,0 +1,124 @@
+"""Configuration for the serving engine.
+
+One frozen dataclass collects every knob of the long-running service:
+sharding, batching, the per-product streaming detector, the trust
+manager, and durability.  It round-trips through plain dicts so
+snapshots can embed the exact configuration they were taken under and
+recovery can rebuild an identically-behaving engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.signal.ar import AR_METHODS
+
+__all__ = ["ServiceConfig"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs of the :class:`~repro.service.engine.RatingEngine`.
+
+    Attributes:
+        n_shards: number of independently locked shards; products are
+            hashed across them, so unrelated products never contend.
+        batch_max_ratings: flush a shard's pending observations into
+            the trust manager after this many ingested ratings (the
+            ``K`` of flush-every-K-or-T).
+        batch_max_seconds: also flush when this much wall time passed
+            since the shard's last flush (None disables the deadline;
+            deterministic replays should disable it).
+        detector_order: AR model order of the per-product streaming
+            detector.
+        detector_threshold: normalized model-error alarm threshold.
+        detector_window: ratings per streaming analysis window.
+        detector_stride: arrivals between AR refits.
+        detector_method: AR estimator name (see ``repro.signal.ar``).
+        detector_scale: suspicion level charged per flagged rating.
+        trust_badness_weight: Procedure 2's ``b``.
+        trust_detection_threshold: trust below this marks a rater
+            malicious.
+        trust_forgetting_factor: evidence discount per trust update.
+        wal_dir: directory for the write-ahead log and snapshots
+            (None = run without durability).
+        wal_fsync_every: fsync the WAL every N appends.
+        snapshot_every: write an automatic snapshot every N accepted
+            ratings (0 = only explicit :meth:`snapshot` calls).
+    """
+
+    n_shards: int = 4
+    batch_max_ratings: int = 64
+    batch_max_seconds: Optional[float] = None
+    detector_order: int = 4
+    detector_threshold: float = 0.10
+    detector_window: int = 50
+    detector_stride: int = 5
+    detector_method: str = "covariance"
+    detector_scale: float = 1.0
+    trust_badness_weight: float = 1.0
+    trust_detection_threshold: float = 0.5
+    trust_forgetting_factor: float = 1.0
+    wal_dir: Optional[str] = None
+    wal_fsync_every: int = 1
+    snapshot_every: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ConfigurationError(f"n_shards must be >= 1, got {self.n_shards}")
+        if self.batch_max_ratings < 1:
+            raise ConfigurationError(
+                f"batch_max_ratings must be >= 1, got {self.batch_max_ratings}"
+            )
+        if self.batch_max_seconds is not None and self.batch_max_seconds < 0:
+            raise ConfigurationError(
+                f"batch_max_seconds must be >= 0 or None, got {self.batch_max_seconds}"
+            )
+        if self.detector_method not in AR_METHODS:
+            raise ConfigurationError(
+                f"unknown AR method {self.detector_method!r}; "
+                f"choose from {sorted(AR_METHODS)}"
+            )
+        if self.wal_fsync_every < 1:
+            raise ConfigurationError(
+                f"wal_fsync_every must be >= 1, got {self.wal_fsync_every}"
+            )
+        if self.snapshot_every < 0:
+            raise ConfigurationError(
+                f"snapshot_every must be >= 0, got {self.snapshot_every}"
+            )
+        # Detector / trust ranges are validated by their owners; fail
+        # fast here so a bad config surfaces at construction, not at
+        # the first rating of a previously unseen product.
+        from repro.detectors.online import OnlineARDetector
+        from repro.trust.manager import TrustManagerConfig
+
+        OnlineARDetector(
+            order=self.detector_order,
+            threshold=self.detector_threshold,
+            window_size=self.detector_window,
+            stride=self.detector_stride,
+            method=self.detector_method,
+            scale=self.detector_scale,
+        )
+        TrustManagerConfig(
+            badness_weight=self.trust_badness_weight,
+            detection_threshold=self.trust_detection_threshold,
+            forgetting_factor=self.trust_forgetting_factor,
+        )
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (embedded in snapshots)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ServiceConfig":
+        """Rebuild a config from :meth:`to_dict` output.
+
+        Unknown keys are ignored so snapshots written by newer versions
+        with extra knobs still load.
+        """
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in dict(data).items() if k in known})

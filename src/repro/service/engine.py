@@ -1,0 +1,676 @@
+"""The sharded streaming rating engine (the service's core).
+
+:class:`RatingEngine` turns the library's batch primitives into a
+long-running, thread-safe serving component:
+
+* **Sharding** -- products are hashed across ``n_shards`` independently
+  locked shards, each owning its slice of the rating store, one
+  :class:`~repro.detectors.online.OnlineARDetector` per active
+  product, and the pending observation tallies for its raters.
+  Unrelated products never contend on a lock.
+* **Batched trust updates** -- per-rater observations (ratings
+  provided, suspicion charged by the streaming detector) accumulate in
+  the shard and are flushed into the global
+  :class:`~repro.trust.manager.TrustManager` every
+  ``batch_max_ratings`` ingests or ``batch_max_seconds`` of wall time,
+  amortizing Procedure 2 over many ratings.
+* **Durability** -- accepted ratings are appended to a write-ahead log
+  *before* touching in-memory state; :meth:`snapshot` persists the
+  bounded engine state and :meth:`recover` rebuilds a crashed engine
+  bit-for-bit by replaying the WAL over the latest snapshot.
+
+The suspicion accounting is equivalent to
+:meth:`OnlineARDetector.suspicious_raters` for a constant detector
+scale, but incremental and bounded: each stream position is charged at
+most once (the level is the constant ``detector_scale``), so the
+engine only remembers the positions still inside the detector window.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Deque, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.aggregation.methods import ModifiedWeightedAverage
+from repro.detectors.online import OnlineARDetector
+from repro.errors import ConfigurationError, UnknownProductError
+from repro.ratings.models import Product, RaterClass, RaterProfile, Rating
+from repro.ratings.store import RatingStore
+from repro.service.config import ServiceConfig
+from repro.service.metrics import MetricsRegistry
+from repro.service.wal import (
+    WAL_FILENAME,
+    WriteAheadLog,
+    latest_snapshot,
+    rating_from_dict,
+    rating_to_dict,
+    read_snapshot,
+    write_snapshot,
+)
+from repro.trust.manager import TrustManager, TrustManagerConfig
+
+__all__ = ["RatingEngine", "SubmitResult"]
+
+
+@dataclass(frozen=True)
+class SubmitResult:
+    """Outcome of one :meth:`RatingEngine.submit` call.
+
+    Attributes:
+        accepted: False when the rating was rejected (and not logged).
+        seq: global sequence number of an accepted rating (its WAL
+            position when durability is enabled).
+        reason: human-readable rejection reason for refused ratings.
+        flagged: True when this rating's arrival triggered a suspicious
+            window verdict.
+    """
+
+    accepted: bool
+    seq: Optional[int] = None
+    reason: Optional[str] = None
+    flagged: bool = False
+
+
+class _ReadWriteGate:
+    """Many concurrent ingests, one exclusive snapshotter."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+
+    @contextlib.contextmanager
+    def read(self):
+        with self._cond:
+            while self._writer:
+                self._cond.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._readers -= 1
+                if self._readers == 0:
+                    self._cond.notify_all()
+
+    @contextlib.contextmanager
+    def write(self):
+        with self._cond:
+            while self._writer:
+                self._cond.wait()
+            self._writer = True
+            while self._readers:
+                self._cond.wait()
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writer = False
+                self._cond.notify_all()
+
+
+class _Shard:
+    """One lock domain: a slice of products and their streaming state."""
+
+    def __init__(self, index: int, config: ServiceConfig) -> None:
+        self.index = index
+        self.config = config
+        self.lock = threading.RLock()
+        self.store = RatingStore()
+        self.detectors: Dict[int, OnlineARDetector] = {}
+        # Last window_size (position, rater_id) pairs per product: the
+        # positions a future verdict's window can still cover.
+        self.recent: Dict[int, Deque[Tuple[int, int]]] = {}
+        self.charged: Dict[int, Set[int]] = {}
+        self.last_time: Dict[int, float] = {}
+        self.pending_provided: Dict[int, int] = {}
+        self.pending_suspicion: Dict[int, float] = {}
+        self.pending_suspicious: Dict[int, int] = {}
+        self.since_flush = 0
+        self.last_flush = time.monotonic()
+        self.n_accepted = 0
+        self.n_rejected = 0
+        self.n_evaluations = 0
+        self.n_flagged = 0
+
+    def make_detector(self) -> OnlineARDetector:
+        c = self.config
+        return OnlineARDetector(
+            order=c.detector_order,
+            threshold=c.detector_threshold,
+            window_size=c.detector_window,
+            stride=c.detector_stride,
+            method=c.detector_method,
+            scale=c.detector_scale,
+        )
+
+
+class RatingEngine:
+    """Thread-safe sharded front end over the rating/trust pipeline.
+
+    Args:
+        config: service knobs (defaults to :class:`ServiceConfig`).
+        metrics: registry to record observability metrics into; a
+            private registry is created when omitted (exposed as
+            :attr:`metrics` either way).
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.config = config if config is not None else ServiceConfig()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.aggregator = ModifiedWeightedAverage()
+        self.trust_manager = TrustManager(
+            config=TrustManagerConfig(
+                badness_weight=self.config.trust_badness_weight,
+                detection_threshold=self.config.trust_detection_threshold,
+                forgetting_factor=self.config.trust_forgetting_factor,
+            )
+        )
+        self._trust_lock = threading.Lock()
+        self._gate = _ReadWriteGate()
+        self._count_lock = threading.Lock()
+        self._n_accepted = 0
+        self._n_trust_updates = 0
+        self._started = time.monotonic()
+        self._shards = [_Shard(i, self.config) for i in range(self.config.n_shards)]
+        self._recovering = False
+
+        m = self.metrics
+        self._m_latency = m.histogram(
+            "repro_ingest_latency_seconds", "Wall time spent per submit() call."
+        )
+        self._m_accepted = m.counter(
+            "repro_ratings_accepted_total", "Ratings accepted (and WAL-logged)."
+        )
+        self._m_rejected = m.counter(
+            "repro_ratings_rejected_total", "Ratings refused at ingest."
+        )
+        self._m_refits = m.counter(
+            "repro_ar_refits_total", "Streaming AR model evaluations."
+        )
+        self._m_flagged = m.counter(
+            "repro_windows_flagged_total", "Suspicious window verdicts emitted."
+        )
+        self._m_trust_updates = m.counter(
+            "repro_trust_updates_total", "Trust manager flushes (Procedure 2 runs)."
+        )
+        self._m_fsync = m.histogram(
+            "repro_wal_fsync_seconds", "Duration of WAL fsync calls."
+        )
+        self._m_active_products = m.gauge(
+            "repro_active_products", "Products with streaming detector state."
+        )
+        self._m_queue_depth = [
+            m.gauge(
+                "repro_shard_queue_depth",
+                "Ratings pending in a shard since its last trust flush.",
+                labels={"shard": str(i)},
+            )
+            for i in range(self.config.n_shards)
+        ]
+
+        self.wal: Optional[WriteAheadLog] = None
+        if self.config.wal_dir is not None:
+            self.wal = WriteAheadLog(
+                Path(self.config.wal_dir) / WAL_FILENAME,
+                fsync_every=self.config.wal_fsync_every,
+                on_fsync=self._m_fsync.observe,
+            )
+
+    # -- routing -----------------------------------------------------------
+
+    def _shard_for(self, product_id: int) -> _Shard:
+        return self._shards[hash(product_id) % len(self._shards)]
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._shards)
+
+    @property
+    def n_accepted(self) -> int:
+        with self._count_lock:
+            return self._n_accepted
+
+    # -- ingest ------------------------------------------------------------
+
+    def submit(self, rating: Rating) -> SubmitResult:
+        """Ingest one rating: log, store, detect, and batch-update trust.
+
+        Rejections (a rating older than the product's newest rating)
+        are reported in the result, never raised -- a serving loop must
+        not die on one bad client.
+        """
+        start = time.perf_counter()
+        with self._gate.read():
+            result = self._ingest(rating, log=True)
+        self._m_latency.observe(time.perf_counter() - start)
+        if (
+            result.accepted
+            and self.wal is not None
+            and self.config.snapshot_every
+            and not self._recovering
+            and (result.seq + 1) % self.config.snapshot_every == 0
+        ):
+            self.snapshot()
+        return result
+
+    def submit_many(self, ratings: Iterable[Rating]) -> List[SubmitResult]:
+        """Ingest a batch; returns one result per rating."""
+        return [self.submit(rating) for rating in ratings]
+
+    def _ingest(self, rating: Rating, log: bool) -> SubmitResult:
+        shard = self._shard_for(rating.product_id)
+        with shard.lock:
+            last = shard.last_time.get(rating.product_id)
+            if last is not None and rating.time < last:
+                shard.n_rejected += 1
+                self._m_rejected.inc()
+                return SubmitResult(
+                    accepted=False,
+                    reason=(
+                        f"out-of-order rating for product {rating.product_id}: "
+                        f"{rating.time} after {last}"
+                    ),
+                )
+            seq: Optional[int] = None
+            if log and self.wal is not None:
+                seq = self.wal.append(rating)
+            flagged = self._apply(shard, rating)
+            with self._count_lock:
+                if seq is None:
+                    seq = self._n_accepted
+                self._n_accepted += 1
+        self._m_accepted.inc()
+        return SubmitResult(accepted=True, seq=seq, flagged=flagged)
+
+    def _apply(self, shard: _Shard, rating: Rating) -> bool:
+        """Store + detect + tally one accepted rating (shard lock held)."""
+        pid, rid = rating.product_id, rating.rater_id
+        if not shard.store.has_product(pid):
+            shard.store.add_product(Product(product_id=pid, quality=0.5))
+        if not shard.store.has_rater(rid):
+            shard.store.add_rater(
+                RaterProfile(rater_id=rid, rater_class=RaterClass.RELIABLE)
+            )
+        shard.store.add_rating(rating)
+
+        detector = shard.detectors.get(pid)
+        if detector is None:
+            detector = shard.make_detector()
+            shard.detectors[pid] = detector
+            shard.recent[pid] = deque(maxlen=self.config.detector_window)
+            shard.charged[pid] = set()
+            self._m_active_products.inc()
+        shard.recent[pid].append((detector.n_seen, rid))
+        verdict = detector.observe(rating)
+        shard.last_time[pid] = rating.time
+
+        flagged = False
+        if verdict is not None:
+            shard.n_evaluations += 1
+            self._m_refits.inc()
+            if verdict.suspicious:
+                flagged = True
+                shard.n_flagged += 1
+                self._m_flagged.inc()
+                self._charge_window(shard, pid, detector)
+
+        shard.pending_provided[rid] = shard.pending_provided.get(rid, 0) + 1
+        shard.since_flush += 1
+        shard.n_accepted += 1
+        self._m_queue_depth[shard.index].set(shard.since_flush)
+
+        if shard.since_flush >= self.config.batch_max_ratings:
+            self._flush_shard(shard)
+        elif (
+            self.config.batch_max_seconds is not None
+            and time.monotonic() - shard.last_flush >= self.config.batch_max_seconds
+        ):
+            self._flush_shard(shard)
+        return flagged
+
+    def _charge_window(self, shard: _Shard, pid: int, detector: OnlineARDetector) -> None:
+        """Charge the detector's current window, once per position.
+
+        The verdict's window is exactly the last ``len(buffer)``
+        positions, which is what ``shard.recent[pid]`` holds; each
+        never-charged position adds ``detector_scale`` suspicion to its
+        rater -- the batch max-then-sum rule for a constant scale.
+        """
+        charged = shard.charged[pid]
+        scale = self.config.detector_scale
+        for position, rater_id in shard.recent[pid]:
+            if position in charged:
+                continue
+            charged.add(position)
+            shard.pending_suspicion[rater_id] = (
+                shard.pending_suspicion.get(rater_id, 0.0) + scale
+            )
+            shard.pending_suspicious[rater_id] = (
+                shard.pending_suspicious.get(rater_id, 0) + 1
+            )
+        # Positions that fell out of the window can never be charged
+        # again; keep the set bounded.
+        cutoff = detector.n_seen - self.config.detector_window
+        if cutoff > 0:
+            charged -= {p for p in charged if p < cutoff}
+
+    # -- trust flushing ------------------------------------------------------
+
+    def _flush_shard(self, shard: _Shard) -> None:
+        """Push a shard's pending tallies through Procedure 2 (lock held)."""
+        if shard.since_flush == 0:
+            shard.last_flush = time.monotonic()
+            return
+        with self._trust_lock:
+            observations = self.trust_manager.observations
+            for rater_id, count in shard.pending_provided.items():
+                observations.record_provided(rater_id, count)
+            for rater_id, value in shard.pending_suspicion.items():
+                observations.record_suspicion_value(rater_id, value)
+            for rater_id, count in shard.pending_suspicious.items():
+                observations.record_suspicious(rater_id, count)
+            self.trust_manager.update()
+            self._n_trust_updates += 1
+        shard.pending_provided = {}
+        shard.pending_suspicion = {}
+        shard.pending_suspicious = {}
+        shard.since_flush = 0
+        shard.last_flush = time.monotonic()
+        self._m_trust_updates.inc()
+        self._m_queue_depth[shard.index].set(0)
+        for detector in shard.detectors.values():
+            detector.prune()
+
+    def flush(self) -> None:
+        """Flush every shard's pending observations into the trust manager."""
+        for shard in self._shards:
+            with shard.lock:
+                self._flush_shard(shard)
+
+    # -- queries -------------------------------------------------------------
+
+    def score(self, product_id: int) -> Optional[float]:
+        """Trust-weighted (modified weighted average) score of a product.
+
+        Returns None for a registered product with no ratings; raises
+        :class:`UnknownProductError` for a product never seen.
+        """
+        shard = self._shard_for(product_id)
+        with shard.lock:
+            if not shard.store.has_product(product_id):
+                raise UnknownProductError(f"product {product_id} is not registered")
+            ratings = list(shard.store.stream(product_id))
+        if not ratings:
+            return None
+        with self._trust_lock:
+            trusts = [self.trust_manager.trust(r.rater_id) for r in ratings]
+        return float(self.aggregator.aggregate([r.value for r in ratings], trusts))
+
+    def trust(self, rater_id: int) -> float:
+        """Current trust in a rater (0.5 prior for unseen raters)."""
+        with self._trust_lock:
+            return self.trust_manager.trust(rater_id)
+
+    def trust_table(self) -> Dict[int, float]:
+        """rater_id -> trust for every rater with a record."""
+        with self._trust_lock:
+            return dict(self.trust_manager.trust_table())
+
+    def detected_malicious(self) -> List[int]:
+        """Raters currently below the detection threshold."""
+        with self._trust_lock:
+            return self.trust_manager.detected_malicious()
+
+    def has_product(self, product_id: int) -> bool:
+        """True when some shard has seen the product."""
+        shard = self._shard_for(product_id)
+        with shard.lock:
+            return shard.store.has_product(product_id)
+
+    def snapshot_stats(self) -> dict:
+        """Point-in-time counters for dashboards and the replay report."""
+        per_shard = []
+        totals = {"evaluations": 0, "flagged": 0, "rejected": 0}
+        n_products = 0
+        for shard in self._shards:
+            with shard.lock:
+                per_shard.append(
+                    {
+                        "shard": shard.index,
+                        "n_ratings": shard.store.n_ratings,
+                        "n_products": len(shard.store.product_ids),
+                        "pending": shard.since_flush,
+                    }
+                )
+                totals["evaluations"] += shard.n_evaluations
+                totals["flagged"] += shard.n_flagged
+                totals["rejected"] += shard.n_rejected
+                n_products += len(shard.store.product_ids)
+        uptime = time.monotonic() - self._started
+        with self._trust_lock:
+            n_raters = len(self.trust_manager.rater_ids)
+        accepted = self.n_accepted
+        return {
+            "uptime_seconds": uptime,
+            "n_accepted": accepted,
+            "n_rejected": totals["rejected"],
+            "n_products": n_products,
+            "n_raters": n_raters,
+            "n_shards": len(self._shards),
+            "ar_evaluations": totals["evaluations"],
+            "windows_flagged": totals["flagged"],
+            "trust_updates": self._n_trust_updates,
+            "ratings_per_second": accepted / uptime if uptime > 0 else 0.0,
+            "shards": per_shard,
+            "wal_entries": self.wal.n_entries if self.wal is not None else None,
+        }
+
+    # -- durability ----------------------------------------------------------
+
+    def _state_dict(self) -> dict:
+        """Bounded engine state; callers must hold the write gate."""
+        shards_state = []
+        for shard in self._shards:
+            products = {}
+            for pid, detector in shard.detectors.items():
+                products[str(pid)] = {
+                    "detector": detector.state_dict(),
+                    "recent": [[p, r] for p, r in shard.recent[pid]],
+                    "charged": sorted(shard.charged[pid]),
+                    "last_time": shard.last_time[pid],
+                }
+            shards_state.append(
+                {
+                    "products": products,
+                    "pending_provided": {
+                        str(k): v for k, v in shard.pending_provided.items()
+                    },
+                    "pending_suspicion": {
+                        str(k): v for k, v in shard.pending_suspicion.items()
+                    },
+                    "pending_suspicious": {
+                        str(k): v for k, v in shard.pending_suspicious.items()
+                    },
+                    "since_flush": shard.since_flush,
+                    "n_accepted": shard.n_accepted,
+                    "n_rejected": shard.n_rejected,
+                    "n_evaluations": shard.n_evaluations,
+                    "n_flagged": shard.n_flagged,
+                    "store_n_ratings": shard.store.n_ratings,
+                }
+            )
+        with self._trust_lock:
+            trust_state = {
+                str(rid): {
+                    "successes": record.successes,
+                    "failures": record.failures,
+                    "history": list(record.history),
+                }
+                for rid, record in (
+                    (rid, self.trust_manager.record(rid))
+                    for rid in self.trust_manager.rater_ids
+                )
+            }
+        return {
+            "version": 1,
+            "config": self.config.to_dict(),
+            "wal_position": self._n_accepted,
+            "n_trust_updates": self._n_trust_updates,
+            "trust": trust_state,
+            "shards": shards_state,
+        }
+
+    def _load_state(self, state: dict) -> None:
+        """Install a snapshot's state (single-threaded recovery only)."""
+        shards_state = state["shards"]
+        if len(shards_state) != len(self._shards):
+            raise ConfigurationError(
+                f"snapshot has {len(shards_state)} shards, engine has "
+                f"{len(self._shards)}"
+            )
+        for shard, shard_state in zip(self._shards, shards_state):
+            if shard.store.n_ratings != shard_state["store_n_ratings"]:
+                raise ConfigurationError(
+                    f"shard {shard.index}: WAL prefix rebuilt "
+                    f"{shard.store.n_ratings} ratings but the snapshot "
+                    f"recorded {shard_state['store_n_ratings']}"
+                )
+            for pid_str, product_state in shard_state["products"].items():
+                pid = int(pid_str)
+                detector = shard.make_detector()
+                detector.load_state(product_state["detector"])
+                shard.detectors[pid] = detector
+                shard.recent[pid] = deque(
+                    ((int(p), int(r)) for p, r in product_state["recent"]),
+                    maxlen=self.config.detector_window,
+                )
+                shard.charged[pid] = {int(p) for p in product_state["charged"]}
+                shard.last_time[pid] = float(product_state["last_time"])
+                self._m_active_products.inc()
+            shard.pending_provided = {
+                int(k): int(v) for k, v in shard_state["pending_provided"].items()
+            }
+            shard.pending_suspicion = {
+                int(k): float(v) for k, v in shard_state["pending_suspicion"].items()
+            }
+            shard.pending_suspicious = {
+                int(k): int(v) for k, v in shard_state["pending_suspicious"].items()
+            }
+            shard.since_flush = int(shard_state["since_flush"])
+            shard.n_accepted = int(shard_state["n_accepted"])
+            shard.n_rejected = int(shard_state["n_rejected"])
+            shard.n_evaluations = int(shard_state["n_evaluations"])
+            shard.n_flagged = int(shard_state["n_flagged"])
+        with self._trust_lock:
+            for rid_str, record_state in state["trust"].items():
+                record = self.trust_manager.register_rater(int(rid_str))
+                record.successes = float(record_state["successes"])
+                record.failures = float(record_state["failures"])
+                record.history = [float(v) for v in record_state["history"]]
+        self._n_trust_updates = int(state.get("n_trust_updates", 0))
+        with self._count_lock:
+            self._n_accepted = int(state["wal_position"])
+
+    def _restore_rating(self, rating: Rating) -> None:
+        """Re-insert a pre-snapshot WAL rating into the store only."""
+        shard = self._shard_for(rating.product_id)
+        if not shard.store.has_product(rating.product_id):
+            shard.store.add_product(Product(product_id=rating.product_id, quality=0.5))
+        if not shard.store.has_rater(rating.rater_id):
+            shard.store.add_rater(
+                RaterProfile(rater_id=rating.rater_id, rater_class=RaterClass.RELIABLE)
+            )
+        shard.store.add_rating(rating)
+
+    def snapshot(self) -> Path:
+        """Persist engine state atomically; returns the snapshot path.
+
+        Blocks new submits for the duration (exclusive gate), so the
+        snapshot covers a clean WAL prefix.
+        """
+        if self.config.wal_dir is None:
+            raise ConfigurationError("snapshots need a configured wal_dir")
+        with self._gate.write():
+            if self.wal is not None:
+                self.wal.sync()
+            state = self._state_dict()
+            return write_snapshot(self.config.wal_dir, state)
+
+    @classmethod
+    def recover(
+        cls,
+        wal_dir: "str | Path",
+        config: Optional[ServiceConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> "RatingEngine":
+        """Rebuild an engine from a WAL directory.
+
+        Loads the latest snapshot (if any), re-inserts the covered WAL
+        prefix into the rating store, then re-processes the WAL suffix
+        through the full ingest path -- yielding trust and suspicion
+        state identical to an uninterrupted run.  With no snapshot the
+        entire WAL is re-processed.  An empty or missing directory
+        yields a fresh engine.
+
+        Args:
+            wal_dir: directory holding ``wal.jsonl`` and snapshots.
+            config: configuration to use when no snapshot embeds one
+                (a snapshot's embedded config always wins, since the
+                replay must match how the state was produced).
+            metrics: optional registry for the rebuilt engine.
+        """
+        wal_dir = Path(wal_dir)
+        snapshot_path = latest_snapshot(wal_dir)
+        state: Optional[dict] = None
+        if snapshot_path is not None:
+            state = read_snapshot(snapshot_path)
+            config = ServiceConfig.from_dict(
+                {**state["config"], "wal_dir": str(wal_dir)}
+            )
+        elif config is None:
+            config = ServiceConfig(wal_dir=str(wal_dir))
+        elif config.wal_dir != str(wal_dir):
+            config = ServiceConfig.from_dict(
+                {**config.to_dict(), "wal_dir": str(wal_dir)}
+            )
+        engine = cls(config=config, metrics=metrics)
+        engine._recovering = True
+        try:
+            position = int(state["wal_position"]) if state is not None else 0
+            suffix: List[Rating] = []
+            n_entries = 0
+            assert engine.wal is not None
+            for seq, rating in engine.wal.replay():
+                n_entries += 1
+                if seq < position:
+                    engine._restore_rating(rating)
+                else:
+                    suffix.append(rating)
+            if n_entries < position:
+                raise ConfigurationError(
+                    f"WAL has {n_entries} entries but snapshot "
+                    f"{snapshot_path} covers {position}"
+                )
+            if state is not None:
+                engine._load_state(state)
+            for rating in suffix:
+                engine._ingest(rating, log=False)
+        finally:
+            engine._recovering = False
+        return engine
+
+    def close(self) -> None:
+        """Flush pending trust observations and sync/close the WAL."""
+        self.flush()
+        if self.wal is not None:
+            self.wal.close()

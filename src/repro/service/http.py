@@ -1,0 +1,222 @@
+"""Stdlib HTTP API over the rating engine.
+
+A thin JSON layer (``http.server.ThreadingHTTPServer``, no runtime
+dependencies) exposing the portal surface of Fig. 1:
+
+==========================  ===============================================
+``POST /ratings``           submit one rating
+``GET /products/{id}/score``  trust-weighted score of a product
+``GET /raters/{id}/trust``  current trust in a rater
+``GET /healthz``            liveness + uptime
+``GET /metrics``            Prometheus text exposition
+``GET /stats``              the engine's ``snapshot_stats()`` as JSON
+==========================  ===============================================
+
+``POST /ratings`` accepts ``{"rater_id": int, "product_id": int,
+"value": float}`` plus optional ``time`` (seconds since engine start
+when omitted) and ``rating_id`` (auto-assigned when omitted).  Invalid
+payloads return 400; rejected ratings (out of time order for their
+product) return 409 with the reason.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from repro.errors import ReproError, UnknownProductError
+from repro.ratings.models import Rating, fresh_rating_id
+from repro.service.engine import RatingEngine
+
+__all__ = ["RatingServiceServer", "make_server", "serve"]
+
+_SCORE_RE = re.compile(r"^/products/(-?\d+)/score$")
+_TRUST_RE = re.compile(r"^/raters/(-?\d+)/trust$")
+
+MAX_BODY_BYTES = 1 << 20
+
+
+class RatingServiceServer(ThreadingHTTPServer):
+    """Threading HTTP server bound to one :class:`RatingEngine`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: Tuple[str, int], engine: RatingEngine, quiet: bool = True):
+        super().__init__(address, _Handler)
+        self.engine = engine
+        self.quiet = quiet
+        self.started = time.monotonic()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes portal requests onto the engine."""
+
+    server: RatingServiceServer  # narrowed for type checkers
+
+    # -- plumbing ---------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not self.server.quiet:
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    # -- GET --------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802
+        engine = self.server.engine
+        if self.path == "/healthz":
+            self._send_json(
+                200,
+                {
+                    "status": "ok",
+                    "uptime_seconds": time.monotonic() - self.server.started,
+                    "n_accepted": engine.n_accepted,
+                },
+            )
+            return
+        if self.path == "/metrics":
+            self._send_text(
+                200, engine.metrics.render(), "text/plain; version=0.0.4; charset=utf-8"
+            )
+            return
+        if self.path == "/stats":
+            self._send_json(200, engine.snapshot_stats())
+            return
+        match = _SCORE_RE.match(self.path)
+        if match:
+            product_id = int(match.group(1))
+            try:
+                score = engine.score(product_id)
+            except UnknownProductError:
+                self._send_json(404, {"error": f"unknown product {product_id}"})
+                return
+            self._send_json(200, {"product_id": product_id, "score": score})
+            return
+        match = _TRUST_RE.match(self.path)
+        if match:
+            rater_id = int(match.group(1))
+            self._send_json(
+                200, {"rater_id": rater_id, "trust": engine.trust(rater_id)}
+            )
+            return
+        self._send_json(404, {"error": f"no route for {self.path}"})
+
+    # -- POST -------------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802
+        if self.path != "/ratings":
+            self._send_json(404, {"error": f"no route for {self.path}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            self._send_json(400, {"error": "bad Content-Length"})
+            return
+        if length <= 0 or length > MAX_BODY_BYTES:
+            self._send_json(400, {"error": "body required (max 1 MiB)"})
+            return
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            self._send_json(400, {"error": f"invalid JSON: {exc}"})
+            return
+        if not isinstance(payload, dict):
+            self._send_json(400, {"error": "body must be a JSON object"})
+            return
+        rating, error = self._parse_rating(payload)
+        if rating is None:
+            self._send_json(400, {"error": error})
+            return
+        result = self.server.engine.submit(rating)
+        if not result.accepted:
+            self._send_json(409, {"accepted": False, "error": result.reason})
+            return
+        self._send_json(
+            201,
+            {
+                "accepted": True,
+                "seq": result.seq,
+                "rating_id": rating.rating_id,
+                "flagged": result.flagged,
+            },
+        )
+
+    def _parse_rating(self, payload: dict) -> Tuple[Optional[Rating], Optional[str]]:
+        try:
+            rater_id = int(payload["rater_id"])
+            product_id = int(payload["product_id"])
+            value = float(payload["value"])
+        except (KeyError, TypeError, ValueError) as exc:
+            return None, f"need integer rater_id/product_id and float value: {exc}"
+        when = payload.get("time")
+        if when is None:
+            when = time.monotonic() - self.server.started
+        rating_id = payload.get("rating_id")
+        if rating_id is None:
+            rating_id = fresh_rating_id()
+        try:
+            rating = Rating(
+                rating_id=int(rating_id),
+                rater_id=rater_id,
+                product_id=product_id,
+                value=value,
+                time=float(when),
+            )
+        except (ReproError, TypeError, ValueError) as exc:
+            return None, str(exc)
+        return rating, None
+
+
+def make_server(
+    engine: RatingEngine, host: str = "127.0.0.1", port: int = 8080, quiet: bool = True
+) -> RatingServiceServer:
+    """Build a server (``port=0`` binds an ephemeral port for tests)."""
+    return RatingServiceServer((host, port), engine, quiet=quiet)
+
+
+def serve(
+    engine: RatingEngine,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    quiet: bool = False,
+) -> None:
+    """Serve until interrupted; flushes and closes the engine on exit."""
+    server = make_server(engine, host=host, port=port, quiet=quiet)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        engine.close()
+
+
+def start_background(
+    engine: RatingEngine, host: str = "127.0.0.1", port: int = 0
+) -> Tuple[RatingServiceServer, threading.Thread]:
+    """Start a server on a daemon thread (used by tests and notebooks)."""
+    server = make_server(engine, host=host, port=port)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return server, thread

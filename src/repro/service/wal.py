@@ -1,0 +1,246 @@
+"""Durability for the rating service: write-ahead log + snapshots.
+
+The serving engine must survive a crash with its trust and suspicion
+state intact.  Two stdlib-only mechanisms provide that:
+
+* :class:`WriteAheadLog` -- an append-only JSON-Lines file of every
+  *accepted* rating, written before the rating mutates any in-memory
+  state.  Replaying the log through a fresh engine reproduces the
+  exact pre-crash state, because the whole pipeline is deterministic
+  in arrival order.
+* Snapshots -- periodic JSON dumps of the engine's bounded state
+  (trust records, detector buffers, pending batch tallies, counters)
+  written atomically via ``os.replace``.  A snapshot records the WAL
+  position it covers, so recovery only has to *re-process* the WAL
+  suffix; the prefix is merely re-inserted into the rating store.
+
+File layout inside a WAL directory::
+
+    wal.jsonl                   append-only rating log
+    snapshot-000000000420.json  state through the first 420 WAL entries
+
+Recovery (:meth:`repro.service.engine.RatingEngine.recover`) loads the
+highest-numbered snapshot and replays the WAL from its position.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import threading
+import time
+from dataclasses import asdict
+from pathlib import Path
+from typing import Callable, Iterator, List, Optional, Tuple, Union
+
+from repro.errors import ConfigurationError
+from repro.ratings.models import Rating
+
+__all__ = [
+    "WriteAheadLog",
+    "rating_to_dict",
+    "rating_from_dict",
+    "write_snapshot",
+    "read_snapshot",
+    "latest_snapshot",
+    "WAL_FILENAME",
+]
+
+PathLike = Union[str, Path]
+
+WAL_FILENAME = "wal.jsonl"
+_SNAPSHOT_RE = re.compile(r"^snapshot-(\d{12})\.json$")
+
+
+def rating_to_dict(rating: Rating) -> dict:
+    """JSON-ready dict for one rating (inverse of :func:`rating_from_dict`)."""
+    return asdict(rating)
+
+
+def rating_from_dict(row: dict) -> Rating:
+    """Rebuild a rating from its WAL/snapshot dict form."""
+    try:
+        return Rating(
+            rating_id=int(row["rating_id"]),
+            rater_id=int(row["rater_id"]),
+            product_id=int(row["product_id"]),
+            value=float(row["value"]),
+            time=float(row["time"]),
+            unfair=bool(row.get("unfair", False)),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ConfigurationError(f"malformed WAL rating {row!r}: {exc}") from exc
+
+
+class WriteAheadLog:
+    """Append-only JSONL log of accepted ratings.
+
+    Args:
+        path: the log file; created (with parents) if absent, appended
+            to if present.
+        fsync_every: ``os.fsync`` after every N appends (1 = maximum
+            durability, larger values trade a bounded tail of possibly
+            lost ratings for throughput).
+        on_fsync: optional callback receiving each fsync's duration in
+            seconds (the engine feeds this into a histogram).
+    """
+
+    def __init__(
+        self,
+        path: PathLike,
+        fsync_every: int = 1,
+        on_fsync: Optional[Callable[[float], None]] = None,
+    ) -> None:
+        if fsync_every < 1:
+            raise ConfigurationError(f"fsync_every must be >= 1, got {fsync_every}")
+        self._path = Path(path)
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        self.fsync_every = int(fsync_every)
+        self._on_fsync = on_fsync
+        self._lock = threading.Lock()
+        self._count = self._count_existing()
+        self._since_sync = 0
+        self._handle = self._path.open("a", encoding="utf-8")
+
+    def _count_existing(self) -> int:
+        if not self._path.exists():
+            return 0
+        with self._path.open("r", encoding="utf-8") as handle:
+            return sum(1 for line in handle if line.strip())
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    @property
+    def n_entries(self) -> int:
+        """Entries currently in the log (existing + appended)."""
+        with self._lock:
+            return self._count
+
+    # -- writing ----------------------------------------------------------
+
+    def append(self, rating: Rating) -> int:
+        """Append one rating; returns its zero-based sequence number."""
+        line = json.dumps(rating_to_dict(rating), separators=(",", ":"))
+        with self._lock:
+            if self._handle.closed:
+                raise ConfigurationError(f"WAL {self._path} is closed")
+            self._handle.write(line + "\n")
+            seq = self._count
+            self._count += 1
+            self._since_sync += 1
+            if self._since_sync >= self.fsync_every:
+                self._sync_locked()
+        return seq
+
+    def _sync_locked(self) -> None:
+        start = time.perf_counter()
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._since_sync = 0
+        if self._on_fsync is not None:
+            self._on_fsync(time.perf_counter() - start)
+
+    def sync(self) -> None:
+        """Flush and fsync any buffered appends."""
+        with self._lock:
+            if not self._handle.closed:
+                self._sync_locked()
+
+    def close(self) -> None:
+        """Sync and close the underlying file."""
+        with self._lock:
+            if not self._handle.closed:
+                self._sync_locked()
+                self._handle.close()
+
+    # -- reading ----------------------------------------------------------
+
+    def replay(self) -> Iterator[Tuple[int, Rating]]:
+        """Yield ``(seq, rating)`` for every entry currently on disk."""
+        return replay_wal(self._path)
+
+
+def replay_wal(path: PathLike) -> Iterator[Tuple[int, Rating]]:
+    """Stream ``(seq, rating)`` pairs from a WAL file (empty if absent)."""
+    path = Path(path)
+    if not path.exists():
+        return
+    with path.open("r", encoding="utf-8") as handle:
+        seq = 0
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ConfigurationError(
+                    f"{path}:{line_number}: corrupt WAL line: {exc}"
+                ) from exc
+            yield seq, rating_from_dict(row)
+            seq += 1
+
+
+# -- snapshots ------------------------------------------------------------
+
+
+def _snapshot_path(directory: Path, wal_position: int) -> Path:
+    return directory / f"snapshot-{wal_position:012d}.json"
+
+
+def write_snapshot(directory: PathLike, state: dict) -> Path:
+    """Atomically write an engine state snapshot.
+
+    The state dict must carry a ``wal_position`` key (number of WAL
+    entries it covers); the snapshot is written to a temp file and
+    moved into place with ``os.replace`` so readers never observe a
+    torn snapshot.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    try:
+        wal_position = int(state["wal_position"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ConfigurationError(f"snapshot state needs a wal_position: {exc}") from exc
+    final = _snapshot_path(directory, wal_position)
+    tmp = final.with_suffix(".json.tmp")
+    with tmp.open("w", encoding="utf-8") as handle:
+        json.dump(state, handle, separators=(",", ":"))
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, final)
+    return final
+
+
+def read_snapshot(path: PathLike) -> dict:
+    """Load a snapshot written by :func:`write_snapshot`."""
+    path = Path(path)
+    try:
+        with path.open("r", encoding="utf-8") as handle:
+            state = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigurationError(f"unreadable snapshot {path}: {exc}") from exc
+    if "wal_position" not in state:
+        raise ConfigurationError(f"snapshot {path} lacks wal_position")
+    return state
+
+
+def list_snapshots(directory: PathLike) -> List[Path]:
+    """Snapshot files in a WAL directory, oldest first."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    found = []
+    for entry in directory.iterdir():
+        if _SNAPSHOT_RE.match(entry.name):
+            found.append(entry)
+    return sorted(found)
+
+
+def latest_snapshot(directory: PathLike) -> Optional[Path]:
+    """The highest-position snapshot in a WAL directory, if any."""
+    snapshots = list_snapshots(directory)
+    return snapshots[-1] if snapshots else None

@@ -33,6 +33,7 @@ PUBLIC_MODULES = [
     "repro.experiments",
     "repro.presets",
     "repro.reporting",
+    "repro.service",
 ]
 
 

@@ -1,0 +1,106 @@
+"""Tests for CLI exit codes and the serve/replay subcommands."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.cli as cli
+from repro.errors import ConfigurationError
+from repro.ratings.io import write_csv, write_jsonl
+from repro.ratings.stream import RatingStream
+from tests.test_service_engine import make_stream
+
+
+class TestExitCodes:
+    def test_success_returns_zero(self, capsys):
+        assert cli.main(["list"]) == 0
+        assert "available experiments" in capsys.readouterr().out
+
+    def test_unexpected_experiment_error_returns_one(self, monkeypatch, capsys):
+        def boom(**kwargs):
+            raise RuntimeError("simulated experiment crash")
+
+        name = sorted(cli.REGISTRY)[0]
+        monkeypatch.setitem(
+            cli.REGISTRY, name, (boom, lambda result: "", "broken entry")
+        )
+        code = cli.main(["run", name])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "simulated experiment crash" in err
+        assert "RuntimeError" in err
+
+    def test_library_error_returns_two(self, monkeypatch, capsys):
+        def boom(**kwargs):
+            raise ConfigurationError("bad knob")
+
+        name = sorted(cli.REGISTRY)[0]
+        monkeypatch.setitem(
+            cli.REGISTRY, name, (boom, lambda result: "", "broken entry")
+        )
+        assert cli.main(["run", name]) == 2
+        assert "bad knob" in capsys.readouterr().err
+
+    def test_missing_trace_is_controlled_failure(self, capsys):
+        assert cli.main(["replay", "/nonexistent/trace.csv"]) == 1
+        assert "error" in capsys.readouterr().err.lower()
+
+
+class TestParser:
+    def test_serve_arguments(self):
+        parser = cli.build_parser()
+        args = parser.parse_args(
+            ["serve", "--port", "9999", "--shards", "8", "--wal-dir", "/tmp/w"]
+        )
+        assert args.command == "serve"
+        assert args.port == 9999
+        assert args.shards == 8
+        assert args.wal_dir == "/tmp/w"
+
+    def test_replay_arguments(self):
+        parser = cli.build_parser()
+        args = parser.parse_args(["replay", "trace.csv", "--batch", "16"])
+        assert args.command == "replay"
+        assert args.trace == "trace.csv"
+        assert args.batch == 16
+
+
+class TestReplay:
+    @pytest.fixture()
+    def trace_csv(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        write_csv(RatingStream.from_ratings(make_stream(120)), path)
+        return path
+
+    def test_replay_reports_throughput(self, trace_csv, capsys):
+        code = cli.main(
+            ["replay", str(trace_csv), "--shards", "2", "--batch", "16",
+             "--window", "12", "--stride", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ratings/sec" in out
+        assert "120/120 ratings accepted" in out
+        assert "AR evaluations" in out
+
+    def test_replay_jsonl_with_json_dump(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        write_jsonl(RatingStream.from_ratings(make_stream(60)), trace)
+        out_json = tmp_path / "stats.json"
+        code = cli.main(
+            ["replay", str(trace), "--window", "12", "--json", str(out_json)]
+        )
+        assert code == 0
+        stats = json.loads(out_json.read_text())
+        assert stats["n_accepted"] == 60
+        assert stats["replay_ratings_per_second"] > 0
+
+    def test_replay_with_wal_dir_is_durable(self, trace_csv, tmp_path, capsys):
+        wal_dir = tmp_path / "wal"
+        code = cli.main(
+            ["replay", str(trace_csv), "--window", "12", "--wal-dir", str(wal_dir)]
+        )
+        assert code == 0
+        assert (wal_dir / "wal.jsonl").exists()

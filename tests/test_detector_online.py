@@ -112,3 +112,96 @@ class TestDetection:
         # A solid share of charged raters are true colluders.
         flagged = set(suspicion)
         assert len(flagged & unfair_raters) / len(flagged) > 0.3
+
+
+class TestEdgeCases:
+    def test_stride_larger_than_window(self, rng):
+        # A stride beyond the window just means sparser evaluations:
+        # first verdict once BOTH the buffer is full and stride
+        # arrivals have passed, then one per stride.
+        detector = OnlineARDetector(window_size=20, stride=30)
+        values = np.clip(rng.normal(0.7, 0.3, size=90), 0, 1)
+        emitted = detector.observe_many(make_stream(np.round(values, 1)))
+        assert len(emitted) == 3  # at arrivals 30, 60, 90
+        assert detector.n_seen == 90
+
+    def test_duplicate_timestamps_whole_stream(self, rng):
+        # A burst where every rating carries the same timestamp is
+        # legal (arrival order is the temporal axis) and still
+        # evaluates windows.
+        detector = OnlineARDetector(window_size=20, stride=5)
+        values = np.clip(rng.normal(0.7, 0.3, size=40), 0, 1)
+        emitted = detector.observe_many(
+            make_stream(np.round(values, 1), spacing=0.0)
+        )
+        assert detector.n_seen == 40
+        assert len(emitted) == 1 + (40 - 20) // 5
+        for verdict in emitted:
+            assert verdict.window.start_time == verdict.window.end_time == 0.0
+
+    def test_warm_up_emits_nothing_before_window_fills(self, rng):
+        detector = OnlineARDetector(window_size=25, stride=1)
+        values = np.clip(rng.normal(0.7, 0.3, size=24), 0, 1)
+        emitted = detector.observe_many(make_stream(np.round(values, 1)))
+        assert emitted == []
+        assert detector.verdicts == []
+        assert not detector.buffer_full
+        # The very next arrival triggers the first evaluation.
+        verdict = detector.observe(make_rating(24, 0.5, 24.0))
+        assert verdict is not None
+
+
+class TestPersistence:
+    def test_state_roundtrip_mid_stream(self, rng):
+        # Save at an arbitrary point; the restored detector must emit
+        # the identical verdict sequence for the remaining arrivals.
+        values = np.round(np.clip(rng.normal(0.7, 0.2, size=80), 0, 1), 2)
+        stream = list(make_stream(values))
+        original = OnlineARDetector(window_size=20, stride=3, threshold=0.2)
+        original.observe_many(stream[:37])
+
+        restored = OnlineARDetector(window_size=20, stride=3, threshold=0.2)
+        restored.load_state(original.state_dict())
+        assert restored.n_seen == original.n_seen
+
+        tail_a = original.observe_many(stream[37:])
+        tail_b = restored.observe_many(stream[37:])
+        assert len(tail_a) == len(tail_b)
+        for verdict_a, verdict_b in zip(tail_a, tail_b):
+            assert verdict_a.statistic == verdict_b.statistic
+            assert verdict_a.suspicious == verdict_b.suspicious
+            assert list(verdict_a.window.indices) == list(verdict_b.window.indices)
+
+    def test_state_dict_is_json_serializable(self, rng):
+        import json
+
+        detector = OnlineARDetector(window_size=20, stride=3)
+        values = np.clip(rng.normal(0.7, 0.3, size=30), 0, 1)
+        detector.observe_many(make_stream(np.round(values, 1)))
+        assert json.loads(json.dumps(detector.state_dict())) == detector.state_dict()
+
+    def test_oversized_buffer_rejected(self):
+        detector = OnlineARDetector(window_size=20)
+        state = detector.state_dict()
+        state["buffer"] = [
+            {"rating_id": i, "rater_id": i, "product_id": 0,
+             "value": 0.5, "time": float(i), "unfair": False}
+            for i in range(21)
+        ]
+        with pytest.raises(ConfigurationError):
+            detector.load_state(state)
+
+    def test_prune_keeps_future_behavior(self, rng):
+        values = np.round(np.clip(rng.normal(0.7, 0.2, size=80), 0, 1), 2)
+        stream = list(make_stream(values))
+        plain = OnlineARDetector(window_size=20, stride=3, threshold=0.2)
+        pruned = OnlineARDetector(window_size=20, stride=3, threshold=0.2)
+        plain.observe_many(stream[:40])
+        pruned.observe_many(stream[:40])
+        pruned.prune()
+        assert pruned.verdicts == []
+        tail_a = plain.observe_many(stream[40:])
+        tail_b = pruned.observe_many(stream[40:])
+        assert [v.statistic for v in tail_a] == [v.statistic for v in tail_b]
+        # After pruning, the position map stays bounded by the window.
+        assert len(pruned._rater_by_position) <= 20 + len(stream[40:])

@@ -1,0 +1,183 @@
+"""Tests for WAL durability, snapshots, and crash recovery."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ratings.models import Rating
+from repro.service import RatingEngine, ServiceConfig, WriteAheadLog
+from repro.service.wal import (
+    WAL_FILENAME,
+    latest_snapshot,
+    list_snapshots,
+    read_snapshot,
+    replay_wal,
+    write_snapshot,
+)
+from tests.test_service_engine import BASE, make_stream
+
+
+class TestWriteAheadLog:
+    def test_append_replay_roundtrip(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / WAL_FILENAME)
+        stream = make_stream(20)
+        for rating in stream:
+            wal.append(rating)
+        wal.close()
+        replayed = list(replay_wal(tmp_path / WAL_FILENAME))
+        assert [seq for seq, _ in replayed] == list(range(20))
+        assert [r for _, r in replayed] == stream
+
+    def test_reopen_continues_sequence(self, tmp_path):
+        path = tmp_path / WAL_FILENAME
+        wal = WriteAheadLog(path)
+        assert wal.append(make_stream(1)[0]) == 0
+        wal.close()
+        wal = WriteAheadLog(path)
+        assert wal.n_entries == 1
+        assert wal.append(make_stream(2)[1]) == 1
+        wal.close()
+
+    def test_fsync_callback_fires(self, tmp_path):
+        durations = []
+        wal = WriteAheadLog(tmp_path / WAL_FILENAME, on_fsync=durations.append)
+        wal.append(make_stream(1)[0])
+        wal.close()
+        assert durations and all(d >= 0 for d in durations)
+
+    def test_batched_fsync(self, tmp_path):
+        durations = []
+        wal = WriteAheadLog(
+            tmp_path / WAL_FILENAME, fsync_every=10, on_fsync=durations.append
+        )
+        for rating in make_stream(25):
+            wal.append(rating)
+        assert len(durations) == 2  # at 10 and 20
+        wal.close()  # close syncs the tail
+        assert len(durations) == 3
+
+    def test_invalid_fsync_every(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            WriteAheadLog(tmp_path / WAL_FILENAME, fsync_every=0)
+
+    def test_corrupt_line_raises(self, tmp_path):
+        path = tmp_path / WAL_FILENAME
+        path.write_text('{"rating_id": 0\nnot json\n')
+        with pytest.raises(ConfigurationError):
+            list(replay_wal(path))
+
+
+class TestSnapshots:
+    def test_atomic_write_and_read(self, tmp_path):
+        state = {"wal_position": 42, "payload": [1, 2, 3]}
+        path = write_snapshot(tmp_path, state)
+        assert path.name == "snapshot-000000000042.json"
+        assert read_snapshot(path) == state
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_latest_picks_highest_position(self, tmp_path):
+        write_snapshot(tmp_path, {"wal_position": 10})
+        write_snapshot(tmp_path, {"wal_position": 200})
+        write_snapshot(tmp_path, {"wal_position": 30})
+        assert latest_snapshot(tmp_path).name == "snapshot-000000000200.json"
+        assert len(list_snapshots(tmp_path)) == 3
+
+    def test_missing_wal_position_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            write_snapshot(tmp_path, {"no_position": 1})
+        bad = tmp_path / "snapshot-000000000001.json"
+        bad.write_text(json.dumps({"x": 1}))
+        with pytest.raises(ConfigurationError):
+            read_snapshot(bad)
+
+
+class TestCrashRecovery:
+    def _run_uninterrupted(self, wal_dir, stream):
+        engine = RatingEngine(ServiceConfig(wal_dir=str(wal_dir), **BASE))
+        engine.submit_many(stream)
+        engine.flush()
+        return engine
+
+    def test_recovery_is_bit_for_bit(self, tmp_path):
+        """Kill an engine mid-stream; recovery matches an uninterrupted
+        run exactly -- same trust, same scores, same counters."""
+        stream = make_stream(240, seed=1)
+        baseline = self._run_uninterrupted(tmp_path / "a", stream)
+
+        crash_dir = tmp_path / "b"
+        crashed = RatingEngine(
+            ServiceConfig(wal_dir=str(crash_dir), snapshot_every=50, **BASE)
+        )
+        crashed.submit_many(stream[:150])
+        # Crash: drop the engine without flush/close.  The WAL and the
+        # periodic snapshots are all that survive.
+        del crashed
+        assert latest_snapshot(crash_dir) is not None
+
+        recovered = RatingEngine.recover(crash_dir)
+        assert recovered.n_accepted == 150
+        recovered.submit_many(stream[150:])
+        recovered.flush()
+
+        assert recovered.trust_table() == baseline.trust_table()
+        for product_id in range(3):
+            assert recovered.score(product_id) == baseline.score(product_id)
+        base_stats = baseline.snapshot_stats()
+        rec_stats = recovered.snapshot_stats()
+        for key in ("n_accepted", "ar_evaluations", "windows_flagged", "n_products"):
+            assert rec_stats[key] == base_stats[key]
+
+    def test_recovery_from_wal_alone(self, tmp_path):
+        """With snapshots deleted, a full WAL replay still matches."""
+        stream = make_stream(160, seed=2)
+        baseline = self._run_uninterrupted(tmp_path / "a", stream)
+
+        crash_dir = tmp_path / "b"
+        crashed = RatingEngine(
+            ServiceConfig(wal_dir=str(crash_dir), snapshot_every=40, **BASE)
+        )
+        crashed.submit_many(stream)
+        del crashed
+        for snapshot in list_snapshots(crash_dir):
+            snapshot.unlink()
+
+        recovered = RatingEngine.recover(
+            crash_dir, config=ServiceConfig(wal_dir=str(crash_dir), **BASE)
+        )
+        recovered.flush()
+        assert recovered.n_accepted == 160
+        assert recovered.trust_table() == baseline.trust_table()
+
+    def test_recovered_engine_keeps_ordering_state(self, tmp_path):
+        """Recovery restores per-product time cursors: stale ratings
+        are still rejected afterwards."""
+        wal_dir = tmp_path / "w"
+        engine = RatingEngine(ServiceConfig(wal_dir=str(wal_dir), **BASE))
+        engine.submit(Rating(0, 1, 0, 0.5, time=9.0))
+        engine.snapshot()
+        del engine
+        recovered = RatingEngine.recover(wal_dir)
+        assert not recovered.submit(Rating(1, 2, 0, 0.5, time=3.0)).accepted
+        assert recovered.submit(Rating(2, 2, 0, 0.5, time=9.5)).accepted
+
+    def test_recover_empty_directory_gives_fresh_engine(self, tmp_path):
+        engine = RatingEngine.recover(tmp_path / "nothing")
+        assert engine.n_accepted == 0
+
+    def test_wal_shorter_than_snapshot_rejected(self, tmp_path):
+        wal_dir = tmp_path / "w"
+        engine = RatingEngine(ServiceConfig(wal_dir=str(wal_dir), **BASE))
+        engine.submit_many(make_stream(30))
+        engine.snapshot()
+        engine.close()
+        (wal_dir / WAL_FILENAME).write_text("")  # truncate the log
+        with pytest.raises(ConfigurationError):
+            RatingEngine.recover(wal_dir)
+
+    def test_snapshot_requires_wal_dir(self):
+        engine = RatingEngine(ServiceConfig(**BASE))
+        with pytest.raises(ConfigurationError):
+            engine.snapshot()

@@ -1,0 +1,70 @@
+"""Tests for the RatingStore container protocol and recycling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import UnknownProductError
+from repro.ratings.models import Product, RaterClass, RaterProfile
+from repro.ratings.store import RatingStore
+from tests.conftest import make_rating
+
+
+@pytest.fixture()
+def store():
+    s = RatingStore()
+    s.add_product(Product(product_id=1, quality=0.7))
+    s.add_product(Product(product_id=2, quality=0.4))
+    s.add_rater(RaterProfile(rater_id=10, rater_class=RaterClass.RELIABLE))
+    s.add_rater(RaterProfile(rater_id=11, rater_class=RaterClass.CARELESS))
+    s.add_ratings(
+        [
+            make_rating(0, 0.7, 0.0, rater_id=10, product_id=1),
+            make_rating(1, 0.6, 1.0, rater_id=11, product_id=1),
+            make_rating(2, 0.4, 2.0, rater_id=10, product_id=2),
+        ]
+    )
+    return s
+
+
+class TestContainerProtocol:
+    def test_len_counts_ratings(self, store):
+        assert len(store) == 3
+        assert len(store) == store.n_ratings
+
+    def test_contains_is_product_membership(self, store):
+        assert 1 in store
+        assert 2 in store
+        assert 99 not in store
+        # Rater ids are a different namespace.
+        assert 10 not in store
+
+    def test_has_product_has_rater(self, store):
+        assert store.has_product(1) and not store.has_product(99)
+        assert store.has_rater(10) and not store.has_rater(1)
+
+    def test_empty_store(self):
+        store = RatingStore()
+        assert len(store) == 0
+        assert 1 not in store
+
+
+class TestClear:
+    def test_clear_drops_ratings_keeps_registrations(self, store):
+        store.clear()
+        assert len(store) == 0
+        assert 1 in store and 2 in store
+        assert store.has_rater(10) and store.has_rater(11)
+        assert len(store.stream(1)) == 0
+        assert len(store.rater_stream(10)) == 0
+
+    def test_store_is_reusable_after_clear(self, store):
+        store.clear()
+        store.add_rating(make_rating(5, 0.9, 0.0, rater_id=10, product_id=1))
+        assert len(store) == 1
+        assert [r.rating_id for r in store.stream(1)] == [5]
+
+    def test_clear_does_not_touch_lookup_errors(self, store):
+        store.clear()
+        with pytest.raises(UnknownProductError):
+            store.stream(99)
