@@ -1,0 +1,19 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test lint lint-json lint-update-baseline bench
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+lint:
+	$(PYTHON) -m repro.devtools src
+
+lint-json:
+	$(PYTHON) -m repro.devtools src --format=json
+
+lint-update-baseline:
+	$(PYTHON) -m repro.devtools src --update-baseline
+
+bench:
+	$(PYTHON) benchmarks/bench_service_throughput.py

@@ -4,12 +4,14 @@ Runs any paper experiment and prints its paper-vs-measured report.
 ``repro list`` shows what is available; every experiment accepts
 ``--seed`` and, where meaningful, a size knob so quick runs stay quick.
 ``repro serve`` runs the long-lived rating service (HTTP API over the
-sharded streaming engine) and ``repro replay`` pushes a recorded trace
-through the same engine offline.
+sharded streaming engine), ``repro replay`` pushes a recorded trace
+through the same engine offline, and ``repro lint`` runs the
+project's static analyzer (:mod:`repro.devtools`).
 
-Failures exit nonzero: 2 for library errors (:class:`ReproError`,
-bad traces, bad configs), 1 for unexpected exceptions -- so scripts
-and CI can rely on the status code instead of scraping tracebacks.
+Exit codes follow one convention across every subcommand (see
+docs/SERVICE.md): 0 success, 1 domain failure (:class:`ReproError`,
+lint findings), 2 usage or internal error -- so scripts and CI can
+rely on the status code instead of scraping tracebacks.
 """
 
 from __future__ import annotations
@@ -100,6 +102,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also dump the replay stats to this JSON file",
     )
+
+    lint_parser = sub.add_parser(
+        "lint", help="run the project static analyzer (repro.devtools)"
+    )
+    from repro.devtools.cli import configure_parser as _configure_lint_parser
+
+    _configure_lint_parser(lint_parser)
     return parser
 
 
@@ -234,6 +243,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        if args.command == "lint":
+            from repro.devtools.cli import run_from_args
+
+            return run_from_args(args)
         if args.command == "audit":
             from repro.audit import audit_file, format_audit
 
@@ -255,11 +268,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return 1
     except Exception as exc:  # noqa: BLE001 -- CLI boundary: trade the
         # traceback for a stable exit status scripts can branch on.
         print(f"unexpected error ({type(exc).__name__}): {exc}", file=sys.stderr)
-        return 1
+        return 2
 
 
 if __name__ == "__main__":

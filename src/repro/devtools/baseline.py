@@ -1,0 +1,126 @@
+"""Committed baseline: grandfathered findings that do not fail CI.
+
+A baseline entry matches on ``(rule, path, stripped line text)`` -- not
+the line *number* -- so unrelated edits above a finding don't invalidate
+it, while any edit to the offending line itself forces the author to
+re-justify.  Every entry carries a ``reason``; an empty reason is a
+placeholder that review should reject.
+
+Stale entries (no longer matched by any finding) are surfaced as
+warnings so the baseline shrinks over time instead of fossilizing.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.devtools.core import Finding
+
+__all__ = ["Baseline", "BaselineEntry"]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding.
+
+    Attributes:
+        rule: rule id the entry silences (e.g. ``CC02``).
+        path: project-root-relative POSIX path.
+        line_text: the stripped offending source line (the match key).
+        reason: why this finding is accepted -- required for review.
+    """
+
+    rule: str
+    path: str
+    line_text: str
+    reason: str = ""
+
+    def key(self) -> Tuple[str, str, str]:
+        return (self.rule, self.path, self.line_text)
+
+
+class Baseline:
+    """The set of grandfathered findings, loaded from/saved to JSON."""
+
+    def __init__(self, entries: Sequence[BaselineEntry] = ()) -> None:
+        self.entries: List[BaselineEntry] = list(entries)
+        self._index: Dict[Tuple[str, str, str], BaselineEntry] = {
+            entry.key(): entry for entry in self.entries
+        }
+        self._matched: Set[Tuple[str, str, str]] = set()
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Load a baseline file; a missing file is an empty baseline."""
+        if not path.is_file():
+            return cls()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        version = data.get("version")
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {version!r} in {path}"
+            )
+        entries = [
+            BaselineEntry(
+                rule=item["rule"],
+                path=item["path"],
+                line_text=item["line_text"],
+                reason=item.get("reason", ""),
+            )
+            for item in data.get("entries", [])
+        ]
+        return cls(entries)
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": _FORMAT_VERSION,
+            "entries": [
+                {
+                    "rule": entry.rule,
+                    "path": entry.path,
+                    "line_text": entry.line_text,
+                    "reason": entry.reason,
+                }
+                for entry in sorted(self.entries, key=BaselineEntry.key)
+            ],
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    def matches(self, finding: Finding) -> bool:
+        """True (and recorded) when a committed entry covers the finding."""
+        key = (finding.rule, finding.path, finding.line_text)
+        if key in self._index:
+            self._matched.add(key)
+            return True
+        return False
+
+    def stale_entries(self) -> List[BaselineEntry]:
+        """Entries no match consumed -- candidates for deletion."""
+        return [
+            entry for entry in self.entries if entry.key() not in self._matched
+        ]
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding]) -> "Baseline":
+        """Build a fresh baseline from the still-active findings."""
+        entries = []
+        seen: Set[Tuple[str, str, str]] = set()
+        for finding in findings:
+            if not finding.active:
+                continue
+            entry = BaselineEntry(
+                rule=finding.rule,
+                path=finding.path,
+                line_text=finding.line_text,
+                reason="TODO: justify or fix",
+            )
+            if entry.key() in seen:
+                continue
+            seen.add(entry.key())
+            entries.append(entry)
+        return cls(entries)

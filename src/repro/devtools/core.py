@@ -1,0 +1,214 @@
+"""Linter framework: findings, parsed sources, suppressions, registry.
+
+The pieces every rule shares:
+
+* :class:`SourceFile` -- one parsed module.  Parsing is cached on
+  ``(path, mtime, size)`` so repeated runs (and the many rules of one
+  run) never re-parse an unchanged file.
+* Inline suppressions -- a ``# repro: lint-disable[CC02]`` comment
+  suppresses the listed rules on its own line; when the comment stands
+  alone it suppresses the *next* code line; on a ``def``/``class``
+  line it suppresses the whole body.
+* :class:`Rule` -- the unit of analysis.  A rule sees the whole
+  project (every parsed file plus the :class:`~repro.devtools.project.
+  ProjectModel`) and yields :class:`Finding` objects, so whole-program
+  rules (lock graphs, API drift) and per-file rules use one interface.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Type
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "Rule",
+    "SourceFile",
+    "all_rules",
+    "load_source_file",
+    "register",
+]
+
+_SUPPRESS_RE = re.compile(r"#\s*repro:\s*lint-disable\[([A-Za-z0-9_,\s]+)\]")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes:
+        rule: rule identifier (e.g. ``CC01``).
+        path: project-root-relative POSIX path of the offending file.
+        line: 1-based line number.
+        message: human-readable description of the violation.
+        line_text: the stripped source line (the baseline match key).
+        suppressed: an inline ``lint-disable`` comment covers it.
+        baselined: a committed baseline entry covers it.
+    """
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    line_text: str = ""
+    suppressed: bool = False
+    baselined: bool = False
+
+    @property
+    def active(self) -> bool:
+        """True when the finding should fail the run."""
+        return not (self.suppressed or self.baselined)
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}"
+
+
+class SourceFile:
+    """A parsed module plus the lint metadata derived from its text.
+
+    Attributes:
+        path: absolute path on disk.
+        relpath: POSIX path relative to the project root.
+        text: raw source.
+        lines: ``text.splitlines()``.
+        tree: the parsed ``ast.Module``.
+        suppressions: line number -> set of rule ids disabled there.
+    """
+
+    def __init__(self, path: Path, relpath: str, text: str, tree: ast.Module) -> None:
+        self.path = path
+        self.relpath = relpath
+        self.text = text
+        self.lines = text.splitlines()
+        self.tree = tree
+        self.suppressions = self._collect_suppressions()
+
+    def _collect_suppressions(self) -> Dict[int, Set[str]]:
+        table: Dict[int, Set[str]] = {}
+        pending: Set[str] = set()
+        for lineno, line in enumerate(self.lines, start=1):
+            match = _SUPPRESS_RE.search(line)
+            ids = set(pending)
+            pending = set()
+            if match:
+                listed = {part.strip() for part in match.group(1).split(",")}
+                listed.discard("")
+                code = line[: match.start()].strip()
+                if code:
+                    ids |= listed
+                else:
+                    # Standalone comment: applies to the next code line.
+                    pending = listed
+            if ids:
+                table[lineno] = table.get(lineno, set()) | ids
+        # A suppression on a `def`/`class` line covers the whole body.
+        for node in ast.walk(self.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                ids = table.get(node.lineno)
+                if ids:
+                    for covered in range(node.lineno, (node.end_lineno or node.lineno) + 1):
+                        table[covered] = table.get(covered, set()) | ids
+        return table
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        return rule_id in self.suppressions.get(line, ())
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+
+_PARSE_CACHE: Dict[Path, Tuple[float, int, SourceFile]] = {}
+
+
+def load_source_file(path: Path, project_root: Path) -> SourceFile:
+    """Parse one file, reusing the cache when size and mtime match."""
+    path = path.resolve()
+    stat = path.stat()
+    cached = _PARSE_CACHE.get(path)
+    if cached is not None and cached[0] == stat.st_mtime and cached[1] == stat.st_size:
+        return cached[2]
+    text = path.read_text(encoding="utf-8")
+    tree = ast.parse(text, filename=str(path))
+    try:
+        relpath = path.relative_to(project_root.resolve()).as_posix()
+    except ValueError:
+        relpath = path.as_posix()
+    source = SourceFile(path, relpath, text, tree)
+    _PARSE_CACHE[path] = (stat.st_mtime, stat.st_size, source)
+    return source
+
+
+@dataclass
+class LintConfig:
+    """One lint run's inputs.
+
+    Attributes:
+        paths: files or directories to scan.
+        project_root: repository root (baselines and the API-drift
+            rule's target files are resolved against it).
+        baseline_path: baseline file, or None to skip baselining.
+        select: restrict the run to these rule ids (None = all).
+    """
+
+    paths: List[Path]
+    project_root: Path
+    baseline_path: Optional[Path] = None
+    select: Optional[Set[str]] = None
+
+
+class Rule:
+    """Base class: one named check over the whole project.
+
+    Subclasses set ``id``/``name``/``rationale`` and implement
+    :meth:`run`, yielding findings.  Registration happens via the
+    :func:`register` decorator; the runner instantiates each rule once
+    per lint run.
+    """
+
+    id: str = ""
+    name: str = ""
+    rationale: str = ""
+
+    def run(self, project: "object", files: List[SourceFile]) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, file: SourceFile, line: int, message: str) -> Finding:
+        return Finding(
+            rule=self.id,
+            path=file.relpath,
+            line=line,
+            message=message,
+            line_text=file.line_text(line),
+        )
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(rule_class: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not rule_class.id:
+        raise ValueError(f"rule {rule_class.__name__} has no id")
+    if rule_class.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule_class.id}")
+    _REGISTRY[rule_class.id] = rule_class
+    return rule_class
+
+
+def all_rules() -> Dict[str, Type[Rule]]:
+    """The registered rules, importing the built-in rule modules once."""
+    # Imported lazily so `core` has no circular dependency on the rules.
+    from repro.devtools import (  # noqa: F401
+        rules_api,
+        rules_concurrency,
+        rules_numeric,
+        rules_structure,
+    )
+
+    return dict(_REGISTRY)

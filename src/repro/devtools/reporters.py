@@ -1,0 +1,68 @@
+"""Reporters: render a lint run as text.  No printing here -- the CLI
+owns the output stream (rule ST02 applies to this package too)."""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+__all__ = ["format_human", "format_json"]
+
+
+def format_human(result: "LintResult") -> str:
+    """One line per finding, grouped status summary at the end."""
+    lines: List[str] = []
+    for finding in result.findings:
+        status = ""
+        if finding.suppressed:
+            status = " [suppressed]"
+        elif finding.baselined:
+            status = " [baselined]"
+        if status and not result.show_all:
+            continue
+        lines.append(
+            f"{finding.path}:{finding.line}: {finding.rule} "
+            f"{finding.message}{status}"
+        )
+    for entry in result.stale_baseline:
+        lines.append(
+            f"warning: stale baseline entry {entry.rule} at {entry.path} "
+            f"({entry.line_text!r}) -- remove it"
+        )
+    active = result.active_findings()
+    summary = (
+        f"{len(active)} finding(s)"
+        f" ({len(result.findings) - len(active)} suppressed/baselined,"
+        f" {len(result.files)} file(s) checked)"
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def format_json(result: "LintResult") -> str:
+    """Machine-readable report for CI."""
+    payload = {
+        "files_checked": len(result.files),
+        "findings": [
+            {
+                "rule": finding.rule,
+                "path": finding.path,
+                "line": finding.line,
+                "message": finding.message,
+                "line_text": finding.line_text,
+                "suppressed": finding.suppressed,
+                "baselined": finding.baselined,
+            }
+            for finding in result.findings
+        ],
+        "stale_baseline": [
+            {
+                "rule": entry.rule,
+                "path": entry.path,
+                "line_text": entry.line_text,
+            }
+            for entry in result.stale_baseline
+        ],
+        "active_count": len(result.active_findings()),
+    }
+    return json.dumps(payload, indent=2)

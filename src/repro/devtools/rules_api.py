@@ -1,0 +1,93 @@
+"""API-drift rule: every exported name stays tested and documented.
+
+The public surface is declared in literal ``__all__`` lists.  Tests
+and docs drift silently: a name added to ``__all__`` without a line in
+``tests/test_api_surface.py`` is untested API, and one missing from
+``docs/API_GUIDE.md`` is undocumented API.  AD01 makes both a lint
+failure instead of a review nitpick.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.devtools.core import Finding, Rule, SourceFile, register
+from repro.devtools.project import ProjectModel
+
+__all__ = ["ApiDriftRule"]
+
+# (project-root-relative target, what a miss means)
+_TARGETS = (
+    ("tests/test_api_surface.py", "is not covered by"),
+    ("docs/API_GUIDE.md", "is not documented in"),
+)
+
+
+def _literal_all(tree: ast.Module) -> Optional[Tuple[int, List[str]]]:
+    """The module's literal ``__all__`` list, with its line number."""
+    for node in tree.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if not any(
+            isinstance(t, ast.Name) and t.id == "__all__" for t in targets
+        ):
+            continue
+        if not isinstance(value, (ast.List, ast.Tuple)):
+            return None
+        names = []
+        for elt in value.elts:
+            if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                names.append(elt.value)
+        return node.lineno, names
+    return None
+
+
+@register
+class ApiDriftRule(Rule):
+    id = "AD01"
+    name = "exported-name-untested-or-undocumented"
+    rationale = (
+        "Every name in a public __all__ must appear in the API surface "
+        "test and the API guide; otherwise exports drift from what is "
+        "tested and documented."
+    )
+
+    def run(self, project: ProjectModel, files: List[SourceFile]) -> Iterator[Finding]:
+        targets: Dict[str, str] = {}
+        for relpath, verb in _TARGETS:
+            target = project.root / relpath
+            if target.is_file():
+                targets[relpath] = target.read_text(encoding="utf-8")
+        if not targets:
+            return
+        word_cache: Dict[str, re.Pattern] = {}
+        for file in files:
+            if Path(file.relpath).name != "__init__.py":
+                continue
+            parsed = _literal_all(file.tree)
+            if parsed is None:
+                continue
+            lineno, names = parsed
+            for name in names:
+                pattern = word_cache.get(name)
+                if pattern is None:
+                    pattern = re.compile(r"\b" + re.escape(name) + r"\b")
+                    word_cache[name] = pattern
+                for relpath, verb in _TARGETS:
+                    text = targets.get(relpath)
+                    if text is None:
+                        continue
+                    if not pattern.search(text):
+                        yield self.finding(
+                            file,
+                            lineno,
+                            f"exported name `{name}` (from {file.relpath}) "
+                            f"{verb} {relpath}",
+                        )

@@ -1,0 +1,89 @@
+"""Structural rules: mutable defaults, stray prints in library code."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator, List
+
+from repro.devtools.core import Finding, Rule, SourceFile, register
+from repro.devtools.project import ProjectModel
+
+__all__ = ["MutableDefaultRule", "PrintInLibraryRule"]
+
+_MUTABLE_NODES = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+_MUTABLE_CALLS = {"list", "dict", "set", "defaultdict", "deque", "Counter", "OrderedDict"}
+_PRINT_OK_BASENAMES = {"cli.py", "reporting.py", "__main__.py"}
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, _MUTABLE_NODES):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None
+        )
+        return name in _MUTABLE_CALLS
+    return False
+
+
+@register
+class MutableDefaultRule(Rule):
+    id = "ST01"
+    name = "mutable-default-argument"
+    rationale = (
+        "A mutable default is evaluated once and shared across every "
+        "call; accumulated state leaks between callers. Default to None "
+        "and construct inside the function."
+    )
+
+    def run(self, project: ProjectModel, files: List[SourceFile]) -> Iterator[Finding]:
+        for file in files:
+            for node in ast.walk(file.tree):
+                if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                defaults = list(node.args.defaults) + [
+                    d for d in node.args.kw_defaults if d is not None
+                ]
+                for default in defaults:
+                    if _is_mutable_default(default):
+                        yield self.finding(
+                            file,
+                            default.lineno,
+                            f"mutable default `{ast.unparse(default)}` in "
+                            f"{node.name}(); use None and construct inside",
+                        )
+
+
+@register
+class PrintInLibraryRule(Rule):
+    id = "ST02"
+    name = "print-in-library-code"
+    rationale = (
+        "Library modules must not write to stdout; callers own the "
+        "output stream. Route text through the reporting layer or return "
+        "it to the caller."
+    )
+
+    def run(self, project: ProjectModel, files: List[SourceFile]) -> Iterator[Finding]:
+        for file in files:
+            path = Path(file.relpath)
+            if path.name in _PRINT_OK_BASENAMES:
+                continue
+            # Only library code under src/ is held to this; scripts,
+            # tests, and experiments may print.
+            if not path.parts or path.parts[0] != "src":
+                continue
+            for node in ast.walk(file.tree):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "print"
+                ):
+                    yield self.finding(
+                        file,
+                        node.lineno,
+                        "print() in library code; return the text or use "
+                        "the reporting layer",
+                    )

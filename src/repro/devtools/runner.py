@@ -1,0 +1,137 @@
+"""The lint runner: collect files, build the model, apply the rules.
+
+``run_lint`` is the single entry point shared by the CLI, the
+``repro lint`` subcommand, and the test suite.  It never prints and
+never exits -- it returns a :class:`LintResult`; exit-code policy
+lives in :mod:`repro.devtools.cli`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Set
+
+from repro.devtools.baseline import Baseline, BaselineEntry
+from repro.devtools.core import (
+    Finding,
+    LintConfig,
+    SourceFile,
+    all_rules,
+    load_source_file,
+)
+from repro.devtools.project import build_project
+
+__all__ = ["LintResult", "collect_files", "run_lint"]
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced.
+
+    Attributes:
+        findings: all findings, sorted by (path, line, rule), with
+            ``suppressed``/``baselined`` already resolved.
+        files: the source files that were checked.
+        stale_baseline: committed entries nothing matched.
+        show_all: reporters include suppressed/baselined lines too.
+    """
+
+    findings: List[Finding] = field(default_factory=list)
+    files: List[SourceFile] = field(default_factory=list)
+    stale_baseline: List[BaselineEntry] = field(default_factory=list)
+    show_all: bool = False
+
+    def active_findings(self) -> List[Finding]:
+        return [finding for finding in self.findings if finding.active]
+
+    @property
+    def ok(self) -> bool:
+        return not self.active_findings()
+
+
+def collect_files(paths: Iterable[Path]) -> List[Path]:
+    """Expand files/directories into a sorted list of .py files."""
+    out: Set[Path] = set()
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if "__pycache__" in candidate.parts:
+                    continue
+                out.add(candidate.resolve())
+        elif path.suffix == ".py" and path.is_file():
+            out.add(path.resolve())
+    return sorted(out)
+
+
+def run_lint(
+    paths: Sequence[Path],
+    project_root: Optional[Path] = None,
+    baseline_path: Optional[Path] = None,
+    select: Optional[Set[str]] = None,
+    show_all: bool = False,
+) -> LintResult:
+    """Run the registered rules over ``paths``.
+
+    Args:
+        paths: files and/or directories to lint.
+        project_root: repository root; defaults to the current
+            directory.  Relative finding paths, the baseline, and the
+            API-drift targets resolve against it.
+        baseline_path: baseline JSON file (missing file = empty
+            baseline; None = no baselining).
+        select: rule ids to run (None = all registered rules).
+        show_all: carry suppressed/baselined findings into reports.
+    """
+    root = (project_root or Path.cwd()).resolve()
+    files = [load_source_file(path, root) for path in collect_files(paths)]
+    project = build_project(files, root=root)
+
+    rules = all_rules()
+    if select:
+        unknown = select - set(rules)
+        if unknown:
+            raise ValueError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+        rules = {rule_id: rules[rule_id] for rule_id in select}
+
+    baseline = Baseline.load(baseline_path) if baseline_path else Baseline()
+
+    by_path = {file.relpath: file for file in files}
+    findings: List[Finding] = []
+    for rule_id in sorted(rules):
+        rule = rules[rule_id]()
+        for finding in rule.run(project, files):
+            file = by_path.get(finding.path)
+            suppressed = bool(
+                file and file.is_suppressed(finding.rule, finding.line)
+            )
+            resolved = Finding(
+                rule=finding.rule,
+                path=finding.path,
+                line=finding.line,
+                message=finding.message,
+                line_text=finding.line_text,
+                suppressed=suppressed,
+                baselined=(not suppressed) and baseline.matches(finding),
+            )
+            findings.append(resolved)
+
+    findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+    return LintResult(
+        findings=findings,
+        files=files,
+        stale_baseline=baseline.stale_entries() if baseline_path else [],
+        show_all=show_all,
+    )
+
+
+def run_lint_config(config: LintConfig, show_all: bool = False) -> LintResult:
+    """Convenience wrapper taking a :class:`LintConfig`."""
+    return run_lint(
+        paths=config.paths,
+        project_root=config.project_root,
+        baseline_path=config.baseline_path,
+        select=config.select,
+        show_all=show_all,
+    )

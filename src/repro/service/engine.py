@@ -117,6 +117,24 @@ class _ReadWriteGate:
 class _Shard:
     """One lock domain: a slice of products and their streaming state."""
 
+    # Lint contract (CC03): all mutable shard state is owned by `lock`.
+    _GUARDED_BY = {
+        "store": "lock",
+        "detectors": "lock",
+        "recent": "lock",
+        "charged": "lock",
+        "last_time": "lock",
+        "pending_provided": "lock",
+        "pending_suspicion": "lock",
+        "pending_suspicious": "lock",
+        "since_flush": "lock",
+        "last_flush": "lock",
+        "n_accepted": "lock",
+        "n_rejected": "lock",
+        "n_evaluations": "lock",
+        "n_flagged": "lock",
+    }
+
     def __init__(self, index: int, config: ServiceConfig) -> None:
         self.index = index
         self.config = config
@@ -159,6 +177,13 @@ class RatingEngine:
             private registry is created when omitted (exposed as
             :attr:`metrics` either way).
     """
+
+    # Lint contract (CC03): cross-shard state and its owning locks.
+    _GUARDED_BY = {
+        "trust_manager": "_trust_lock",
+        "_n_trust_updates": "_trust_lock",
+        "_n_accepted": "_count_lock",
+    }
 
     def __init__(
         self,
@@ -339,7 +364,7 @@ class RatingEngine:
         return flagged
 
     def _charge_window(self, shard: _Shard, pid: int, detector: OnlineARDetector) -> None:
-        """Charge the detector's current window, once per position.
+        """Charge the detector's current window, once per position (shard lock held).
 
         The verdict's window is exactly the last ``len(buffer)``
         positions, which is what ``shard.recent[pid]`` holds; each
@@ -582,7 +607,8 @@ class RatingEngine:
             self._n_accepted = int(state["wal_position"])
 
     def _restore_rating(self, rating: Rating) -> None:
-        """Re-insert a pre-snapshot WAL rating into the store only."""
+        """Re-insert a pre-snapshot WAL rating into the store only
+        (single-threaded recovery)."""
         shard = self._shard_for(rating.product_id)
         if not shard.store.has_product(rating.product_id):
             shard.store.add_product(Product(product_id=rating.product_id, quality=0.5))

@@ -61,6 +61,8 @@ class _Metric:
 class Counter(_Metric):
     """Monotonically increasing count (events, ratings, flushes)."""
 
+    _GUARDED_BY = {"_value": "_lock"}
+
     def __init__(self, labels: _LabelKey) -> None:
         super().__init__(labels)
         self._value = 0.0
@@ -83,6 +85,8 @@ class Counter(_Metric):
 
 class Gauge(_Metric):
     """A value that can go up and down (queue depth, active products)."""
+
+    _GUARDED_BY = {"_value": "_lock"}
 
     def __init__(self, labels: _LabelKey) -> None:
         super().__init__(labels)
@@ -115,6 +119,8 @@ class Histogram(_Metric):
     Buckets are cumulative upper bounds; a ``+Inf`` bucket is always
     appended, so ``observe`` never drops a sample.
     """
+
+    _GUARDED_BY = {"_counts": "_lock", "_count": "_lock", "_sum": "_lock"}
 
     def __init__(self, labels: _LabelKey, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
         super().__init__(labels)
@@ -200,6 +206,8 @@ class MetricsRegistry:
     sites never need to share references explicitly.  Asking for an
     existing name with a different type raises.
     """
+
+    _GUARDED_BY = {"_families": "_lock"}
 
     def __init__(self) -> None:
         self._lock = threading.Lock()

@@ -86,6 +86,13 @@ class WriteAheadLog:
             seconds (the engine feeds this into a histogram).
     """
 
+    # Lint contract (CC03): the append path's state is owned by _lock.
+    _GUARDED_BY = {
+        "_count": "_lock",
+        "_since_sync": "_lock",
+        "_handle": "_lock",
+    }
+
     def __init__(
         self,
         path: PathLike,

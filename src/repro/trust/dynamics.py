@@ -121,7 +121,7 @@ def asymptotic_trust(
     df = profile.failure_increment
     if forgetting_factor >= 1.0:
         total = ds + df
-        if total == 0.0:
+        if total <= 0.0:
             return 0.5
         return ds / total
     scale = 1.0 / (1.0 - forgetting_factor)

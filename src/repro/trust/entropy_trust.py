@@ -62,7 +62,7 @@ def entropy_trust_inverse(t: float, tolerance: float = 1e-10) -> float:
     """
     if not -1.0 <= t <= 1.0:
         raise ConfigurationError(f"entropy trust must lie in [-1, 1], got {t}")
-    if t == 0.0:
+    if abs(t) <= tolerance:
         return 0.5
     # Solve on the upper branch and mirror for distrust.
     target = abs(t)
@@ -110,6 +110,6 @@ def multipath(
         )
     weights = np.clip(recs, 0.0, None)
     total = float(np.sum(weights))
-    if total == 0.0:
+    if total <= 0.0:
         return 0.0
     return float(np.dot(weights, remotes) / total)

@@ -157,7 +157,7 @@ class TrustManager:
         """Blend direct and indirect trust per the configured weight."""
         direct = self.trust(rater_id)
         w = self.config.indirect_weight
-        if w == 0.0:
+        if w <= 0.0:
             return direct
         indirect_probability = entropy_trust_inverse(graph.indirect_trust(rater_id))
         return (1.0 - w) * direct + w * indirect_probability

@@ -34,6 +34,7 @@ PUBLIC_MODULES = [
     "repro.presets",
     "repro.reporting",
     "repro.service",
+    "repro.devtools",
 ]
 
 
@@ -105,3 +106,309 @@ def test_version_consistency():
         pytest.skip("source tree not available")
     data = tomllib.loads(pyproject.read_text())
     assert data["project"]["version"] == repro.__version__
+
+
+# The exact public surface, module by module.  Adding an export
+# without updating this table (and docs/API_GUIDE.md) is flagged by
+# `repro lint` rule AD01; this test keeps the table honest in the
+# other direction.
+EXPECTED_EXPORTS = {
+    "repro": [
+        "ARModel",
+        "ARModelErrorDetector",
+        "BetaFunctionAggregator",
+        "BetaQuantileFilter",
+        "CamouflageCampaign",
+        "ClusteringDetector",
+        "CollusionCampaign",
+        "DINOSAUR_PLANET",
+        "DutyCycleCampaign",
+        "ELEVEN_LEVEL",
+        "EndorsementDetector",
+        "EntropyChangeDetector",
+        "FIVE_STAR",
+        "IQRFilter",
+        "IllustrativeConfig",
+        "MarketplaceConfig",
+        "MetricsRegistry",
+        "ModifiedWeightedAverage",
+        "NetflixTraceConfig",
+        "NullFilter",
+        "OnlineARDetector",
+        "PipelineConfig",
+        "PlainWeightedAverage",
+        "Product",
+        "RampCampaign",
+        "RaterClass",
+        "RaterProfile",
+        "Rating",
+        "RatingEngine",
+        "RatingScale",
+        "RatingStore",
+        "RatingStream",
+        "ReproError",
+        "ServiceConfig",
+        "SimpleAverage",
+        "SubmitResult",
+        "SunTrustModelAggregator",
+        "SuspicionReport",
+        "TEN_LEVEL",
+        "TrustEnhancedRatingSystem",
+        "TrustManager",
+        "TrustManagerConfig",
+        "TrustRecord",
+        "WriteAheadLog",
+        "ZScoreFilter",
+        "__version__",
+        "arburg",
+        "arcov",
+        "aryule",
+        "beta_trust",
+        "estimate_trace_statistics",
+        "generate_illustrative",
+        "generate_marketplace",
+        "generate_netflix_trace",
+        "inject_campaign",
+        "monte_carlo",
+        "rater_detection",
+        "rating_detection",
+        "required_colluders",
+        "run_marketplace",
+    ],
+    "repro.aggregation": [
+        "Aggregator",
+        "BetaFunctionAggregator",
+        "MedianAggregator",
+        "ModifiedWeightedAverage",
+        "PAPER_METHODS",
+        "PlainWeightedAverage",
+        "SimpleAverage",
+        "SunTrustModelAggregator",
+        "ThresholdedAverage",
+        "TrimmedMeanAggregator",
+        "as_arrays",
+    ],
+    "repro.attacks": [
+        "AdaptiveCampaign",
+        "CamouflageCampaign",
+        "CollusionCampaign",
+        "CollusionStrategy",
+        "DutyCycleCampaign",
+        "LARGE_BIAS",
+        "MODERATE_BIAS",
+        "RampCampaign",
+        "TraceStatistics",
+        "estimate_trace_statistics",
+        "inject_campaign",
+        "required_colluders",
+    ],
+    "repro.core": [
+        "IntervalReport",
+        "ProductIntervalReport",
+        "TrustEnhancedRatingSystem",
+    ],
+    "repro.data": [
+        "DINOSAUR_PLANET",
+        "NetflixTraceConfig",
+        "generate_netflix_trace",
+    ],
+    "repro.detectors": [
+        "ARModelErrorDetector",
+        "ClusteringDetector",
+        "CollusionGroups",
+        "CusumDetector",
+        "EndorsementDetector",
+        "EntropyChangeDetector",
+        "OnlineARDetector",
+        "SuspicionDetector",
+        "SuspicionReport",
+        "VarianceRatioDetector",
+        "WindowVerdict",
+        "build_cosuspicion_graph",
+        "detect_collusion_groups",
+        "endorsement_quality",
+        "extract_groups",
+        "two_means_1d",
+    ],
+    "repro.devtools": [
+        "Baseline",
+        "BaselineEntry",
+        "Finding",
+        "LintConfig",
+        "LintResult",
+        "Rule",
+        "SourceFile",
+        "all_rules",
+        "run_lint",
+    ],
+    "repro.evaluation": [
+        "AggregationErrors",
+        "ConfusionCounts",
+        "MonteCarloResult",
+        "RaterDetectionStats",
+        "RocCurve",
+        "RocPoint",
+        "Summary",
+        "aggregation_errors",
+        "any_suspicious",
+        "calibrate_threshold",
+        "interval_detected",
+        "line_chart",
+        "monte_carlo",
+        "operating_point",
+        "rater_detection",
+        "rating_detection",
+        "report_rating_detection",
+        "roc_from_scores",
+        "sparkline",
+        "summarize",
+        "window_confusion",
+    ],
+    "repro.experiments": [
+        "REGISTRY",
+        "adaptive_attacks",
+        "baselines",
+        "collusion_groups",
+        "detection500",
+        "fig2_fig3",
+        "fig4",
+        "fig5_netflix",
+        "forgetting",
+        "individual_unfair",
+        "marketplace_aggregation",
+        "marketplace_detection",
+        "sensitivity",
+        "table1",
+        "vouching",
+        "whitewashing",
+    ],
+    "repro.filters": [
+        "BetaQuantileFilter",
+        "FilterResult",
+        "IQRFilter",
+        "NullFilter",
+        "RatingFilter",
+        "WindowedFilter",
+        "ZScoreFilter",
+    ],
+    "repro.raters": [
+        "CarelessRater",
+        "DispositionalRater",
+        "GaussianOpinionMixin",
+        "HonestRater",
+        "PotentialCollaborativeRater",
+        "RandomRater",
+        "Rater",
+        "ReliableRater",
+        "Type1CollaborativeRater",
+        "Type2CollaborativeRater",
+    ],
+    "repro.ratings": [
+        "ConstantQuality",
+        "ELEVEN_LEVEL",
+        "FIVE_STAR",
+        "LinearRampQuality",
+        "PiecewiseQuality",
+        "Product",
+        "RaterClass",
+        "RaterProfile",
+        "Rating",
+        "RatingScale",
+        "RatingStore",
+        "RatingStream",
+        "TEN_LEVEL",
+        "fresh_rating_id",
+        "nonhomogeneous_arrival_times",
+        "poisson_arrival_times",
+        "read_csv",
+        "read_jsonl",
+        "write_csv",
+        "write_jsonl",
+    ],
+    "repro.service": [
+        "Counter",
+        "Gauge",
+        "Histogram",
+        "MetricsRegistry",
+        "RatingEngine",
+        "RatingServiceServer",
+        "ServiceConfig",
+        "SubmitResult",
+        "WriteAheadLog",
+        "latest_snapshot",
+        "make_server",
+        "read_snapshot",
+        "serve",
+        "write_snapshot",
+    ],
+    "repro.signal": [
+        "ARModel",
+        "ARSpectrum",
+        "AR_METHODS",
+        "CountWindower",
+        "LevinsonResult",
+        "LjungBoxResult",
+        "TimeWindower",
+        "Window",
+        "ar_power_spectrum",
+        "arburg",
+        "arcov",
+        "aryule",
+        "autocorrelation_sequence",
+        "levinson_durbin",
+        "ljung_box",
+        "moving_average",
+        "normalized_model_error",
+        "remove_linear_trend",
+        "remove_mean",
+        "sample_autocorrelation",
+        "spectral_flatness",
+    ],
+    "repro.simulation": [
+        "AttackSchedule",
+        "IllustrativeConfig",
+        "IllustrativeTrace",
+        "MarketplaceConfig",
+        "MarketplaceRun",
+        "MarketplaceWorld",
+        "PipelineConfig",
+        "VouchingConfig",
+        "VouchingNetwork",
+        "build_vouching_network",
+        "evaluate_network",
+        "generate_illustrative",
+        "generate_marketplace",
+        "run_marketplace",
+    ],
+    "repro.trust": [
+        "BehaviourProfile",
+        "ObservationBuffer",
+        "RaterObservation",
+        "RecommendationBuffer",
+        "RecommendationGraph",
+        "RecordMaintenance",
+        "SYSTEM_NODE",
+        "TrustManager",
+        "TrustManagerConfig",
+        "TrustRecord",
+        "asymptotic_trust",
+        "beta_trust",
+        "binary_entropy",
+        "concatenate",
+        "detection_interval",
+        "entropy_trust",
+        "entropy_trust_inverse",
+        "expected_trust_trajectory",
+        "multipath",
+    ],
+}
+
+
+@pytest.mark.parametrize("module_name", sorted(EXPECTED_EXPORTS))
+def test_export_surface_is_exactly_declared(module_name):
+    module = importlib.import_module(module_name)
+    actual = sorted(getattr(module, "__all__", []))
+    assert actual == EXPECTED_EXPORTS[module_name], (
+        f"{module_name}.__all__ drifted from EXPECTED_EXPORTS; "
+        "update this table and docs/API_GUIDE.md together"
+    )

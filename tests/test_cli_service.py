@@ -18,7 +18,10 @@ class TestExitCodes:
         assert cli.main(["list"]) == 0
         assert "available experiments" in capsys.readouterr().out
 
-    def test_unexpected_experiment_error_returns_one(self, monkeypatch, capsys):
+    # Exit-code convention (docs/SERVICE.md): 0 success, 1 domain
+    # failure (ReproError, lint findings), 2 usage/internal error.
+
+    def test_unexpected_experiment_error_returns_two(self, monkeypatch, capsys):
         def boom(**kwargs):
             raise RuntimeError("simulated experiment crash")
 
@@ -27,12 +30,12 @@ class TestExitCodes:
             cli.REGISTRY, name, (boom, lambda result: "", "broken entry")
         )
         code = cli.main(["run", name])
-        assert code == 1
+        assert code == 2
         err = capsys.readouterr().err
         assert "simulated experiment crash" in err
         assert "RuntimeError" in err
 
-    def test_library_error_returns_two(self, monkeypatch, capsys):
+    def test_library_error_returns_one(self, monkeypatch, capsys):
         def boom(**kwargs):
             raise ConfigurationError("bad knob")
 
@@ -40,11 +43,11 @@ class TestExitCodes:
         monkeypatch.setitem(
             cli.REGISTRY, name, (boom, lambda result: "", "broken entry")
         )
-        assert cli.main(["run", name]) == 2
+        assert cli.main(["run", name]) == 1
         assert "bad knob" in capsys.readouterr().err
 
-    def test_missing_trace_is_controlled_failure(self, capsys):
-        assert cli.main(["replay", "/nonexistent/trace.csv"]) == 1
+    def test_missing_trace_is_internal_error(self, capsys):
+        assert cli.main(["replay", "/nonexistent/trace.csv"]) == 2
         assert "error" in capsys.readouterr().err.lower()
 
 

@@ -1,0 +1,83 @@
+"""Regression tests for the float-equality fixes in ``repro.trust``.
+
+Each of these sites compared an accumulated float with ``== 0.0``
+(flagged by lint rule NH01); the fixes replace exact equality with a
+tolerance or an inequality covering the degenerate case.  These tests
+pin the degenerate behavior each guard protects.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.trust import (
+    BehaviourProfile,
+    RecommendationGraph,
+    TrustManager,
+    TrustManagerConfig,
+    asymptotic_trust,
+    entropy_trust_inverse,
+    multipath,
+)
+
+
+class TestEntropyTrustInverse:
+    def test_zero_is_half(self):
+        assert entropy_trust_inverse(0.0) == 0.5
+
+    def test_sub_tolerance_trust_is_half(self):
+        # Entropy trust within the bisection tolerance of zero carries
+        # no information; the answer is exactly 0.5, not a value the
+        # bisection happens to land on.
+        assert entropy_trust_inverse(5e-11) == 0.5
+        assert entropy_trust_inverse(-5e-11) == 0.5
+
+    def test_informative_trust_still_inverts(self):
+        p = entropy_trust_inverse(0.5)
+        assert 0.5 < p < 1.0
+        assert math.isclose(
+            entropy_trust_inverse(-0.5), 1.0 - p, rel_tol=0, abs_tol=1e-8
+        )
+
+
+class TestMultipath:
+    def test_no_informative_path_is_zero(self):
+        # Every recommendation trust clips to zero weight; the fused
+        # value must be exactly 0 (no information), never a 0/0.
+        assert multipath([-0.4, -0.9, 0.0], [0.8, 0.2, 0.5]) == 0.0
+
+    def test_weighted_paths_average(self):
+        fused = multipath([0.5, 0.25], [0.8, 0.4])
+        assert math.isclose(fused, (0.5 * 0.8 + 0.25 * 0.4) / 0.75)
+
+
+class TestAsymptoticTrust:
+    def test_inactive_profile_has_no_information(self):
+        # A rater that never rates accumulates no evidence: asymptotic
+        # trust is the uninformative prior 0.5 even without forgetting.
+        idle = BehaviourProfile(honest_rate=0.0)
+        assert asymptotic_trust(idle, forgetting_factor=1.0) == 0.5
+
+    def test_active_profile_converges_to_rate_ratio(self):
+        profile = BehaviourProfile(honest_rate=3.0, unfair_rate=1.0,
+                                   filter_rate=0.5)
+        expected = profile.success_increment / (
+            profile.success_increment + profile.failure_increment
+        )
+        assert math.isclose(asymptotic_trust(profile, 1.0), expected)
+
+
+class TestBlendedTrust:
+    def test_zero_weight_ignores_the_graph(self):
+        # With no indirect weight, blending must return the direct
+        # trust untouched -- even when the graph knows nothing about
+        # the rater (no division by an empty path set).
+        manager = TrustManager(TrustManagerConfig(indirect_weight=0.0))
+        direct = manager.trust(42)
+        assert manager.blended_trust(42, RecommendationGraph()) == direct
+
+    def test_positive_weight_blends(self):
+        manager = TrustManager(TrustManagerConfig(indirect_weight=0.5))
+        graph = manager.build_recommendation_graph()
+        blended = manager.blended_trust(7, graph)
+        assert 0.0 <= blended <= 1.0
