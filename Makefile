@@ -1,13 +1,16 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint lint-json lint-update-baseline bench
+.PHONY: test lint lint-json lint-strict lint-update-baseline bench bench-lint
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 lint:
 	$(PYTHON) -m repro.devtools src
+
+lint-strict:
+	$(PYTHON) -m repro.devtools src --strict
 
 lint-json:
 	$(PYTHON) -m repro.devtools src --format=json
@@ -17,3 +20,6 @@ lint-update-baseline:
 
 bench:
 	$(PYTHON) benchmarks/bench_service_throughput.py
+
+bench-lint:
+	$(PYTHON) benchmarks/bench_lint.py --json lint-bench.json

@@ -1,0 +1,183 @@
+"""Lint engine cold-vs-warm benchmark with a CI warm-cache budget.
+
+The incremental cache's value proposition is that an unchanged tree
+costs almost nothing to re-lint.  This bench prices that claim on the
+real ``src/`` tree: one cold run (empty cache), one warm run (full
+hit), and one incremental run after touching a single leaf module.
+The warm run must re-analyze zero files; CI additionally enforces a
+wall-clock budget so a cache regression fails the build instead of
+silently slowing every push.
+
+Also runs standalone without pytest::
+
+    PYTHONPATH=src python benchmarks/bench_lint.py --json lint-bench.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+try:
+    from benchmarks.conftest import emit
+except ModuleNotFoundError:  # standalone `python benchmarks/bench_lint.py`
+    def emit(title: str, body: str) -> None:
+        bar = "=" * 72
+        print(f"\n{bar}\n{title}\n{bar}\n{body}")
+
+from repro.devtools.runner import run_lint
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+# A leaf module with a small import cone: touching it should
+# invalidate only itself plus its few dependents, not the tree.
+TOUCH_TARGET = "src/repro/signal/detrend.py"
+
+
+def _timed_run(cache_dir: Path):
+    start = time.perf_counter()
+    result = run_lint(
+        [REPO_ROOT / "src"],
+        project_root=REPO_ROOT,
+        baseline_path=REPO_ROOT / ".lint-baseline.json",
+        cache_dir=cache_dir,
+    )
+    elapsed = time.perf_counter() - start
+    return result, elapsed
+
+
+def run_bench(touch: bool = True) -> dict:
+    """Cold, warm, and (optionally) incremental lint over src/."""
+    workdir = Path(tempfile.mkdtemp(prefix="bench-lint-"))
+    cache_dir = workdir / "lint-cache"
+    target = REPO_ROOT / TOUCH_TARGET
+    original = target.read_text(encoding="utf-8") if touch else None
+    try:
+        cold, cold_s = _timed_run(cache_dir)
+        warm, warm_s = _timed_run(cache_dir)
+        stats = {
+            "files_total": cold.files_total,
+            "cold_seconds": round(cold_s, 4),
+            "cold_reanalyzed": len(cold.reanalyzed),
+            "warm_seconds": round(warm_s, 4),
+            "warm_reanalyzed": len(warm.reanalyzed),
+            "warm_cache_status": warm.cache_status,
+            "warm_speedup": round(cold_s / warm_s, 2) if warm_s else None,
+            "active_findings": len(warm.active_findings()),
+        }
+        if touch:
+            target.write_text(original + "\n# bench touch\n", encoding="utf-8")
+            incr, incr_s = _timed_run(cache_dir)
+            stats.update(
+                incremental_seconds=round(incr_s, 4),
+                incremental_reanalyzed=len(incr.reanalyzed),
+                incremental_cache_status=incr.cache_status,
+            )
+        return stats
+    finally:
+        if original is not None:
+            target.write_text(original, encoding="utf-8")
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+def _report(stats: dict) -> str:
+    lines = [
+        f"files linted            {stats['files_total']}",
+        f"cold run                {stats['cold_seconds']:.3f}s"
+        f"  ({stats['cold_reanalyzed']} analyzed)",
+        f"warm run                {stats['warm_seconds']:.3f}s"
+        f"  ({stats['warm_reanalyzed']} analyzed,"
+        f" {stats['warm_cache_status']})",
+        f"warm speedup            {stats['warm_speedup']}x",
+    ]
+    if "incremental_seconds" in stats:
+        lines.append(
+            f"touch one leaf module   {stats['incremental_seconds']:.3f}s"
+            f"  ({stats['incremental_reanalyzed']} analyzed,"
+            f" {stats['incremental_cache_status']})"
+        )
+    lines.append(f"active findings         {stats['active_findings']}")
+    return "\n".join(lines)
+
+
+def check_budget(stats: dict, max_warm_seconds: float) -> list:
+    """Budget violations for CI; empty when the cache holds up."""
+    problems = []
+    if stats["warm_reanalyzed"] != 0:
+        problems.append(
+            "warm run re-analyzed "
+            f"{stats['warm_reanalyzed']} file(s); expected 0"
+        )
+    if stats["warm_cache_status"] != "hit":
+        problems.append(
+            f"warm cache status is {stats['warm_cache_status']!r}; "
+            "expected 'hit'"
+        )
+    if stats["warm_seconds"] > max_warm_seconds:
+        problems.append(
+            f"warm run took {stats['warm_seconds']:.3f}s; "
+            f"budget is {max_warm_seconds:.3f}s"
+        )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--json", metavar="PATH", help="write the stats as a JSON artifact"
+    )
+    parser.add_argument(
+        "--max-warm-seconds",
+        type=float,
+        default=None,
+        help="fail (exit 1) when the warm run exceeds this wall-clock budget",
+    )
+    parser.add_argument(
+        "--no-touch",
+        action="store_true",
+        help="skip the incremental (touch-one-file) measurement",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        stats = run_bench(touch=not args.no_touch)
+    except (OSError, ValueError, SyntaxError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    emit("Lint engine: cold vs warm cache over src/", _report(stats))
+    if args.json:
+        try:
+            Path(args.json).write_text(
+                json.dumps(stats, indent=2, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+        except OSError as exc:
+            print(f"error: cannot write {args.json}: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote {args.json}")
+    if args.max_warm_seconds is not None:
+        problems = check_budget(stats, args.max_warm_seconds)
+        if problems:
+            for problem in problems:
+                print(f"budget violation: {problem}", file=sys.stderr)
+            return 1
+    return 0
+
+
+def test_warm_cache_budget(benchmark):
+    """Pytest entry: warm run must be a full hit and beat the cold run."""
+    stats = benchmark.pedantic(
+        lambda: run_bench(touch=False), rounds=1, iterations=1
+    )
+    emit("Lint engine: cold vs warm cache over src/", _report(stats))
+    assert stats["warm_reanalyzed"] == 0
+    assert stats["warm_cache_status"] == "hit"
+    assert stats["warm_seconds"] < stats["cold_seconds"]
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,7 +12,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.errors import EmptyWindowError
+from repro.errors import ConfigurationError, EmptyWindowError
 
 __all__ = ["Aggregator", "as_arrays"]
 
@@ -22,9 +22,13 @@ def as_arrays(
 ) -> tuple:
     """Validate and convert parallel rating / trust sequences.
 
+    Both ratings and trusts live in ``[0, 1]`` (Section III-B); this is
+    the domain boundary every aggregator funnels through.
+
     Raises:
         EmptyWindowError: when there are no ratings to aggregate.
         ValueError: when the sequences are not parallel.
+        ConfigurationError: when a rating or trust falls outside [0, 1].
     """
     values = np.asarray(values, dtype=float).ravel()
     trusts = np.asarray(trusts, dtype=float).ravel()
@@ -34,6 +38,9 @@ def as_arrays(
         raise ValueError(
             f"ratings ({values.size}) and trusts ({trusts.size}) must be parallel"
         )
+    for name, arr in (("ratings", values), ("trusts", trusts)):
+        if float(np.min(arr)) < 0.0 or float(np.max(arr)) > 1.0:
+            raise ConfigurationError(f"{name} must lie in [0, 1]")
     return values, trusts
 
 

@@ -138,8 +138,10 @@ class SunTrustModelAggregator(Aggregator):
     name = "sun_trust_model"
 
     def aggregate(self, values: Sequence[float], trusts: Sequence[float]) -> float:
-        values, trusts = as_arrays(values, trusts)
+        # The cited model saturates out-of-range recommendation trust,
+        # so clip before as_arrays' [0, 1] domain validation.
         trusts = np.clip(trusts, 0.0, 1.0)
+        values, trusts = as_arrays(values, trusts)
         path_trust = trusts * values + (1.0 - trusts) * (1.0 - values)
         return float(np.mean(path_trust))
 

@@ -3,10 +3,15 @@
 ``repro.devtools`` is a dependency-free, stdlib-``ast`` linter built
 for this codebase's specific hazards: a threaded serving stack whose
 trust math must not race, and numeric trust/suspicion state that must
-never be compared with ``==``.  It ships four rule families --
+never be compared with ``==``.  It ships eight rule families:
 concurrency (lock-order inversions, blocking I/O under locks,
-``_GUARDED_BY`` violations), numeric hygiene, API drift, and structure
--- behind a registry with per-file parse caching, inline
+``_GUARDED_BY`` violations), numeric hygiene, API drift, structure,
+and -- via the whole-program engine in ``repro.devtools.analysis`` --
+domain invariants (DI, interval analysis against a declarative
+contract registry), architecture (AR, layering DAG plus import
+cycles), exception discipline (EX, what escapes HTTP handlers and CLI
+mains), and dead exports (DX).  All of it sits behind a registry with
+an incremental content-hash cache (``.lint-cache/``), inline
 ``# repro: lint-disable[RULE]`` suppressions, a committed baseline for
 grandfathered findings, and human/JSON reporters.
 
@@ -16,14 +21,13 @@ internal error).  See ``docs/LINT.md`` for the rule catalog.
 """
 
 from repro.devtools.baseline import Baseline, BaselineEntry
-from repro.devtools.core import Finding, LintConfig, Rule, SourceFile, all_rules
+from repro.devtools.core import Finding, Rule, SourceFile, all_rules
 from repro.devtools.runner import LintResult, run_lint
 
 __all__ = [
     "Baseline",
     "BaselineEntry",
     "Finding",
-    "LintConfig",
     "LintResult",
     "Rule",
     "SourceFile",

@@ -1,0 +1,41 @@
+"""Whole-program analysis engine behind the DI/AR/EX/DX rule families.
+
+``repro.devtools.analysis`` grows the per-file linter of
+:mod:`repro.devtools` into a project-wide pass:
+
+* :mod:`~repro.devtools.analysis.model` -- module symbol table, import
+  DAG, and cross-module call resolution built on the per-file parse
+  layer;
+* :mod:`~repro.devtools.analysis.intervals` -- the interval abstract
+  domain used by the domain-invariant (DI) rules, including the
+  monotone-fraction lemma that proves the beta-trust form
+  ``(S + 1) / (S + F + 2)`` lies in ``(0, 1)``;
+* :mod:`~repro.devtools.analysis.contracts` -- the declarative
+  contract registry mapping dotted names to numeric domains
+  (``repro.trust.records.beta_trust -> (0, 1)``);
+* :mod:`~repro.devtools.analysis.cache` -- the content-hash keyed
+  cross-file cache under ``.lint-cache/`` that makes re-runs
+  incremental (an unchanged tree re-analyzes zero files);
+* ``rules_domain`` / ``rules_arch`` / ``rules_exceptions`` /
+  ``rules_deadcode`` -- the DI, AR, EX, and DX rule families.
+"""
+
+from repro.devtools.analysis.cache import AnalysisCache
+from repro.devtools.analysis.contracts import (
+    ContractRegistry,
+    FunctionContract,
+    default_registry,
+)
+from repro.devtools.analysis.intervals import Interval
+from repro.devtools.analysis.model import AnalysisModel, ModuleInfo, get_analysis
+
+__all__ = [
+    "AnalysisCache",
+    "AnalysisModel",
+    "ContractRegistry",
+    "FunctionContract",
+    "Interval",
+    "ModuleInfo",
+    "default_registry",
+    "get_analysis",
+]

@@ -1,0 +1,297 @@
+"""Declarative numeric-domain contracts for the DI rule family.
+
+A contract binds a dotted name to the numeric domain its parameters
+and return value must inhabit -- the paper's invariants made machine
+checkable: beta trust ``(S + 1) / (S + F + 2)`` lies in ``(0, 1)``,
+probabilities in ``[0, 1]``, entropy trust in ``[-1, 1]``, evidence
+counts in ``[0, inf)``.
+
+Contracts come from two places:
+
+* the **seed table** below, covering the `repro` runtime surface;
+* per-module ``__lint_contracts__`` declarations, so any analyzed
+  project (including test fixtures) can add its own::
+
+      __lint_contracts__ = {
+          "poison": {"params": {"amount": "[0, 1]"}, "returns": "[0, 1]"},
+      }
+
+Interval syntax is mathematical: ``"(0, 1)"`` strict, ``"[0, inf)"``
+half-open, ``"[-1, 1]"`` closed.  A contract with ``validates`` names
+the parameters the function checks on behalf of its callers (and
+returns, in order) -- passing a value through a validator counts as
+guarding it for rule DI03.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.devtools.analysis.intervals import (
+    Interval,
+    NON_NEGATIVE,
+    OPEN_UNIT,
+    SYMMETRIC_UNIT,
+    UNIT,
+)
+
+__all__ = [
+    "FunctionContract",
+    "ContractRegistry",
+    "default_registry",
+    "parse_interval",
+    "NAME_DOMAINS",
+]
+
+
+def parse_interval(text: str) -> Interval:
+    """Parse ``"(0, 1)"`` / ``"[0, inf)"`` style interval notation."""
+    text = text.strip()
+    if len(text) < 5 or text[0] not in "([" or text[-1] not in ")]":
+        raise ValueError(f"bad interval syntax: {text!r}")
+    lo_open = text[0] == "("
+    hi_open = text[-1] == ")"
+    parts = text[1:-1].split(",")
+    if len(parts) != 2:
+        raise ValueError(f"bad interval syntax: {text!r}")
+
+    def _bound(raw: str) -> float:
+        raw = raw.strip()
+        if raw in ("inf", "+inf"):
+            return math.inf
+        if raw == "-inf":
+            return -math.inf
+        return float(raw)
+
+    return Interval(_bound(parts[0]), _bound(parts[1]), lo_open, hi_open)
+
+
+@dataclass(frozen=True)
+class FunctionContract:
+    """Domain contract for one function or method.
+
+    Attributes:
+        name: dotted path -- ``pkg.module.func`` or
+            ``pkg.module.Class.method``.
+        params: parameter name -> required domain.
+        returns: domain of the return value, if contracted.
+        validates: parameters this function *checks* for its callers
+            (raising on violation) and returns, in declaration order.
+        applies_to_overrides: apply the same contract to subclass
+            overrides of the named method.
+    """
+
+    name: str
+    params: Tuple[Tuple[str, Interval], ...] = ()
+    returns: Optional[Interval] = None
+    validates: Tuple[str, ...] = ()
+    applies_to_overrides: bool = False
+
+    @property
+    def param_map(self) -> Dict[str, Interval]:
+        return dict(self.params)
+
+    def describe(self) -> str:
+        parts = []
+        for pname, domain in self.params:
+            parts.append(f"{pname} in {domain}")
+        if self.returns is not None:
+            parts.append(f"returns {domain_str(self.returns)}")
+        return ", ".join(parts)
+
+
+def domain_str(interval: Interval) -> str:
+    return str(interval)
+
+
+#: Canonical domains for value names the DI rules recognise without an
+#: explicit contract: any assignment target whose name contains one of
+#: these words is expected to stay inside the domain.
+NAME_DOMAINS: Dict[str, Interval] = {
+    "trust": UNIT,
+    "suspicion": NON_NEGATIVE,
+}
+
+
+def _c(
+    name: str,
+    params: Optional[Mapping[str, Interval]] = None,
+    returns: Optional[Interval] = None,
+    validates: Tuple[str, ...] = (),
+    applies_to_overrides: bool = False,
+) -> FunctionContract:
+    return FunctionContract(
+        name=name,
+        params=tuple(sorted((params or {}).items())),
+        returns=returns,
+        validates=validates,
+        applies_to_overrides=applies_to_overrides,
+    )
+
+
+def _seed_contracts() -> List[FunctionContract]:
+    """The built-in contract table for the repro runtime surface."""
+    return [
+        # -- beta trust (Section III-A) --------------------------------
+        _c(
+            "repro.trust.records.beta_trust",
+            params={"successes": NON_NEGATIVE, "failures": NON_NEGATIVE},
+            returns=OPEN_UNIT,
+        ),
+        _c("repro.trust.records.TrustRecord.trust", returns=OPEN_UNIT),
+        _c("repro.trust.records.TrustRecord.forget", params={"factor": UNIT}),
+        _c("repro.trust.manager.TrustManager.trust", returns=OPEN_UNIT),
+        _c("repro.trust.manager.TrustManager.blended_trust", returns=UNIT),
+        # -- entropy trust (Sun et al.) --------------------------------
+        _c(
+            "repro.trust.entropy_trust.binary_entropy",
+            params={"p": UNIT},
+            returns=UNIT,
+            validates=("p",),
+        ),
+        _c(
+            "repro.trust.entropy_trust.entropy_trust",
+            params={"p": UNIT},
+            returns=SYMMETRIC_UNIT,
+        ),
+        _c(
+            "repro.trust.entropy_trust.entropy_trust_inverse",
+            params={"t": SYMMETRIC_UNIT},
+            returns=UNIT,
+            validates=("t",),
+        ),
+        _c(
+            "repro.trust.entropy_trust.concatenate",
+            params={
+                "recommendation_trust": SYMMETRIC_UNIT,
+                "remote_trust": SYMMETRIC_UNIT,
+            },
+            returns=SYMMETRIC_UNIT,
+            validates=("recommendation_trust", "remote_trust"),
+        ),
+        _c(
+            "repro.trust.entropy_trust.multipath",
+            params={
+                "recommendation_trusts": SYMMETRIC_UNIT,
+                "remote_trusts": SYMMETRIC_UNIT,
+            },
+            returns=SYMMETRIC_UNIT,
+        ),
+        # -- aggregation (Section III-B.2) -----------------------------
+        _c(
+            "repro.aggregation.base.as_arrays",
+            params={"values": UNIT, "trusts": UNIT},
+            validates=("values", "trusts"),
+        ),
+        _c(
+            "repro.aggregation.base.Aggregator.aggregate",
+            params={"values": UNIT, "trusts": UNIT},
+            returns=UNIT,
+            applies_to_overrides=True,
+        ),
+        _c(
+            "repro.aggregation.methods.ModifiedWeightedAverage.__init__",
+            params={"floor": Interval(0.0, 1.0, False, True)},
+        ),
+    ]
+
+
+#: Attribute domains keyed ``Class.attr`` -- used when the evaluator
+#: sees ``obj.attr`` and can type ``obj`` to a project class.
+_SEED_ATTRIBUTES: Dict[str, Interval] = {
+    "TrustRecord.trust": OPEN_UNIT,
+    "TrustRecord.successes": NON_NEGATIVE,
+    "TrustRecord.failures": NON_NEGATIVE,
+    "TrustManagerConfig.indirect_weight": UNIT,
+    "TrustManagerConfig.detection_threshold": UNIT,
+    "TrustManagerConfig.forgetting_factor": UNIT,
+    "TrustManagerConfig.badness_weight": NON_NEGATIVE,
+    "ModifiedWeightedAverage.floor": Interval(0.0, 1.0, False, True),
+    "ThresholdedAverage.cutoff": Interval(0.0, 1.0, False, True),
+}
+
+
+class ContractRegistry:
+    """All known contracts: the seed table plus module declarations."""
+
+    def __init__(
+        self,
+        functions: Optional[Iterable[FunctionContract]] = None,
+        attributes: Optional[Mapping[str, Interval]] = None,
+    ) -> None:
+        self.functions: Dict[str, FunctionContract] = {}
+        for contract in functions if functions is not None else _seed_contracts():
+            self.functions[contract.name] = contract
+        self.attributes: Dict[str, Interval] = dict(
+            attributes if attributes is not None else _SEED_ATTRIBUTES
+        )
+
+    # -- extension --------------------------------------------------------
+
+    def add(self, contract: FunctionContract) -> None:
+        self.functions[contract.name] = contract
+
+    def extend_from_module(self, module_name: str, tree: ast.Module) -> None:
+        """Collect ``__lint_contracts__`` declarations from a module."""
+        for stmt in tree.body:
+            if not isinstance(stmt, ast.Assign):
+                continue
+            targets = [t.id for t in stmt.targets if isinstance(t, ast.Name)]
+            if "__lint_contracts__" not in targets:
+                continue
+            try:
+                spec = ast.literal_eval(stmt.value)
+            except (ValueError, SyntaxError):
+                continue
+            if not isinstance(spec, dict):
+                continue
+            for func_name, entry in spec.items():
+                contract = _contract_from_spec(f"{module_name}.{func_name}", entry)
+                if contract is not None:
+                    self.add(contract)
+
+    # -- identity ---------------------------------------------------------
+
+    def digest(self) -> str:
+        """Stable hash of every contract -- part of the cache signature."""
+        payload = {
+            "functions": {
+                name: {
+                    "params": {p: str(d) for p, d in c.params},
+                    "returns": str(c.returns) if c.returns else None,
+                    "validates": list(c.validates),
+                    "overrides": c.applies_to_overrides,
+                }
+                for name, c in sorted(self.functions.items())
+            },
+            "attributes": {k: str(v) for k, v in sorted(self.attributes.items())},
+            "name_domains": {k: str(v) for k, v in sorted(NAME_DOMAINS.items())},
+        }
+        blob = json.dumps(payload, sort_keys=True).encode("utf-8")
+        return hashlib.sha256(blob).hexdigest()
+
+
+def _contract_from_spec(name: str, entry: object) -> Optional[FunctionContract]:
+    if not isinstance(entry, dict):
+        return None
+    try:
+        params = {
+            str(pname): parse_interval(str(text))
+            for pname, text in (entry.get("params") or {}).items()
+        }
+        returns_text = entry.get("returns")
+        returns = parse_interval(str(returns_text)) if returns_text else None
+    except ValueError:
+        return None
+    validates = tuple(str(v) for v in entry.get("validates", ()))
+    return _c(name, params=params, returns=returns, validates=validates)
+
+
+def default_registry() -> ContractRegistry:
+    """A fresh registry seeded with the built-in repro contract table."""
+    return ContractRegistry()

@@ -1,0 +1,493 @@
+"""Interval abstract domain for the domain-invariant (DI) rules.
+
+An :class:`Interval` is a numeric range with independently open or
+closed endpoints, so contracts can say "strictly inside ``(0, 1)``"
+(beta trust) as well as "within ``[0, 1]``" (probabilities).  The
+evaluator maps a Python expression AST to an interval, returning
+``None`` whenever it cannot prove a bound -- DI rules only flag what
+is *provably* out of domain, so "unknown" always means "stay silent".
+
+Two structural refinements carry most of the real proofs:
+
+* the **monotone-fraction lemma** (:func:`fraction_interval`): for
+  ``num / den`` where every non-constant term of ``num`` also appears
+  in ``den``, all terms are non-negative, and the constant part of
+  ``den`` strictly exceeds the constant part of ``num`` (itself
+  positive), the quotient lies strictly inside ``(0, 1)``.  This is
+  exactly the beta-trust form ``(S + 1) / (S + F + 2)``.
+* the **convex-combination refinement** (in :class:`Evaluator`):
+  ``A * X + (1 - A) * Y`` with ``A`` provably in ``[0, 1]`` evaluates
+  to the hull of ``X`` and ``Y``, which proves the Sun trust-model
+  update and the blended direct/indirect trust stay in ``[0, 1]``.
+"""
+
+from __future__ import annotations
+
+import ast
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Interval",
+    "Evaluator",
+    "UNIT",
+    "OPEN_UNIT",
+    "SYMMETRIC_UNIT",
+    "NON_NEGATIVE",
+    "point",
+]
+
+_INF = math.inf
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A numeric interval with open/closed endpoints."""
+
+    lo: float
+    hi: float
+    lo_open: bool = False
+    hi_open: bool = False
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise ValueError(f"empty interval [{self.lo}, {self.hi}]")
+        # Infinite endpoints are never attained.
+        if self.lo == -_INF and not self.lo_open:
+            object.__setattr__(self, "lo_open", True)
+        if self.hi == _INF and not self.hi_open:
+            object.__setattr__(self, "hi_open", True)
+
+    # -- predicates -------------------------------------------------------
+
+    def contains_value(self, value: float) -> bool:
+        if value < self.lo or (value == self.lo and self.lo_open):
+            return False
+        if value > self.hi or (value == self.hi and self.hi_open):
+            return False
+        return True
+
+    def within(self, other: "Interval") -> bool:
+        """True when every value of ``self`` lies in ``other``."""
+        if self.lo < other.lo:
+            return False
+        if self.lo == other.lo and other.lo_open and not self.lo_open:
+            return False
+        if self.hi > other.hi:
+            return False
+        if self.hi == other.hi and other.hi_open and not self.hi_open:
+            return False
+        return True
+
+    @property
+    def nonnegative(self) -> bool:
+        return self.lo >= 0.0
+
+    @property
+    def positive(self) -> bool:
+        return self.lo > 0.0 or (self.lo == 0.0 and self.lo_open)
+
+    # -- lattice ----------------------------------------------------------
+
+    def meet(self, other: "Interval") -> Optional["Interval"]:
+        """Intersection, or None when the intervals do not overlap."""
+        if self.lo > other.lo:
+            lo, lo_open = self.lo, self.lo_open
+        elif other.lo > self.lo:
+            lo, lo_open = other.lo, other.lo_open
+        else:
+            lo, lo_open = self.lo, self.lo_open or other.lo_open
+        if self.hi < other.hi:
+            hi, hi_open = self.hi, self.hi_open
+        elif other.hi < self.hi:
+            hi, hi_open = other.hi, other.hi_open
+        else:
+            hi, hi_open = self.hi, self.hi_open or other.hi_open
+        if lo > hi or (lo == hi and (lo_open or hi_open)):
+            return None
+        return Interval(lo, hi, lo_open, hi_open)
+
+    def hull(self, other: "Interval") -> "Interval":
+        if self.lo < other.lo:
+            lo, lo_open = self.lo, self.lo_open
+        elif other.lo < self.lo:
+            lo, lo_open = other.lo, other.lo_open
+        else:
+            lo, lo_open = self.lo, self.lo_open and other.lo_open
+        if self.hi > other.hi:
+            hi, hi_open = self.hi, self.hi_open
+        elif other.hi > self.hi:
+            hi, hi_open = other.hi, other.hi_open
+        else:
+            hi, hi_open = self.hi, self.hi_open and other.hi_open
+        return Interval(lo, hi, lo_open, hi_open)
+
+    # -- arithmetic (closed over-approximations where openness is fiddly) -
+
+    def __add__(self, other: "Interval") -> "Interval":
+        return Interval(
+            self.lo + other.lo,
+            self.hi + other.hi,
+            self.lo_open or other.lo_open,
+            self.hi_open or other.hi_open,
+        )
+
+    def __neg__(self) -> "Interval":
+        return Interval(-self.hi, -self.lo, self.hi_open, self.lo_open)
+
+    def __sub__(self, other: "Interval") -> "Interval":
+        return self + (-other)
+
+    def __mul__(self, other: "Interval") -> "Interval":
+        # Endpoint products; openness is widened to closed, which is a
+        # sound over-approximation for containment checks.
+        candidates = [
+            self.lo * other.lo,
+            self.lo * other.hi,
+            self.hi * other.lo,
+            self.hi * other.hi,
+        ]
+        finite = [c for c in candidates if not math.isnan(c)]
+        if not finite:
+            return TOP
+        return Interval(min(finite), max(finite))
+
+    def divide(self, other: "Interval") -> Optional["Interval"]:
+        """``self / other`` when the divisor provably excludes zero."""
+        if other.contains_value(0.0):
+            return None
+        if other.lo == 0.0 or other.hi == 0.0:
+            # e.g. (0, inf): reciprocal spans (0, inf) too.
+            if other.lo == 0.0:
+                recip = Interval(0.0, _INF, True, True) if other.hi > 0 else None
+            else:
+                recip = Interval(-_INF, 0.0, True, True)
+            if recip is None:
+                return None
+            return self * recip
+        recip = Interval(
+            min(1.0 / other.lo, 1.0 / other.hi),
+            max(1.0 / other.lo, 1.0 / other.hi),
+        )
+        return self * recip
+
+    def clamp(self, lo: Optional[float], hi: Optional[float]) -> "Interval":
+        """Interval of ``clip(self, lo, hi)`` for scalar bounds."""
+        new_lo, new_hi = self.lo, self.hi
+        lo_open, hi_open = self.lo_open, self.hi_open
+        if lo is not None:
+            if new_lo < lo:
+                new_lo, lo_open = lo, False
+            new_hi = max(new_hi, lo)
+        if hi is not None:
+            if new_hi > hi:
+                new_hi, hi_open = hi, False
+            new_lo = min(new_lo, hi)
+        return Interval(new_lo, new_hi, lo_open, hi_open)
+
+    def __str__(self) -> str:
+        left = "(" if self.lo_open else "["
+        right = ")" if self.hi_open else "]"
+        return f"{left}{_fmt(self.lo)}, {_fmt(self.hi)}{right}"
+
+
+def _fmt(value: float) -> str:
+    if value == _INF:
+        return "inf"
+    if value == -_INF:
+        return "-inf"
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def point(value: float) -> Interval:
+    return Interval(value, value)
+
+
+TOP = Interval(-_INF, _INF, True, True)
+UNIT = Interval(0.0, 1.0)
+OPEN_UNIT = Interval(0.0, 1.0, True, True)
+SYMMETRIC_UNIT = Interval(-1.0, 1.0)
+NON_NEGATIVE = Interval(0.0, _INF, False, True)
+
+
+# ---------------------------------------------------------------------------
+# Structural refinements
+# ---------------------------------------------------------------------------
+
+
+def _flatten_sum(node: ast.expr) -> Optional[List[ast.expr]]:
+    """Flatten a chain of binary ``+`` into its terms (no subtraction)."""
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+        left = _flatten_sum(node.left)
+        right = _flatten_sum(node.right)
+        if left is None or right is None:
+            return None
+        return left + right
+    return [node]
+
+
+def _num_const(node: ast.expr) -> Optional[float]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+        if isinstance(node.value, bool):
+            return None
+        return float(node.value)
+    return None
+
+
+def fraction_interval(
+    num: ast.expr,
+    den: ast.expr,
+    term_interval: Callable[[ast.expr], Optional[Interval]],
+) -> Optional[Interval]:
+    """The monotone-fraction lemma; ``None`` when it does not apply.
+
+    Proves ``num / den`` is in ``(0, 1)`` when, writing both sides as
+    sums, ``num = T + c_n`` and ``den = T + R + c_d`` with the shared
+    terms ``T`` and the remainder ``R`` all non-negative and
+    ``0 < c_n < c_d``.
+    """
+    num_terms = _flatten_sum(num)
+    den_terms = _flatten_sum(den)
+    if num_terms is None or den_terms is None:
+        return None
+    num_syms: List[ast.expr] = []
+    num_const = 0.0
+    for term in num_terms:
+        value = _num_const(term)
+        if value is not None:
+            num_const += value
+        else:
+            num_syms.append(term)
+    den_syms: List[ast.expr] = []
+    den_const = 0.0
+    for term in den_terms:
+        value = _num_const(term)
+        if value is not None:
+            den_const += value
+        else:
+            den_syms.append(term)
+    if not (0.0 < num_const < den_const):
+        return None
+    # Every symbolic numerator term must match a (distinct) denominator
+    # term; whatever is left over in the denominator must be >= 0.
+    remaining = [ast.dump(t) for t in den_syms]
+    for term in num_syms:
+        key = ast.dump(term)
+        if key not in remaining:
+            return None
+        remaining.remove(key)
+    for term in num_syms + den_syms:
+        interval = term_interval(term)
+        if interval is None or not interval.nonnegative:
+            return None
+    return OPEN_UNIT
+
+
+def _same_expr(a: ast.expr, b: ast.expr) -> bool:
+    return ast.dump(a) == ast.dump(b)
+
+
+def _complement_of(candidate: ast.expr, weight: ast.expr) -> bool:
+    """True when ``candidate`` is structurally ``1 - weight``."""
+    return (
+        isinstance(candidate, ast.BinOp)
+        and isinstance(candidate.op, ast.Sub)
+        and _num_const(candidate.left) == 1.0
+        and _same_expr(candidate.right, weight)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Expression evaluator
+# ---------------------------------------------------------------------------
+
+_NUMPY_ALIASES = {"np", "numpy"}
+
+
+class Evaluator:
+    """Maps expression ASTs to intervals against a name environment.
+
+    ``call_interval`` and ``attribute_interval`` are resolution hooks
+    supplied by the DI rules (they consult the contract registry and
+    the project model); either may return ``None`` for "unknown".
+    """
+
+    def __init__(
+        self,
+        env: Optional[Dict[str, Interval]] = None,
+        call_interval: Optional[Callable[[ast.Call], Optional[Interval]]] = None,
+        attribute_interval: Optional[Callable[[ast.Attribute], Optional[Interval]]] = None,
+    ) -> None:
+        self.env: Dict[str, Interval] = dict(env or {})
+        self._call_interval = call_interval
+        self._attribute_interval = attribute_interval
+
+    # -- entry point ------------------------------------------------------
+
+    def eval(self, node: ast.expr) -> Optional[Interval]:
+        method = getattr(self, f"_eval_{type(node).__name__}", None)
+        if method is None:
+            return None
+        return method(node)
+
+    # -- leaves -----------------------------------------------------------
+
+    def _eval_Constant(self, node: ast.Constant) -> Optional[Interval]:
+        value = _num_const(node)
+        if value is None:
+            return None
+        return point(value)
+
+    def _eval_Name(self, node: ast.Name) -> Optional[Interval]:
+        return self.env.get(node.id)
+
+    def _eval_Attribute(self, node: ast.Attribute) -> Optional[Interval]:
+        if self._attribute_interval is not None:
+            return self._attribute_interval(node)
+        return None
+
+    def _eval_Subscript(self, node: ast.Subscript) -> Optional[Interval]:
+        # Indexing/slicing selects elements of the container, so the
+        # container's elementwise interval still bounds the result.
+        return self.eval(node.value)
+
+    # -- operators --------------------------------------------------------
+
+    def _eval_UnaryOp(self, node: ast.UnaryOp) -> Optional[Interval]:
+        inner = self.eval(node.operand)
+        if inner is None:
+            return None
+        if isinstance(node.op, ast.USub):
+            return -inner
+        if isinstance(node.op, ast.UAdd):
+            return inner
+        return None
+
+    def _eval_BinOp(self, node: ast.BinOp) -> Optional[Interval]:
+        if isinstance(node.op, ast.Add):
+            convex = self._convex_combination(node)
+            if convex is not None:
+                return convex
+        if isinstance(node.op, ast.Div):
+            fraction = fraction_interval(node.left, node.right, self.eval)
+            if fraction is not None:
+                return fraction
+        left = self.eval(node.left)
+        right = self.eval(node.right)
+        if left is None or right is None:
+            return None
+        if isinstance(node.op, ast.Add):
+            return left + right
+        if isinstance(node.op, ast.Sub):
+            return left - right
+        if isinstance(node.op, ast.Mult):
+            return left * right
+        if isinstance(node.op, ast.Div):
+            return left.divide(right)
+        return None
+
+    def _eval_IfExp(self, node: ast.IfExp) -> Optional[Interval]:
+        body = self.eval(node.body)
+        orelse = self.eval(node.orelse)
+        if body is None or orelse is None:
+            return None
+        return body.hull(orelse)
+
+    def _convex_combination(self, node: ast.BinOp) -> Optional[Interval]:
+        """``A * X + (1 - A) * Y`` with ``A`` in [0, 1] -> hull(X, Y)."""
+        terms = []
+        for side in (node.left, node.right):
+            if not (isinstance(side, ast.BinOp) and isinstance(side.op, ast.Mult)):
+                return None
+            terms.append(side)
+        first, second = terms
+        for a, x in ((first.left, first.right), (first.right, first.left)):
+            for b, y in ((second.left, second.right), (second.right, second.left)):
+                if _complement_of(b, a) or _complement_of(a, b):
+                    weight = a if _complement_of(b, a) else b
+                    w_int = self.eval(weight)
+                    if w_int is None or not w_int.within(UNIT):
+                        continue
+                    x_int = self.eval(x)
+                    y_int = self.eval(y)
+                    if x_int is None or y_int is None:
+                        continue
+                    return x_int.hull(y_int)
+        return None
+
+    # -- calls ------------------------------------------------------------
+
+    def _eval_Call(self, node: ast.Call) -> Optional[Interval]:
+        special = self._special_call(node)
+        if special is not None:
+            return special
+        if self._call_interval is not None:
+            return self._call_interval(node)
+        return None
+
+    def _special_call(self, node: ast.Call) -> Optional[Interval]:
+        name = _callable_name(node.func)
+        if name is None or node.keywords:
+            return None
+        args = node.args
+        if name in ("float", "np.asarray", "np.array", "np.float64"):
+            if len(args) == 1:
+                return self.eval(args[0])
+            return None
+        if name in ("min", "np.minimum") and len(args) == 2:
+            return self._min_max(args, use_min=True)
+        if name in ("max", "np.maximum") and len(args) == 2:
+            return self._min_max(args, use_min=False)
+        if name in ("abs", "np.abs") and len(args) == 1:
+            inner = self.eval(args[0])
+            if inner is None:
+                return None
+            if inner.nonnegative:
+                return inner
+            mag = max(abs(inner.lo), abs(inner.hi))
+            return Interval(0.0, mag)
+        if name == "np.clip" and len(args) == 3:
+            base = self.eval(args[0])
+            lo = self.eval(args[1])
+            hi = self.eval(args[2])
+            if lo is None or hi is None:
+                return None
+            if base is None:
+                base = TOP
+            return base.clamp(lo.lo, hi.hi)
+        if name == "np.mean" and len(args) == 1:
+            return self.eval(args[0])
+        if name == "np.sum" and len(args) == 1:
+            inner = self.eval(args[0])
+            if inner is None:
+                return None
+            if inner.nonnegative:
+                return NON_NEGATIVE
+            if inner.hi <= 0.0:
+                return Interval(-_INF, 0.0, True, False)
+            return None
+        return None
+
+    def _min_max(self, args: Sequence[ast.expr], use_min: bool) -> Optional[Interval]:
+        a = self.eval(args[0])
+        b = self.eval(args[1])
+        if a is None or b is None:
+            return None
+        if use_min:
+            return Interval(min(a.lo, b.lo), min(a.hi, b.hi))
+        return Interval(max(a.lo, b.lo), max(a.hi, b.hi))
+
+
+def _callable_name(func: ast.expr) -> Optional[str]:
+    """Normalize ``np.clip`` / ``numpy.clip`` / ``min`` to a lookup key."""
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        prefix = func.value.id
+        if prefix in _NUMPY_ALIASES:
+            return f"np.{func.attr}"
+        return f"{prefix}.{func.attr}"
+    return None

@@ -1,0 +1,228 @@
+"""AR: architecture rules -- layering DAG and import cycles.
+
+The package is layered so that the paper's model code stays importable
+without the serving/experiment machinery around it:
+
+======  ===========  ====================================================
+layer   name         subpackages
+======  ===========  ====================================================
+0       foundation   ``errors``, ``_version``, ``reporting``
+1       primitives   ``signal``, ``ratings``
+2       domain       ``trust``, ``detectors``, ``aggregation``,
+                     ``filters``, ``raters``, ``attacks``, ``data``,
+                     ``evaluation``
+3       composition  ``core``, ``simulation``, ``audit``
+4       application  ``experiments``, ``presets``, ``service``
+5       interface    ``cli``, ``__main__``, the root package
+======  ===========  ====================================================
+
+A member may import same-or-lower layers only.  ``devtools`` sits
+outside the stack: it imports nothing from the runtime packages, and
+only the interface layer may import it -- the linter must never be a
+runtime dependency of the model.
+
+* **AR01** -- an import crosses the layering DAG upward (or touches
+  ``devtools`` from the wrong side, or targets a subpackage missing
+  from the map above).
+* **AR02** -- a strongly connected component in the project import
+  graph (an import cycle).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+from repro.devtools.analysis.model import get_analysis, module_name_for
+from repro.devtools.core import Finding, Rule, SourceFile, register
+from repro.devtools.project import ProjectModel
+
+__all__ = ["LAYERS", "subpackage_layer"]
+
+#: Subpackage -> (layer number, layer name).  ``""`` is the root package.
+LAYERS = {
+    "errors": (0, "foundation"),
+    "_version": (0, "foundation"),
+    "reporting": (0, "foundation"),
+    "signal": (1, "primitives"),
+    "ratings": (1, "primitives"),
+    "trust": (2, "domain"),
+    "detectors": (2, "domain"),
+    "aggregation": (2, "domain"),
+    "filters": (2, "domain"),
+    "raters": (2, "domain"),
+    "attacks": (2, "domain"),
+    "data": (2, "domain"),
+    "evaluation": (2, "domain"),
+    "core": (3, "composition"),
+    "simulation": (3, "composition"),
+    "audit": (3, "composition"),
+    "experiments": (4, "application"),
+    "presets": (4, "application"),
+    "service": (4, "application"),
+    "cli": (5, "interface"),
+    "__main__": (5, "interface"),
+    "": (5, "interface"),
+}
+
+_ROOT_PACKAGE = "repro"
+
+
+def _subpackage(module: str) -> Optional[str]:
+    """The first component under the root package, or None if external."""
+    if module == _ROOT_PACKAGE:
+        return ""
+    prefix = _ROOT_PACKAGE + "."
+    if not module.startswith(prefix):
+        return None
+    return module.split(".")[1]
+
+
+def subpackage_layer(module: str) -> Optional[Tuple[int, str]]:
+    """(layer number, layer name) of a module, or None if external."""
+    sub = _subpackage(module)
+    if sub is None:
+        return None
+    return LAYERS.get(sub)
+
+
+def _import_targets(
+    tree: ast.Module, module: str, relpath: str
+) -> List[Tuple[str, int]]:
+    """(absolute module name, line) for every import in one file."""
+    out: List[Tuple[str, int]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                out.append((alias.name, node.lineno))
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                base_parts = module.split(".") if module else []
+                if relpath.endswith("__init__.py"):
+                    base_parts = base_parts[: len(base_parts) - (node.level - 1)]
+                else:
+                    base_parts = base_parts[: len(base_parts) - node.level]
+                base = ".".join(base_parts)
+                source = f"{base}.{node.module}" if node.module else base
+            else:
+                source = node.module or ""
+            if _subpackage(source) == "":
+                # ``from repro import trust`` targets the submodule, not
+                # the root; classify each imported name individually.
+                for alias in node.names:
+                    if alias.name != "*" and alias.name in LAYERS:
+                        out.append((f"{source}.{alias.name}", node.lineno))
+                    else:
+                        out.append((source, node.lineno))
+            else:
+                out.append((source, node.lineno))
+    return out
+
+
+@register
+class LayeringViolation(Rule):
+    """AR01: an import that crosses the layering DAG upward."""
+
+    id = "AR01"
+    name = "layering violation"
+    rationale = (
+        "Lower layers must stay importable without the layers above "
+        "them; an upward import couples the model code to serving or "
+        "tooling machinery and eventually produces import cycles."
+    )
+    scope = "file"
+
+    def run(self, project: ProjectModel, files: List[SourceFile]) -> Iterator[Finding]:
+        for file in files:
+            module = module_name_for(file.relpath)
+            sub = _subpackage(module)
+            if sub is None:
+                continue  # fixture / non-repro code is unconstrained
+            for target, line in _import_targets(file.tree, module, file.relpath):
+                target_sub = _subpackage(target)
+                if target_sub is None or target == module:
+                    continue
+                if sub == "devtools":
+                    if target_sub != "devtools":
+                        yield self.finding(
+                            file,
+                            line,
+                            f"devtools imports runtime module {target}; "
+                            "the linter must not depend on the code it "
+                            "checks",
+                        )
+                    continue
+                if target_sub == "devtools":
+                    if LAYERS.get(sub, (None, None))[1] != "interface":
+                        yield self.finding(
+                            file,
+                            line,
+                            f"{module} imports {target}: only the "
+                            "interface layer (cli/__main__) may import "
+                            "repro.devtools",
+                        )
+                    continue
+                here = LAYERS.get(sub)
+                there = LAYERS.get(target_sub)
+                if here is None:
+                    yield self.finding(
+                        file,
+                        line,
+                        f"subpackage {sub!r} is missing from the "
+                        "layering map in "
+                        "repro.devtools.analysis.rules_arch.LAYERS",
+                    )
+                    continue
+                if there is None:
+                    yield self.finding(
+                        file,
+                        line,
+                        f"import target subpackage {target_sub!r} is "
+                        "missing from the layering map in "
+                        "repro.devtools.analysis.rules_arch.LAYERS",
+                    )
+                    continue
+                if there[0] > here[0]:
+                    yield self.finding(
+                        file,
+                        line,
+                        f"{module} ({here[1]}, layer {here[0]}) imports "
+                        f"{target} ({there[1]}, layer {there[0]}): "
+                        "imports must point same-layer or downward",
+                    )
+
+
+@register
+class ImportCycle(Rule):
+    """AR02: strongly connected component in the import graph."""
+
+    id = "AR02"
+    name = "import cycle"
+    rationale = (
+        "Import cycles make module initialisation order-dependent and "
+        "break partial imports; the import graph must stay a DAG."
+    )
+    scope = "global"
+
+    def run(self, project: ProjectModel, files: List[SourceFile]) -> Iterator[Finding]:
+        analysis = get_analysis(project, files)
+        by_relpath = {file.relpath: file for file in files}
+        for component in analysis.import_cycles():
+            members = " -> ".join(component + [component[0]])
+            for relpath in component:
+                file = by_relpath.get(relpath)
+                if file is None:
+                    continue
+                line = 1
+                info = analysis.modules[relpath]
+                in_cycle = set(component)
+                for edge in info.import_edges:
+                    target = analysis.module_file(edge.module)
+                    if target in in_cycle:
+                        line = edge.line
+                        break
+                yield self.finding(
+                    file,
+                    line,
+                    f"module participates in an import cycle: {members}",
+                )

@@ -1,0 +1,787 @@
+"""DI: interprocedural domain-invariant rules.
+
+The paper's quantities live in known numeric domains -- beta trust in
+``(0, 1)``, probabilities and aggregated ratings in ``[0, 1]``,
+entropy trust in ``[-1, 1]``, evidence counts in ``[0, inf)``.  These
+rules check the code against the contract registry
+(:mod:`repro.devtools.analysis.contracts`) with interval analysis:
+
+* **DI01** -- a call site passes a provably out-of-domain value to a
+  contracted parameter.
+* **DI02** -- a contracted function can return a provably
+  out-of-domain value, or a trust/suspicion-named variable is assigned
+  one (the domain comes from ``NAME_DOMAINS``).
+* **DI03** -- a contracted public function neither guards nor clamps a
+  contracted parameter before using it (no boundary ``if``/``raise``,
+  no ``np.clip``/``min``/``max``, not passed to a registered
+  validator).
+
+All three flag only what the interval engine can *prove*; an unknown
+interval never fires, so the pass stays quiet on code it cannot
+follow.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.devtools.analysis.contracts import (
+    ContractRegistry,
+    FunctionContract,
+    NAME_DOMAINS,
+    default_registry,
+)
+from repro.devtools.analysis.intervals import Evaluator, Interval, point
+from repro.devtools.analysis.model import AnalysisModel, get_analysis
+from repro.devtools.core import Finding, Rule, SourceFile, register
+from repro.devtools.project import FunctionModel, ProjectModel
+
+__all__ = ["ContractIndex", "get_contract_index"]
+
+_INF = float("inf")
+
+
+class ContractIndex:
+    """Contracts resolved onto project functions (overrides included)."""
+
+    def __init__(
+        self,
+        registry: ContractRegistry,
+        project: ProjectModel,
+        analysis: AnalysisModel,
+    ) -> None:
+        self.registry = registry
+        self.project = project
+        self.analysis = analysis
+        self.by_qualname: Dict[str, FunctionContract] = {}
+        for contract in registry.functions.values():
+            qualname = analysis.resolve_dotted(contract.name)
+            if qualname is None:
+                continue
+            self.by_qualname[qualname] = contract
+            if contract.applies_to_overrides and "." in qualname and "::" not in qualname:
+                base_class, method_name = qualname.split(".", 1)
+                for other in project.classes.values():
+                    if other.name == base_class:
+                        continue
+                    ancestry = {m.name for m in project.mro(other.name)}
+                    override = f"{other.name}.{method_name}"
+                    if base_class in ancestry and override in project.functions:
+                        self.by_qualname.setdefault(override, contract)
+
+    def contract_for(self, qualname: str) -> Optional[FunctionContract]:
+        return self.by_qualname.get(qualname)
+
+    def attribute_domain(self, class_name: str, attr: str) -> Optional[Interval]:
+        for model in self.project.mro(class_name):
+            domain = self.registry.attributes.get(f"{model.name}.{attr}")
+            if domain is not None:
+                return domain
+        return None
+
+
+def get_contract_index(
+    project: ProjectModel, files: Sequence[SourceFile]
+) -> ContractIndex:
+    """The run's contract index (seed + module declarations), memoized."""
+    cached = getattr(project, "_contract_index", None)
+    if cached is None:
+        analysis = get_analysis(project, files)
+        registry = default_registry()
+        for info in analysis.modules.values():
+            registry.extend_from_module(info.module, info.file.tree)
+        cached = ContractIndex(registry, project, analysis)
+        project._contract_index = cached
+    return cached
+
+
+# ---------------------------------------------------------------------------
+# Per-function interval analysis
+# ---------------------------------------------------------------------------
+
+
+def _contracted_params(fn: FunctionModel, contract: FunctionContract) -> Dict[str, Interval]:
+    """Contracted parameter domains restricted to real parameters."""
+    arg_names = {a.arg for a in fn.node.args.args + fn.node.args.kwonlyargs}
+    return {
+        name: domain for name, domain in contract.params if name in arg_names
+    }
+
+
+def _assigned_names(node: ast.AST) -> Set[str]:
+    out: Set[str] = set()
+    for child in ast.walk(node):
+        if isinstance(child, ast.Assign):
+            for target in child.targets:
+                out.update(_target_names(target))
+        elif isinstance(child, (ast.AugAssign, ast.AnnAssign)):
+            out.update(_target_names(child.target))
+        elif isinstance(child, ast.For):
+            out.update(_target_names(child.target))
+    return out
+
+
+def _target_names(target: ast.AST) -> Set[str]:
+    if isinstance(target, ast.Name):
+        return {target.id}
+    if isinstance(target, (ast.Tuple, ast.List)):
+        out: Set[str] = set()
+        for element in target.elts:
+            out.update(_target_names(element))
+        return out
+    return set()
+
+
+def _bound_interval(op: ast.cmpop, value: float) -> Optional[Interval]:
+    """The halfline a comparison against ``value`` implies (var on the left)."""
+    if isinstance(op, ast.GtE):
+        return Interval(value, _INF, False, True)
+    if isinstance(op, ast.Gt):
+        return Interval(value, _INF, True, True)
+    if isinstance(op, ast.LtE):
+        return Interval(-_INF, value, True, False)
+    if isinstance(op, ast.Lt):
+        return Interval(-_INF, value, True, True)
+    return None
+
+
+_NEGATED = {ast.Lt: ast.GtE, ast.LtE: ast.Gt, ast.Gt: ast.LtE, ast.GtE: ast.Lt}
+
+
+def _compare_pairs(node: ast.Compare) -> List[Tuple[ast.expr, ast.cmpop, ast.expr]]:
+    pairs = []
+    left = node.left
+    for op, right in zip(node.ops, node.comparators):
+        pairs.append((left, op, right))
+        left = right
+    return pairs
+
+
+def _numeric_const(node: ast.expr) -> Optional[float]:
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        inner = _numeric_const(node.operand)
+        if inner is None:
+            return None
+        return -inner if isinstance(node.op, ast.USub) else inner
+    if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+        if isinstance(node.value, bool):
+            return None
+        return float(node.value)
+    return None
+
+
+def _constraints_true(test: ast.expr) -> Dict[str, Interval]:
+    """Name -> halfline constraints implied by ``test`` being true."""
+    if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+        return _constraints_false(test.operand)
+    if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
+        merged: Dict[str, Interval] = {}
+        for value in test.values:
+            _merge_constraints(merged, _constraints_true(value))
+        return merged
+    if isinstance(test, ast.Compare):
+        merged = {}
+        for left, op, right in _compare_pairs(test):
+            constraint = _pair_constraint(left, op, right)
+            if constraint is not None:
+                _merge_constraints(merged, dict([constraint]))
+        return merged
+    return {}
+
+
+def _constraints_false(test: ast.expr) -> Dict[str, Interval]:
+    """Constraints implied by ``test`` being false (the guard fell through)."""
+    if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+        return _constraints_true(test.operand)
+    if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.Or):
+        merged: Dict[str, Interval] = {}
+        for value in test.values:
+            _merge_constraints(merged, _constraints_false(value))
+        return merged
+    if isinstance(test, ast.Compare):
+        pairs = _compare_pairs(test)
+        if len(pairs) != 1:
+            # not (a <= x <= b) is a disjunction; no single refinement.
+            return {}
+        left, op, right = pairs[0]
+        negated_op = _NEGATED.get(type(op))
+        if negated_op is None:
+            return {}
+        constraint = _pair_constraint(left, negated_op(), right)
+        return dict([constraint]) if constraint is not None else {}
+    return {}
+
+
+def _pair_constraint(
+    left: ast.expr, op: ast.cmpop, right: ast.expr
+) -> Optional[Tuple[str, Interval]]:
+    value = _numeric_const(right)
+    if isinstance(left, ast.Name) and value is not None:
+        bound = _bound_interval(op, value)
+        return (left.id, bound) if bound is not None else None
+    value = _numeric_const(left)
+    if isinstance(right, ast.Name) and value is not None:
+        flipped = {
+            ast.Lt: ast.Gt, ast.LtE: ast.GtE, ast.Gt: ast.Lt, ast.GtE: ast.LtE,
+        }.get(type(op))
+        if flipped is None:
+            return None
+        bound = _bound_interval(flipped(), value)
+        return (right.id, bound) if bound is not None else None
+    return None
+
+
+def _merge_constraints(into: Dict[str, Interval], new: Dict[str, Interval]) -> None:
+    for name, interval in new.items():
+        existing = into.get(name)
+        if existing is None:
+            into[name] = interval
+        else:
+            met = existing.meet(interval)
+            if met is not None:
+                into[name] = met
+
+
+def _block_terminates(stmts: Sequence[ast.stmt]) -> bool:
+    if not stmts:
+        return False
+    last = stmts[-1]
+    if isinstance(last, (ast.Return, ast.Raise, ast.Continue, ast.Break)):
+        return True
+    if isinstance(last, ast.If):
+        return (
+            _block_terminates(last.body)
+            and bool(last.orelse)
+            and _block_terminates(last.orelse)
+        )
+    return False
+
+
+class FunctionFlow:
+    """Flow-sensitive interval walk over one function body.
+
+    Maintains a name -> interval environment through assignments,
+    branch joins, and guard refinements; evaluates return expressions
+    and domain-named assignment targets as it goes.
+    """
+
+    def __init__(
+        self,
+        fn: FunctionModel,
+        index: ContractIndex,
+        files_by_relpath: Dict[str, SourceFile],
+    ) -> None:
+        self.fn = fn
+        self.index = index
+        self.project = index.project
+        self.analysis = index.analysis
+        self.typer = self.project.function_typer(fn)
+        self.contract = index.contract_for(fn.qualname)
+        self.returns: List[Tuple[int, Interval]] = []
+        self.domain_writes: List[Tuple[int, str, Interval, Interval]] = []
+        self.env: Dict[str, Interval] = {}
+        if self.contract is not None:
+            self.env.update(_contracted_params(fn, self.contract))
+        self.evaluator = Evaluator(
+            self.env,
+            call_interval=self._call_interval,
+            attribute_interval=self._attribute_interval,
+        )
+
+    # -- resolution hooks -------------------------------------------------
+
+    def resolve_call(self, node: ast.Call) -> Optional[FunctionModel]:
+        func = node.func
+        if isinstance(func, ast.Name):
+            qualname = f"{self.fn.file.relpath}::{func.id}"
+            target = self.project.functions.get(qualname)
+            if target is not None:
+                return target
+            info = self.analysis.modules.get(self.fn.file.relpath)
+            if info is not None:
+                imported = info.imported_names.get(func.id)
+                if imported is not None:
+                    relpath = self.analysis.module_file(imported[0])
+                    if relpath is not None:
+                        return self.project.functions.get(
+                            f"{relpath}::{imported[1]}"
+                        )
+            return None
+        if isinstance(func, ast.Attribute):
+            base = self.typer(func.value)
+            if base is not None:
+                return self.project.method(base, func.attr)
+            info = self.analysis.modules.get(self.fn.file.relpath)
+            if info is not None and isinstance(func.value, ast.Name):
+                alias = info.module_aliases.get(func.value.id)
+                if alias is not None:
+                    relpath = self.analysis.module_file(alias)
+                    if relpath is not None:
+                        return self.project.functions.get(
+                            f"{relpath}::{func.attr}"
+                        )
+        return None
+
+    def _call_interval(self, node: ast.Call) -> Optional[Interval]:
+        target = self.resolve_call(node)
+        if target is None:
+            return None
+        contract = self.index.contract_for(target.qualname)
+        if contract is None or contract.returns is None:
+            return None
+        return contract.returns
+
+    def _attribute_interval(self, node: ast.Attribute) -> Optional[Interval]:
+        base = self.typer(node.value)
+        if base is None:
+            return None
+        return self.index.attribute_domain(base, node.attr)
+
+    # -- statement walk ---------------------------------------------------
+
+    def run(self) -> None:
+        self._walk(self.fn.node.body)
+
+    def _walk(self, stmts: Sequence[ast.stmt]) -> None:
+        for stmt in stmts:
+            self._statement(stmt)
+
+    def _statement(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                interval = self.evaluator.eval(stmt.value)
+                if interval is not None:
+                    self.returns.append((stmt.lineno, interval))
+        elif isinstance(stmt, ast.Assign):
+            value_interval = self.evaluator.eval(stmt.value)
+            self._apply_validator_unpack(stmt)
+            for target in stmt.targets:
+                self._assign_target(target, stmt.value, value_interval, stmt.lineno)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            value_interval = self.evaluator.eval(stmt.value)
+            self._assign_target(stmt.target, stmt.value, value_interval, stmt.lineno)
+        elif isinstance(stmt, ast.AugAssign):
+            for name in _target_names(stmt.target):
+                self.env.pop(name, None)
+        elif isinstance(stmt, ast.If):
+            self._if_statement(stmt)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+            self._loop(stmt)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self._walk(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self._try(stmt)
+        # Other statements neither bind names nor return values.
+
+    def _assign_target(
+        self,
+        target: ast.expr,
+        value: ast.expr,
+        interval: Optional[Interval],
+        line: int,
+    ) -> None:
+        if isinstance(target, ast.Name):
+            if interval is not None:
+                self.env[target.id] = interval
+            else:
+                self.env.pop(target.id, None)
+            self._check_domain_write(target.id, interval, line)
+        elif isinstance(target, ast.Attribute):
+            self._check_domain_write(target.attr, interval, line)
+        elif isinstance(target, ast.Subscript):
+            self._assign_target(target.value, value, interval, line)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            # Element intervals are unknown unless a validator covers them.
+            for element in target.elts:
+                if isinstance(element, ast.Name) and element.id not in self.env:
+                    self.env.pop(element.id, None)
+
+    def _apply_validator_unpack(self, stmt: ast.Assign) -> None:
+        """``values, trusts = as_arrays(values, trusts)`` re-seeds domains."""
+        if len(stmt.targets) != 1 or not isinstance(stmt.value, ast.Call):
+            return
+        target = stmt.targets[0]
+        callee = self.resolve_call(stmt.value)
+        if callee is None:
+            return
+        contract = self.index.contract_for(callee.qualname)
+        if contract is None or not contract.validates:
+            return
+        domains = contract.param_map
+        if isinstance(target, ast.Tuple):
+            names = [
+                e.id if isinstance(e, ast.Name) else None for e in target.elts
+            ]
+            for validated, name in zip(contract.validates, names):
+                if name is not None and validated in domains:
+                    self.env[name] = domains[validated]
+        elif isinstance(target, ast.Name) and len(contract.validates) == 1:
+            validated = contract.validates[0]
+            if validated in domains:
+                self.env[target.id] = domains[validated]
+
+    def _check_domain_write(
+        self, name: str, interval: Optional[Interval], line: int
+    ) -> None:
+        if interval is None:
+            return
+        domain = _name_domain(name)
+        if domain is None:
+            return
+        if not interval.within(domain):
+            self.domain_writes.append((line, name, interval, domain))
+
+    def _if_statement(self, stmt: ast.If) -> None:
+        before = dict(self.env)
+        body_env = dict(before)
+        _merge_constraints_into_env(body_env, _constraints_true(stmt.test))
+        self.env.clear()
+        self.env.update(body_env)
+        self._walk(stmt.body)
+        body_after = dict(self.env)
+        orelse_env = dict(before)
+        _merge_constraints_into_env(orelse_env, _constraints_false(stmt.test))
+        self.env.clear()
+        self.env.update(orelse_env)
+        self._walk(stmt.orelse)
+        orelse_after = dict(self.env)
+
+        body_done = _block_terminates(stmt.body)
+        orelse_done = bool(stmt.orelse) and _block_terminates(stmt.orelse)
+        self.env.clear()
+        if body_done and not orelse_done:
+            self.env.update(orelse_after)
+        elif orelse_done and not body_done:
+            self.env.update(body_after)
+        elif body_done and orelse_done:
+            self.env.update(before)
+        else:
+            self.env.update(_join_envs(body_after, orelse_after))
+
+    def _loop(self, stmt: ast.stmt) -> None:
+        assigned = _assigned_names(stmt)
+        for name in assigned:
+            self.env.pop(name, None)
+        before = dict(self.env)
+        self._walk(stmt.body)  # type: ignore[attr-defined]
+        orelse = getattr(stmt, "orelse", [])
+        if orelse:
+            self._walk(orelse)
+        # Loop may run zero times: anything it assigned is unknown after.
+        self.env.clear()
+        self.env.update(before)
+
+    def _try(self, stmt: ast.Try) -> None:
+        assigned = _assigned_names(stmt)
+        before = {k: v for k, v in self.env.items() if k not in assigned}
+        self._walk(stmt.body)
+        for handler in stmt.handlers:
+            self.env.clear()
+            self.env.update(before)
+            self._walk(handler.body)
+        self.env.clear()
+        self.env.update(before)
+        self._walk(stmt.finalbody)
+
+
+def _join_envs(
+    a: Dict[str, Interval], b: Dict[str, Interval]
+) -> Dict[str, Interval]:
+    out: Dict[str, Interval] = {}
+    for name in set(a) & set(b):
+        out[name] = a[name].hull(b[name])
+    return out
+
+
+def _merge_constraints_into_env(
+    env: Dict[str, Interval], constraints: Dict[str, Interval]
+) -> None:
+    for name, bound in constraints.items():
+        existing = env.get(name)
+        if existing is None:
+            env[name] = bound
+        else:
+            met = existing.meet(bound)
+            if met is not None:
+                env[name] = met
+
+
+def _name_domain(name: str) -> Optional[Interval]:
+    for word in name.lower().split("_"):
+        domain = NAME_DOMAINS.get(word)
+        if domain is None and word.endswith("s"):
+            domain = NAME_DOMAINS.get(word[:-1])
+        if domain is not None:
+            return domain
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Rules
+# ---------------------------------------------------------------------------
+
+
+@register
+class OutOfDomainArgument(Rule):
+    """DI01: a call site passes a provably out-of-domain argument."""
+
+    id = "DI01"
+    name = "out-of-domain argument"
+    rationale = (
+        "Contracted parameters (trust, probabilities, evidence counts) "
+        "must receive values inside their declared domain; a provably "
+        "out-of-domain argument is a bug at the call site."
+    )
+    scope = "cone"
+
+    def run(self, project: ProjectModel, files: List[SourceFile]) -> Iterator[Finding]:
+        index = get_contract_index(project, files)
+        emit = {file.relpath for file in files}
+        by_relpath = {file.relpath: file for file in files}
+        for fn in project.functions.values():
+            if fn.file.relpath not in emit:
+                continue
+            flow = FunctionFlow(fn, index, by_relpath)
+            # Entry-env argument evaluation is only sound for names the
+            # function never rebinds.
+            for name in _assigned_names(fn.node):
+                flow.env.pop(name, None)
+            for node in ast.walk(fn.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                target = flow.resolve_call(node)
+                if target is None:
+                    continue
+                contract = index.contract_for(target.qualname)
+                if contract is None or not contract.params:
+                    continue
+                for param, arg in _bind_arguments(target, node):
+                    domain = contract.param_map.get(param)
+                    if domain is None:
+                        continue
+                    interval = flow.evaluator.eval(arg)
+                    if interval is not None and not interval.within(domain):
+                        yield self.finding(
+                            fn.file,
+                            arg.lineno,
+                            f"call to {target.qualname}: argument "
+                            f"{param!r} is {interval}, outside its "
+                            f"contracted domain {domain}",
+                        )
+
+
+def _bind_arguments(
+    target: FunctionModel, call: ast.Call
+) -> List[Tuple[str, ast.expr]]:
+    """(param name, argument expression) pairs for a call site."""
+    params = [a.arg for a in target.node.args.args]
+    if params and params[0] in ("self", "cls"):
+        # Bound-method calls don't pass the receiver positionally; plain
+        # function-style calls (Class.method(obj, ...)) are rare enough
+        # to skip rather than misbind.
+        if isinstance(call.func, ast.Attribute):
+            params = params[1:]
+        else:
+            return []
+    out: List[Tuple[str, ast.expr]] = []
+    for param, arg in zip(params, call.args):
+        if isinstance(arg, ast.Starred):
+            break
+        out.append((param, arg))
+    for keyword in call.keywords:
+        if keyword.arg is not None:
+            out.append((keyword.arg, keyword.value))
+    return out
+
+
+@register
+class OutOfDomainReturn(Rule):
+    """DI02: provably out-of-domain return or domain-named write."""
+
+    id = "DI02"
+    name = "out-of-domain value"
+    rationale = (
+        "A contracted function must return values inside its declared "
+        "domain, and trust/suspicion-named state must stay inside the "
+        "canonical domain for that quantity."
+    )
+    scope = "cone"
+
+    def run(self, project: ProjectModel, files: List[SourceFile]) -> Iterator[Finding]:
+        index = get_contract_index(project, files)
+        emit = {file.relpath for file in files}
+        by_relpath = {file.relpath: file for file in files}
+        for fn in project.functions.values():
+            if fn.file.relpath not in emit:
+                continue
+            flow = FunctionFlow(fn, index, by_relpath)
+            flow.run()
+            contract = flow.contract
+            if contract is not None and contract.returns is not None:
+                for line, interval in flow.returns:
+                    if not interval.within(contract.returns):
+                        yield self.finding(
+                            fn.file,
+                            line,
+                            f"{fn.qualname} returns {interval}, outside "
+                            f"its contracted domain {contract.returns}",
+                        )
+            for line, name, interval, domain in flow.domain_writes:
+                yield self.finding(
+                    fn.file,
+                    line,
+                    f"{name!r} is assigned {interval}, outside the "
+                    f"canonical domain {domain} for that quantity",
+                )
+
+
+@register
+class UnguardedDomainParameter(Rule):
+    """DI03: contracted parameter used without any boundary guard."""
+
+    id = "DI03"
+    name = "unguarded domain parameter"
+    rationale = (
+        "Functions with contracted parameters are domain boundaries: "
+        "they must validate (raise), clamp (np.clip/min/max), or "
+        "delegate to a registered validator before using the value."
+    )
+    scope = "cone"
+
+    def run(self, project: ProjectModel, files: List[SourceFile]) -> Iterator[Finding]:
+        index = get_contract_index(project, files)
+        emit = {file.relpath for file in files}
+        for fn in project.functions.values():
+            if fn.file.relpath not in emit:
+                continue
+            if fn.node.name.startswith("_"):
+                continue
+            contract = index.contract_for(fn.qualname)
+            if contract is None:
+                continue
+            domains = _contracted_params(fn, contract)
+            if not domains:
+                continue
+            flow = FunctionFlow(fn, index, {})
+            guarded = _guarded_params(fn, flow, index)
+            for param in sorted(domains):
+                if param in guarded:
+                    continue
+                if not _param_used(fn, param):
+                    continue
+                yield self.finding(
+                    fn.file,
+                    fn.node.lineno,
+                    f"{fn.qualname} uses parameter {param!r} (domain "
+                    f"{domains[param]}) without a boundary guard, clamp, "
+                    f"or validator call",
+                )
+
+
+def _is_guard_if(node: ast.If) -> bool:
+    """An ``if`` that raises on a numeric boundary violation."""
+    raises = any(isinstance(child, ast.Raise) for child in ast.walk(node))
+    if not raises:
+        return False
+    for child in ast.walk(node.test):
+        if isinstance(child, ast.Compare):
+            ops_ok = all(
+                isinstance(op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE))
+                for op in child.ops
+            )
+            operands = [child.left] + list(child.comparators)
+            if ops_ok and any(_numeric_const(o) is not None for o in operands):
+                return True
+    return False
+
+
+_CLAMP_CALLS = {"np.clip", "min", "max", "np.minimum", "np.maximum"}
+
+
+def _guarded_params(
+    fn: FunctionModel, flow: FunctionFlow, index: ContractIndex
+) -> Set[str]:
+    from repro.devtools.analysis.intervals import _callable_name
+
+    params = {a.arg for a in fn.node.args.args + fn.node.args.kwonlyargs}
+    guarded: Set[str] = set()
+    # Single-source aliases: ``recs = np.asarray(param, ...)`` makes a
+    # guard on ``recs`` cover ``param``.
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(fn.node):
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+        ):
+            sources = {
+                child.id
+                for child in ast.walk(node.value)
+                if isinstance(child, ast.Name)
+            } & params
+            if len(sources) == 1:
+                aliases[node.targets[0].id] = next(iter(sources))
+
+    def _covers(names: Set[str]) -> Set[str]:
+        return {aliases.get(n, n) for n in names} & params
+
+    # (a) a top-level statement containing a boundary guard covers every
+    # parameter it mentions (handles loop-based validators).
+    for stmt in fn.node.body:
+        has_guard = any(
+            isinstance(child, ast.If) and _is_guard_if(child)
+            for child in ast.walk(stmt)
+        )
+        if not has_guard:
+            continue
+        mentioned = {
+            child.id
+            for child in ast.walk(stmt)
+            if isinstance(child, ast.Name)
+        }
+        guarded |= _covers(mentioned)
+    def _clamp_operands(call: ast.Call) -> Set[str]:
+        # Names fed to a clamp, through nesting: ``min(max(x, 0), 1)``.
+        if _callable_name(call.func) not in _CLAMP_CALLS:
+            return set()
+        names: Set[str] = set()
+        for arg in call.args:
+            if isinstance(arg, ast.Name):
+                names.add(arg.id)
+            elif isinstance(arg, ast.Call):
+                names |= _clamp_operands(arg)
+        return names
+
+    for node in ast.walk(fn.node):
+        # (b) reassignment through a clamp: ``x = np.clip(x, ...)``.
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            clamped = _clamp_operands(node.value)
+            if clamped:
+                for target in node.targets:
+                    guarded |= _covers(_target_names(target) & clamped)
+        # (c) passed whole to a registered validator at a validated slot.
+        if isinstance(node, ast.Call):
+            target_fn = flow.resolve_call(node)
+            if target_fn is None:
+                continue
+            contract = index.contract_for(target_fn.qualname)
+            if contract is None or not contract.validates:
+                continue
+            for param, arg in _bind_arguments(target_fn, node):
+                if (
+                    param in contract.validates
+                    and isinstance(arg, ast.Name)
+                    and arg.id in params
+                ):
+                    guarded.add(arg.id)
+    return guarded
+
+
+def _param_used(fn: FunctionModel, param: str) -> bool:
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.Name) and node.id == param and isinstance(
+            node.ctx, ast.Load
+        ):
+            return True
+    return False

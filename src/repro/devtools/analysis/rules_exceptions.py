@@ -1,0 +1,383 @@
+"""EX: interprocedural exception-escape rules.
+
+The service promises structured error responses and the CLIs promise
+clean exit codes, so exceptions must not leak raw through either
+boundary.  These rules compute, for every project function, the set of
+exception types that can *escape* it -- direct ``raise`` statements
+minus lexically enclosing ``try``/``except`` coverage, plus whatever
+escapes resolvable callees and is not caught at the call site -- via a
+fixpoint over the call graph.
+
+* **EX01** -- an HTTP ``do_*`` handler method lets an exception escape
+  (anything but ``KeyboardInterrupt``/``SystemExit``); escapes turn
+  into socket-level 500s with no JSON body.
+* **EX02** -- a CLI ``main`` lets anything but
+  ``SystemExit``/``KeyboardInterrupt`` escape, producing a traceback
+  instead of an exit code.
+
+Soundness note (documented in docs/LINT.md): calls the resolver cannot
+map to a project function -- stdlib, numpy, dynamic dispatch -- are
+assumed non-raising, so the analysis under-approximates.  ``raise``
+of a non-class expression is tracked as ``<unknown>`` and is caught
+only by ``except Exception``/``BaseException`` handlers.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.devtools.analysis.model import AnalysisModel, get_analysis
+from repro.devtools.core import Finding, Rule, SourceFile, register
+from repro.devtools.project import FunctionModel, ProjectModel
+
+__all__ = ["escape_sets"]
+
+_UNKNOWN = "<unknown>"
+
+#: Builtin exception -> parent class, enough of the stdlib hierarchy to
+#: decide whether an ``except`` clause covers a raised type.
+_BUILTIN_PARENTS: Dict[str, str] = {
+    "Exception": "BaseException",
+    "KeyboardInterrupt": "BaseException",
+    "SystemExit": "BaseException",
+    "GeneratorExit": "BaseException",
+    "ArithmeticError": "Exception",
+    "ZeroDivisionError": "ArithmeticError",
+    "OverflowError": "ArithmeticError",
+    "FloatingPointError": "ArithmeticError",
+    "AssertionError": "Exception",
+    "AttributeError": "Exception",
+    "BufferError": "Exception",
+    "EOFError": "Exception",
+    "ImportError": "Exception",
+    "ModuleNotFoundError": "ImportError",
+    "LookupError": "Exception",
+    "IndexError": "LookupError",
+    "KeyError": "LookupError",
+    "MemoryError": "Exception",
+    "NameError": "Exception",
+    "OSError": "Exception",
+    "IOError": "OSError",
+    "FileNotFoundError": "OSError",
+    "PermissionError": "OSError",
+    "TimeoutError": "OSError",
+    "ConnectionError": "OSError",
+    "BrokenPipeError": "ConnectionError",
+    "ConnectionResetError": "ConnectionError",
+    "ReferenceError": "Exception",
+    "RuntimeError": "Exception",
+    "NotImplementedError": "RuntimeError",
+    "RecursionError": "RuntimeError",
+    "StopIteration": "Exception",
+    "StopAsyncIteration": "Exception",
+    "SyntaxError": "Exception",
+    "TypeError": "Exception",
+    "ValueError": "Exception",
+    "UnicodeError": "ValueError",
+    "UnicodeDecodeError": "UnicodeError",
+    "UnicodeEncodeError": "UnicodeError",
+    "JSONDecodeError": "ValueError",
+}
+
+
+class _Hierarchy:
+    """Subclass checks across project-defined and builtin exceptions."""
+
+    def __init__(self, project: ProjectModel) -> None:
+        self.project = project
+
+    def ancestors(self, name: str) -> Set[str]:
+        out: Set[str] = set()
+        queue = [name]
+        while queue:
+            current = queue.pop()
+            if current in out:
+                continue
+            out.add(current)
+            model = self.project.classes.get(current)
+            if model is not None:
+                queue.extend(model.bases)
+            parent = _BUILTIN_PARENTS.get(current)
+            if parent is not None:
+                queue.append(parent)
+        return out
+
+    def caught_by(self, raised: str, handler_types: Sequence[str]) -> bool:
+        if raised == _UNKNOWN:
+            return any(h in ("Exception", "BaseException") for h in handler_types)
+        lineage = self.ancestors(raised)
+        return any(h in lineage for h in handler_types)
+
+
+def _handler_types(handler: ast.ExceptHandler) -> List[str]:
+    if handler.type is None:
+        return ["BaseException"]
+    types = []
+    nodes = (
+        handler.type.elts
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    for node in nodes:
+        if isinstance(node, ast.Name):
+            types.append(node.id)
+        elif isinstance(node, ast.Attribute):
+            types.append(node.attr)
+        else:
+            types.append("BaseException")  # dynamic: assume it catches
+    return types
+
+
+def _raised_name(exc: Optional[ast.expr], project: ProjectModel) -> str:
+    if exc is None:
+        return _UNKNOWN  # bare re-raise handled separately
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    if isinstance(exc, ast.Name):
+        if exc.id in project.classes or exc.id in _BUILTIN_PARENTS:
+            return exc.id
+        return _UNKNOWN
+    if isinstance(exc, ast.Attribute):
+        return exc.attr
+    return _UNKNOWN
+
+
+class _EscapeCollector:
+    """Direct raises and call sites of one function, with the lexical
+    ``try`` coverage in force at each."""
+
+    def __init__(self, project: ProjectModel) -> None:
+        self.project = project
+        #: (exception name, frozen stack of handler-type lists)
+        self.raises: List[Tuple[str, Tuple[Tuple[str, ...], ...]]] = []
+        #: (call node, frozen stack of handler-type lists)
+        self.calls: List[Tuple[ast.Call, Tuple[Tuple[str, ...], ...]]] = []
+        self._try_stack: List[Tuple[str, ...]] = []
+        self._handler_stack: List[Tuple[str, ...]] = []
+
+    def visit(self, stmts: Sequence[ast.stmt]) -> None:
+        for stmt in stmts:
+            self._statement(stmt)
+
+    def _snapshot(self) -> Tuple[Tuple[str, ...], ...]:
+        return tuple(self._try_stack)
+
+    def _statement(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Try):
+            caught: List[str] = []
+            for handler in stmt.handlers:
+                caught.extend(_handler_types(handler))
+            self._try_stack.append(tuple(caught))
+            self.visit(stmt.body)
+            self._try_stack.pop()
+            for handler in stmt.handlers:
+                self._handler_stack.append(tuple(_handler_types(handler)))
+                self.visit(handler.body)
+                self._handler_stack.pop()
+            self.visit(stmt.orelse)
+            self.visit(stmt.finalbody)
+            return
+        if isinstance(stmt, ast.Raise):
+            snapshot = self._snapshot()
+            if stmt.exc is None:
+                # bare ``raise`` re-raises the handled exception types
+                if self._handler_stack:
+                    for name in self._handler_stack[-1]:
+                        self.raises.append((name, snapshot))
+                else:
+                    self.raises.append((_UNKNOWN, snapshot))
+            else:
+                self.raises.append(
+                    (_raised_name(stmt.exc, self.project), snapshot)
+                )
+            self._collect_calls(stmt)
+            return
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # nested definitions raise in their own frame
+        self._collect_calls_shallow(stmt)
+        for field in ("body", "orelse", "finalbody"):
+            children = getattr(stmt, field, None)
+            if children:
+                self.visit(children)
+
+    def _collect_calls_shallow(self, stmt: ast.stmt) -> None:
+        """Calls in this statement's expressions (not nested blocks)."""
+        blocks = set()
+        for field in ("body", "orelse", "finalbody"):
+            for child in getattr(stmt, field, []) or []:
+                blocks.update(id(n) for n in ast.walk(child))
+        snapshot = self._snapshot()
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call) and id(node) not in blocks:
+                self.calls.append((node, snapshot))
+
+    def _collect_calls(self, stmt: ast.stmt) -> None:
+        snapshot = self._snapshot()
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call):
+                self.calls.append((node, snapshot))
+
+
+def _dotted_source(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = _dotted_source(node.value)
+        return f"{base}.{node.attr}" if base is not None else None
+    return None
+
+
+class _SyntheticCall:
+    """Duck-typed :class:`CallEvent` for the shared resolver."""
+
+    __slots__ = ("callee", "func_src", "held", "line")
+
+    def __init__(self, func_src: str, line: int) -> None:
+        self.callee = None
+        self.func_src = func_src
+        self.held = ()
+        self.line = line
+
+
+def _call_targets(
+    fn: FunctionModel,
+    call: ast.Call,
+    project: ProjectModel,
+    analysis: AnalysisModel,
+    typer,
+) -> List[str]:
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        base = typer(func.value)
+        if base is not None:
+            method = project.method(base, func.attr)
+            return [method.qualname] if method is not None else []
+    src = _dotted_source(func)
+    if src is None:
+        return []
+    return analysis.resolve_call_targets(fn, _SyntheticCall(src, call.lineno))
+
+
+def escape_sets(
+    project: ProjectModel, files: Sequence[SourceFile]
+) -> Dict[str, Set[str]]:
+    """Escaping exception types per function qualname (fixpoint)."""
+    cached = getattr(project, "_escape_sets", None)
+    if cached is not None:
+        return cached
+    analysis = get_analysis(project, files)
+    hierarchy = _Hierarchy(project)
+    collected: Dict[str, _EscapeCollector] = {}
+    typers: Dict[str, object] = {}
+    for qualname, fn in project.functions.items():
+        collector = _EscapeCollector(project)
+        if not fn.is_generator:
+            collector.visit(fn.node.body)
+        collected[qualname] = collector
+        typers[qualname] = project.function_typer(fn)
+
+    escapes: Dict[str, Set[str]] = {q: set() for q in project.functions}
+    changed = True
+    while changed:
+        changed = False
+        for qualname, fn in project.functions.items():
+            collector = collected[qualname]
+            current: Set[str] = set()
+            for name, stack in collector.raises:
+                if not any(
+                    hierarchy.caught_by(name, frame) for frame in stack
+                ):
+                    current.add(name)
+            for call, stack in collector.calls:
+                for target in _call_targets(
+                    fn, call, project, analysis, typers[qualname]
+                ):
+                    for name in escapes.get(target, ()):
+                        if not any(
+                            hierarchy.caught_by(name, frame) for frame in stack
+                        ):
+                            current.add(name)
+            if current != escapes[qualname]:
+                escapes[qualname] = current
+                changed = True
+    project._escape_sets = escapes
+    return escapes
+
+
+def _is_http_handler_class(project: ProjectModel, class_name: str) -> bool:
+    return any(
+        "BaseHTTPRequestHandler" in model.bases or model.name == "BaseHTTPRequestHandler"
+        for model in project.mro(class_name)
+    )
+
+
+_BENIGN = {"KeyboardInterrupt", "SystemExit", "GeneratorExit"}
+
+
+@register
+class HandlerExceptionEscape(Rule):
+    """EX01: exception escapes an HTTP request handler method."""
+
+    id = "EX01"
+    name = "exception escapes HTTP handler"
+    rationale = (
+        "A do_* method that lets an exception escape drops the "
+        "connection with no JSON error body; handlers must map "
+        "ReproError to 4xx and everything else to a structured 500."
+    )
+    scope = "cone"
+
+    def run(self, project: ProjectModel, files: List[SourceFile]) -> Iterator[Finding]:
+        escapes = escape_sets(project, files)
+        emit = {file.relpath for file in files}
+        for qualname, fn in project.functions.items():
+            if fn.file.relpath not in emit or fn.class_name is None:
+                continue
+            if not fn.node.name.startswith("do_"):
+                continue
+            if not fn.node.name[3:].isupper():
+                continue
+            if not _is_http_handler_class(project, fn.class_name):
+                continue
+            leaking = sorted(escapes[qualname] - _BENIGN)
+            if leaking:
+                yield self.finding(
+                    fn.file,
+                    fn.node.lineno,
+                    f"{qualname} can let {', '.join(leaking)} escape; "
+                    "wrap the handler body and map ReproError to a 4xx "
+                    "JSON response and other exceptions to a 500",
+                )
+
+
+@register
+class CliExceptionEscape(Rule):
+    """EX02: exception escapes a CLI entry point."""
+
+    id = "EX02"
+    name = "exception escapes CLI entry point"
+    rationale = (
+        "A ``main`` that leaks exceptions prints a traceback instead "
+        "of an exit code; catch ReproError (and expected ValueErrors) "
+        "and translate them to sys.exit."
+    )
+    scope = "cone"
+
+    def run(self, project: ProjectModel, files: List[SourceFile]) -> Iterator[Finding]:
+        escapes = escape_sets(project, files)
+        emit = {file.relpath for file in files}
+        for qualname, fn in project.functions.items():
+            if fn.file.relpath not in emit or fn.class_name is not None:
+                continue
+            if fn.node.name != "main":
+                continue
+            leaking = sorted(escapes[qualname] - _BENIGN)
+            if leaking:
+                yield self.finding(
+                    fn.file,
+                    fn.node.lineno,
+                    f"{qualname} can let {', '.join(leaking)} escape to "
+                    "the interpreter; translate expected errors to "
+                    "sys.exit codes",
+                )

@@ -14,6 +14,7 @@ main ``repro`` CLI mount the same implementation.
 from __future__ import annotations
 
 import argparse
+import subprocess
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -80,14 +81,74 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="print the rule catalog and exit",
     )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat stale baseline entries as errors (exit 1)",
+    )
+    parser.add_argument(
+        "--changed",
+        action="store_true",
+        help="lint only files changed relative to git HEAD "
+        "(staged, unstaged, and untracked)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the incremental analysis cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache directory (default: .lint-cache under the project "
+        "root)",
+    )
 
 
 def _list_rules() -> str:
     lines = []
     for rule_id, rule_class in sorted(all_rules().items()):
-        lines.append(f"{rule_id}  {rule_class.name}")
+        lines.append(f"{rule_id}  {rule_class.name} [{rule_class.scope}]")
         lines.append(f"      {rule_class.rationale}")
     return "\n".join(lines)
+
+
+def _changed_files(root: Path) -> Optional[List[Path]]:
+    """Python files changed vs. HEAD (tracked) plus untracked ones.
+
+    Returns None when git is unavailable or ``root`` is not a work
+    tree -- the caller falls back to a usage error.
+    """
+    commands = (
+        ["git", "diff", "--name-only", "HEAD"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    )
+    names: List[str] = []
+    for command in commands:
+        try:
+            proc = subprocess.run(
+                command,
+                cwd=str(root),
+                capture_output=True,
+                text=True,
+                check=False,
+                timeout=30,
+            )
+        except (OSError, subprocess.TimeoutExpired):
+            return None
+        if proc.returncode != 0:
+            return None
+        names.extend(line.strip() for line in proc.stdout.splitlines())
+    out: List[Path] = []
+    seen = set()
+    for name in names:
+        if not name or not name.endswith(".py") or name in seen:
+            continue
+        seen.add(name)
+        path = root / name
+        if path.is_file():
+            out.append(path)
+    return sorted(out)
 
 
 def run_from_args(args: argparse.Namespace) -> int:
@@ -102,14 +163,28 @@ def run_from_args(args: argparse.Namespace) -> int:
         return 2
 
     paths: List[Path] = []
-    for raw in args.paths:
-        path = Path(raw)
-        if not path.is_absolute():
-            path = root / path
-        if not path.exists():
-            print(f"error: no such path: {raw}", file=sys.stderr)
+    if args.changed:
+        changed = _changed_files(root)
+        if changed is None:
+            print(
+                "error: --changed requires git and a work tree at the "
+                "project root",
+                file=sys.stderr,
+            )
             return 2
-        paths.append(path)
+        if not changed:
+            print("no changed python files; nothing to lint")
+            return 0
+        paths = changed
+    else:
+        for raw in args.paths:
+            path = Path(raw)
+            if not path.is_absolute():
+                path = root / path
+            if not path.exists():
+                print(f"error: no such path: {raw}", file=sys.stderr)
+                return 2
+            paths.append(path)
 
     baseline_path: Optional[Path] = None
     if not args.no_baseline:
@@ -121,6 +196,12 @@ def run_from_args(args: argparse.Namespace) -> int:
     if args.select:
         select = {part.strip() for part in args.select.split(",") if part.strip()}
 
+    cache_dir: Optional[Path] = None
+    if args.cache_dir:
+        cache_dir = Path(args.cache_dir)
+        if not cache_dir.is_absolute():
+            cache_dir = root / cache_dir
+
     try:
         result = run_lint(
             paths=paths,
@@ -128,6 +209,8 @@ def run_from_args(args: argparse.Namespace) -> int:
             baseline_path=None if args.update_baseline else baseline_path,
             select=select,
             show_all=args.show_all,
+            use_cache=not args.no_cache,
+            cache_dir=cache_dir,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -138,7 +221,11 @@ def run_from_args(args: argparse.Namespace) -> int:
             print("error: --update-baseline requires a baseline path",
                   file=sys.stderr)
             return 2
-        old = Baseline.load(baseline_path)
+        try:
+            old = Baseline.load(baseline_path)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         reasons = {entry.key(): entry.reason for entry in old.entries}
         fresh = Baseline.from_findings(result.findings)
         for i, entry in enumerate(fresh.entries):
@@ -159,19 +246,32 @@ def run_from_args(args: argparse.Namespace) -> int:
 
     report = format_json(result) if args.format == "json" else format_human(result)
     print(report)
-    return 0 if result.ok else 1
+    if not result.ok:
+        return 1
+    if args.strict and result.stale_baseline:
+        print(
+            f"error: {len(result.stale_baseline)} stale baseline "
+            "entr(y/ies) under --strict; run --update-baseline",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-lint",
         description="Static analysis for the repro codebase "
-        "(concurrency, numeric hygiene, API drift, structure).",
+        "(concurrency, numeric hygiene, API drift, structure, domain "
+        "invariants, architecture, exception flow, dead exports).",
     )
     configure_parser(parser)
     try:
         args = parser.parse_args(argv)
         return run_from_args(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     except KeyboardInterrupt:
         return 2
 

@@ -2,9 +2,9 @@
 
 The pieces every rule shares:
 
-* :class:`SourceFile` -- one parsed module.  Parsing is cached on
-  ``(path, mtime, size)`` so repeated runs (and the many rules of one
-  run) never re-parse an unchanged file.
+* :class:`SourceFile` -- one parsed module.  The runner parses each
+  file once per run from content it already hashed for the incremental
+  cache, so the many rules of one run share a single AST per file.
 * Inline suppressions -- a ``# repro: lint-disable[CC02]`` comment
   suppresses the listed rules on its own line; when the comment stands
   alone it suppresses the *next* code line; on a ``def``/``class``
@@ -21,15 +21,13 @@ import ast
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Type
+from typing import Dict, Iterator, List, Set, Type
 
 __all__ = [
     "Finding",
-    "LintConfig",
     "Rule",
     "SourceFile",
     "all_rules",
-    "load_source_file",
     "register",
 ]
 
@@ -123,45 +121,6 @@ class SourceFile:
         return ""
 
 
-_PARSE_CACHE: Dict[Path, Tuple[float, int, SourceFile]] = {}
-
-
-def load_source_file(path: Path, project_root: Path) -> SourceFile:
-    """Parse one file, reusing the cache when size and mtime match."""
-    path = path.resolve()
-    stat = path.stat()
-    cached = _PARSE_CACHE.get(path)
-    if cached is not None and cached[0] == stat.st_mtime and cached[1] == stat.st_size:
-        return cached[2]
-    text = path.read_text(encoding="utf-8")
-    tree = ast.parse(text, filename=str(path))
-    try:
-        relpath = path.relative_to(project_root.resolve()).as_posix()
-    except ValueError:
-        relpath = path.as_posix()
-    source = SourceFile(path, relpath, text, tree)
-    _PARSE_CACHE[path] = (stat.st_mtime, stat.st_size, source)
-    return source
-
-
-@dataclass
-class LintConfig:
-    """One lint run's inputs.
-
-    Attributes:
-        paths: files or directories to scan.
-        project_root: repository root (baselines and the API-drift
-            rule's target files are resolved against it).
-        baseline_path: baseline file, or None to skip baselining.
-        select: restrict the run to these rule ids (None = all).
-    """
-
-    paths: List[Path]
-    project_root: Path
-    baseline_path: Optional[Path] = None
-    select: Optional[Set[str]] = None
-
-
 class Rule:
     """Base class: one named check over the whole project.
 
@@ -169,14 +128,33 @@ class Rule:
     :meth:`run`, yielding findings.  Registration happens via the
     :func:`register` decorator; the runner instantiates each rule once
     per lint run.
+
+    ``scope`` tells the incremental cache how findings depend on the
+    tree, so it can skip re-running rules over unchanged files:
+
+    * ``"file"`` -- findings for a file depend on that file alone;
+    * ``"cone"`` -- findings for a file depend on the file plus its
+      transitive imports (the rule only *emits* for files it receives
+      in ``files``, while reading the whole project model);
+    * ``"global"`` -- findings may depend on anything, including files
+      outside the lint set; any change reruns the rule everywhere.
+
+    Rules whose output also depends on non-linted files (docs, tests)
+    declare them via :meth:`external_inputs`; the cache hashes those
+    too.
     """
 
     id: str = ""
     name: str = ""
     rationale: str = ""
+    scope: str = "global"
 
     def run(self, project: "object", files: List[SourceFile]) -> Iterator[Finding]:
         raise NotImplementedError
+
+    def external_inputs(self, project_root: Path) -> List[Path]:
+        """Non-linted files whose contents influence this rule."""
+        return []
 
     def finding(self, file: SourceFile, line: int, message: str) -> Finding:
         return Finding(
@@ -209,6 +187,12 @@ def all_rules() -> Dict[str, Type[Rule]]:
         rules_concurrency,
         rules_numeric,
         rules_structure,
+    )
+    from repro.devtools.analysis import (  # noqa: F401
+        rules_arch,
+        rules_deadcode,
+        rules_domain,
+        rules_exceptions,
     )
 
     return dict(_REGISTRY)

@@ -395,6 +395,14 @@ class ProjectModel:
                 return fn
         return None
 
+    def function_typer(self, fn: FunctionModel):
+        """A callable mapping expression nodes inside ``fn`` to class
+        names, using the same local-type inference as the concurrency
+        analysis (parameter annotations, constructor assignments,
+        attribute types).  Returns None for untypable expressions."""
+        analyzer = _FunctionAnalyzer(self, fn)
+        return analyzer._expr_type
+
     # -- closures ---------------------------------------------------------
 
     def _close_acquires(self) -> None:

@@ -17,8 +17,6 @@ from typing import Dict, Iterator, List, Optional, Tuple
 from repro.devtools.core import Finding, Rule, SourceFile, register
 from repro.devtools.project import ProjectModel
 
-__all__ = ["ApiDriftRule"]
-
 # (project-root-relative target, what a miss means)
 _TARGETS = (
     ("tests/test_api_surface.py", "is not covered by"),
@@ -58,6 +56,14 @@ class ApiDriftRule(Rule):
         "test and the API guide; otherwise exports drift from what is "
         "tested and documented."
     )
+    scope = "global"
+
+    def external_inputs(self, project_root: Path) -> List[Path]:
+        return [
+            project_root / relpath
+            for relpath, _ in _TARGETS
+            if (project_root / relpath).is_file()
+        ]
 
     def run(self, project: ProjectModel, files: List[SourceFile]) -> Iterator[Finding]:
         targets: Dict[str, str] = {}

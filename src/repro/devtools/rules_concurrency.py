@@ -31,8 +31,6 @@ from typing import Dict, Iterator, List, Optional, Set, Tuple
 from repro.devtools.core import Finding, Rule, SourceFile, register
 from repro.devtools.project import FunctionModel, LockNode, ProjectModel
 
-__all__ = ["LockOrderRule", "BlockingUnderLockRule", "GuardedByRule"]
-
 # Method-name prefixes treated as mutations for CC03's call clause.
 MUTATOR_PREFIXES = (
     "add", "append", "apply", "clear", "dec", "discard", "drain", "extend",

@@ -20,8 +20,6 @@ from typing import Iterator, List, Optional, Set
 from repro.devtools.core import Finding, Rule, SourceFile, register
 from repro.devtools.project import ProjectModel
 
-__all__ = ["FloatEqualityRule", "UnseededRandomRule", "SilentExceptRule"]
-
 _SENSITIVE_WORDS = {
     "trust", "trusts", "suspicion", "suspicious", "susp",
     "error", "err", "errors", "residual",
@@ -68,6 +66,7 @@ def _is_exact_literal(node: ast.AST) -> bool:
 @register
 class FloatEqualityRule(Rule):
     id = "NH01"
+    scope = "file"
     name = "float-equality-on-trust-values"
     rationale = (
         "Trust/suspicion/model-error floats are order-of-accumulation "
@@ -120,6 +119,7 @@ class FloatEqualityRule(Rule):
 @register
 class UnseededRandomRule(Rule):
     id = "NH02"
+    scope = "file"
     name = "unseeded-randomness-in-experiments"
     rationale = (
         "Experiment results are published numbers (EXPERIMENTS.md); all "
@@ -182,6 +182,7 @@ class UnseededRandomRule(Rule):
 @register
 class SilentExceptRule(Rule):
     id = "NH03"
+    scope = "file"
     name = "silent-exception-swallow"
     rationale = (
         "`except Exception: pass` hides numeric corruption (NaNs, failed "

@@ -9,8 +9,6 @@ from typing import Iterator, List
 from repro.devtools.core import Finding, Rule, SourceFile, register
 from repro.devtools.project import ProjectModel
 
-__all__ = ["MutableDefaultRule", "PrintInLibraryRule"]
-
 _MUTABLE_NODES = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
 _MUTABLE_CALLS = {"list", "dict", "set", "defaultdict", "deque", "Counter", "OrderedDict"}
 _PRINT_OK_BASENAMES = {"cli.py", "reporting.py", "__main__.py"}
@@ -31,6 +29,7 @@ def _is_mutable_default(node: ast.expr) -> bool:
 @register
 class MutableDefaultRule(Rule):
     id = "ST01"
+    scope = "file"
     name = "mutable-default-argument"
     rationale = (
         "A mutable default is evaluated once and shared across every "
@@ -59,6 +58,7 @@ class MutableDefaultRule(Rule):
 @register
 class PrintInLibraryRule(Rule):
     id = "ST02"
+    scope = "file"
     name = "print-in-library-code"
     rationale = (
         "Library modules must not write to stdout; callers own the "

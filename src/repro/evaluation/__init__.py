@@ -8,7 +8,6 @@ from repro.evaluation.detection import (
     interval_detected,
     rater_detection,
     rating_detection,
-    report_rating_detection,
     window_confusion,
 )
 from repro.evaluation.montecarlo import MonteCarloResult, Summary, monte_carlo, summarize
@@ -30,7 +29,6 @@ __all__ = [
     "interval_detected",
     "rater_detection",
     "rating_detection",
-    "report_rating_detection",
     "window_confusion",
     "MonteCarloResult",
     "Summary",

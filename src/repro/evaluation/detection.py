@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, Mapping, Sequence, Set
 
-from repro.detectors.base import SuspicionReport, WindowVerdict
+from repro.detectors.base import WindowVerdict
 from repro.ratings.models import RaterClass
 from repro.ratings.stream import RatingStream
 
@@ -123,11 +123,6 @@ def rating_detection(
         else:
             tn += 1
     return ConfusionCounts(tp, fp, tn, fn)
-
-
-def report_rating_detection(report: SuspicionReport) -> ConfusionCounts:
-    """Convenience: grade a detector report on its own stream's labels."""
-    return rating_detection(report.stream, report.flagged_rating_ids)
 
 
 @dataclass(frozen=True)

@@ -108,6 +108,9 @@ def multipath(
         raise ConfigurationError(
             f"need parallel sequences, got {recs.shape} and {remotes.shape}"
         )
+    for name, arr in (("recommendation_trusts", recs), ("remote_trusts", remotes)):
+        if arr.size and (float(np.min(arr)) < -1.0 or float(np.max(arr)) > 1.0):
+            raise ConfigurationError(f"{name} values must lie in [-1, 1]")
     weights = np.clip(recs, 0.0, None)
     total = float(np.sum(weights))
     if total <= 0.0:

@@ -35,6 +35,7 @@ PUBLIC_MODULES = [
     "repro.reporting",
     "repro.service",
     "repro.devtools",
+    "repro.devtools.analysis",
 ]
 
 
@@ -234,12 +235,21 @@ EXPECTED_EXPORTS = {
         "Baseline",
         "BaselineEntry",
         "Finding",
-        "LintConfig",
         "LintResult",
         "Rule",
         "SourceFile",
         "all_rules",
         "run_lint",
+    ],
+    "repro.devtools.analysis": [
+        "AnalysisCache",
+        "AnalysisModel",
+        "ContractRegistry",
+        "FunctionContract",
+        "Interval",
+        "ModuleInfo",
+        "default_registry",
+        "get_analysis",
     ],
     "repro.evaluation": [
         "AggregationErrors",
@@ -258,7 +268,6 @@ EXPECTED_EXPORTS = {
         "operating_point",
         "rater_detection",
         "rating_detection",
-        "report_rating_detection",
         "roc_from_scores",
         "sparkline",
         "summarize",

@@ -1,0 +1,960 @@
+"""Tests for the whole-program analysis engine (repro.devtools.analysis).
+
+Covers the interval domain and contract registry, the four new rule
+families (DI domain invariants, AR architecture, EX exception flow,
+DX dead exports), the incremental content-hash cache, the new CLI
+modes (``--strict``, ``--changed``), and the runtime domain-boundary
+fixes the DI rules surfaced in ``repro.aggregation`` and
+``repro.trust``.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import shutil
+import subprocess
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.devtools.analysis.contracts import (
+    NAME_DOMAINS,
+    default_registry,
+    parse_interval,
+)
+from repro.devtools.analysis.intervals import (
+    Evaluator,
+    Interval,
+    NON_NEGATIVE,
+    OPEN_UNIT,
+    SYMMETRIC_UNIT,
+    UNIT,
+    fraction_interval,
+    point,
+)
+from repro.devtools.analysis.rules_arch import LAYERS, subpackage_layer
+from repro.devtools.cli import main as lint_main
+from repro.devtools.runner import run_lint
+from repro.errors import ConfigurationError, EmptyWindowError
+
+PROJECT_ROOT = Path(__file__).resolve().parents[1]
+
+
+def write(root: Path, relpath: str, text: str) -> Path:
+    path = root / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text)
+    return path
+
+
+def lint(root: Path, select=None, **kwargs):
+    return run_lint([root], project_root=root, select=select, **kwargs)
+
+
+def rules_of(result):
+    return sorted({f.rule for f in result.active_findings()})
+
+
+# ---------------------------------------------------------------------------
+# Interval domain
+# ---------------------------------------------------------------------------
+
+
+class TestIntervals:
+    def test_parse_interval_notation(self):
+        assert parse_interval("(0, 1)") == OPEN_UNIT
+        assert parse_interval("[0, 1]") == UNIT
+        assert parse_interval("[-1, 1]") == SYMMETRIC_UNIT
+        assert parse_interval("[0, inf)") == NON_NEGATIVE
+
+    @pytest.mark.parametrize("bad", ["", "0, 1", "(0;1)", "{0, 1}", "(1)"])
+    def test_parse_interval_rejects_garbage(self, bad):
+        with pytest.raises(ValueError):
+            parse_interval(bad)
+
+    def test_open_endpoints_are_strict(self):
+        assert UNIT.contains_value(0.0)
+        assert not OPEN_UNIT.contains_value(0.0)
+        assert not OPEN_UNIT.contains_value(1.0)
+        assert OPEN_UNIT.contains_value(0.5)
+        assert OPEN_UNIT.within(UNIT)
+        assert not UNIT.within(OPEN_UNIT)
+
+    def test_meet_and_hull(self):
+        assert UNIT.meet(Interval(2.0, 3.0)) is None
+        met = UNIT.meet(Interval(0.5, 2.0))
+        assert met == Interval(0.5, 1.0)
+        hull = point(0.0).hull(point(2.0))
+        assert hull == Interval(0.0, 2.0)
+
+    def test_fraction_lemma_proves_beta_trust_open_unit(self):
+        # (s + 1) / (s + f + 2) with s, f >= 0 lies strictly in (0, 1).
+        node = ast.parse("(s + 1.0) / (s + f + 2.0)", mode="eval").body
+        got = fraction_interval(
+            node.left, node.right, lambda _term: NON_NEGATIVE
+        )
+        assert got is not None
+        assert got.within(OPEN_UNIT)
+
+    def test_fraction_lemma_refuses_unmatched_terms(self):
+        # Numerator term `g` has no denominator partner: no conclusion.
+        node = ast.parse("(g + 1.0) / (s + 2.0)", mode="eval").body
+        assert (
+            fraction_interval(node.left, node.right, lambda _t: NON_NEGATIVE)
+            is None
+        )
+
+    def test_evaluator_convex_combination_refinement(self):
+        # Naive interval arithmetic gives a*x + (1-a)*y in [0, 2] for
+        # unit inputs; the convex-combination refinement keeps [0, 1].
+        ev = Evaluator({"a": UNIT, "x": UNIT, "y": UNIT})
+        node = ast.parse("a * x + (1.0 - a) * y", mode="eval").body
+        got = ev.eval(node)
+        assert got is not None
+        assert got.within(UNIT)
+
+    def test_evaluator_clip_and_abs(self):
+        ev = Evaluator({"x": Interval(-5.0, 5.0)})
+        clip = ast.parse("np.clip(x, 0.0, 1.0)", mode="eval").body
+        assert ev.eval(clip).within(UNIT)
+        absx = ast.parse("abs(x)", mode="eval").body
+        assert ev.eval(absx).within(Interval(0.0, 5.0))
+
+
+class TestContracts:
+    def test_seed_registry_covers_paper_invariants(self):
+        registry = default_registry()
+        beta = registry.functions["repro.trust.records.beta_trust"]
+        assert beta.returns == OPEN_UNIT
+        assert beta.param_map["successes"] == NON_NEGATIVE
+        ent = registry.functions["repro.trust.entropy_trust.entropy_trust"]
+        assert ent.returns == SYMMETRIC_UNIT
+        assert NAME_DOMAINS["trust"] == UNIT
+
+    def test_digest_is_stable_and_sensitive(self):
+        a, b = default_registry(), default_registry()
+        assert a.digest() == b.digest()
+        b.attributes["Fixture.attr"] = UNIT
+        assert a.digest() != b.digest()
+
+    def test_extend_from_module_parses_declarations(self):
+        registry = default_registry()
+        tree = ast.parse(
+            '__lint_contracts__ = {\n'
+            '    "poison": {"params": {"amount": "[0, 1]"},'
+            ' "returns": "(0, 1)", "validates": ["amount"]},\n'
+            '}\n'
+        )
+        registry.extend_from_module("pkg.mod", tree)
+        contract = registry.functions["pkg.mod.poison"]
+        assert contract.param_map["amount"] == UNIT
+        assert contract.returns == OPEN_UNIT
+        assert contract.validates == ("amount",)
+
+
+# ---------------------------------------------------------------------------
+# DI: domain invariants
+# ---------------------------------------------------------------------------
+
+
+class TestDomainRules:
+    def test_di01_flags_out_of_domain_argument(self, tmp_path):
+        write(
+            tmp_path,
+            "pkg/mod.py",
+            '"""Fixture."""\n\n'
+            "__lint_contracts__ = {\n"
+            '    "poison": {"params": {"amount": "[0, 1]"}},\n'
+            "}\n\n\n"
+            "def poison(amount):\n"
+            '    """Contracted sink."""\n'
+            "    return amount\n\n\n"
+            "def bad():\n"
+            '    """Passes an impossible amount."""\n'
+            "    return poison(2.0)\n\n\n"
+            "USES = (poison, bad)\n",
+        )
+        result = lint(tmp_path, select={"DI01"})
+        findings = result.active_findings()
+        assert len(findings) == 1
+        assert "amount" in findings[0].message
+        assert "poison" in findings[0].message
+        assert "outside its contracted domain [0, 1]" in findings[0].message
+
+    def test_di01_accepts_in_domain_argument(self, tmp_path):
+        write(
+            tmp_path,
+            "pkg/mod.py",
+            '"""Fixture."""\n\n'
+            "__lint_contracts__ = {\n"
+            '    "poison": {"params": {"amount": "[0, 1]"}},\n'
+            "}\n\n\n"
+            "def poison(amount):\n"
+            '    """Contracted sink."""\n'
+            "    return amount\n\n\n"
+            "def good():\n"
+            '    """Passes a legal amount."""\n'
+            "    return poison(0.5)\n\n\n"
+            "USES = (poison, good)\n",
+        )
+        assert lint(tmp_path, select={"DI01"}).active_findings() == []
+
+    def test_di02_flags_out_of_domain_return(self, tmp_path):
+        write(
+            tmp_path,
+            "pkg/mod.py",
+            '"""Fixture."""\n\n'
+            "__lint_contracts__ = {\n"
+            '    "grow": {"returns": "[0, 1]"},\n'
+            "}\n\n\n"
+            "def grow():\n"
+            '    """Returns out of its contracted domain."""\n'
+            "    return 1.5\n\n\n"
+            "USES = (grow,)\n",
+        )
+        findings = lint(tmp_path, select={"DI02"}).active_findings()
+        assert len(findings) == 1
+        assert "outside" in findings[0].message
+
+    def test_di02_flags_out_of_domain_trust_write(self, tmp_path):
+        write(
+            tmp_path,
+            "pkg/mod.py",
+            '"""Fixture."""\n\n\n'
+            "def promote():\n"
+            '    """Writes an impossible trust value."""\n'
+            "    trust = 1.5\n"
+            "    return trust\n\n\n"
+            "USES = (promote,)\n",
+        )
+        findings = lint(tmp_path, select={"DI02"}).active_findings()
+        assert len(findings) == 1
+        assert "'trust'" in findings[0].message
+        assert findings[0].line == 6
+
+    def test_di02_guard_refinement_accepts_clamped_write(self, tmp_path):
+        write(
+            tmp_path,
+            "pkg/mod.py",
+            '"""Fixture."""\n\n\n'
+            "def promote(raw):\n"
+            '    """Clamps before writing."""\n'
+            "    if raw < 0.0 or raw > 1.0:\n"
+            '        raise ValueError("raw out of range")\n'
+            "    trust = raw\n"
+            "    return trust\n\n\n"
+            "USES = (promote,)\n",
+        )
+        assert lint(tmp_path, select={"DI02"}).active_findings() == []
+
+    def test_di03_flags_unguarded_contracted_param(self, tmp_path):
+        write(
+            tmp_path,
+            "pkg/mod.py",
+            '"""Fixture."""\n\n'
+            "__lint_contracts__ = {\n"
+            '    "use": {"params": {"level": "[0, 1]"}},\n'
+            "}\n\n\n"
+            "def use(level):\n"
+            '    """Uses level without any guard."""\n'
+            "    return level * 2.0\n\n\n"
+            "USES = (use,)\n",
+        )
+        findings = lint(tmp_path, select={"DI03"}).active_findings()
+        assert len(findings) == 1
+        assert "'level'" in findings[0].message
+
+    def test_di03_accepts_boundary_guard(self, tmp_path):
+        write(
+            tmp_path,
+            "pkg/mod.py",
+            '"""Fixture."""\n\n'
+            "__lint_contracts__ = {\n"
+            '    "use": {"params": {"level": "[0, 1]"}},\n'
+            "}\n\n\n"
+            "def use(level):\n"
+            '    """Raises on a boundary violation first."""\n'
+            "    if level < 0.0 or level > 1.0:\n"
+            '        raise ValueError("level out of range")\n'
+            "    return level * 2.0\n\n\n"
+            "USES = (use,)\n",
+        )
+        assert lint(tmp_path, select={"DI03"}).active_findings() == []
+
+    def test_di03_accepts_guard_through_local_alias(self, tmp_path):
+        # Mirrors multipath(): the guard runs on the converted array,
+        # which is a single-source alias of the parameter.
+        write(
+            tmp_path,
+            "pkg/mod.py",
+            '"""Fixture."""\n\n'
+            "__lint_contracts__ = {\n"
+            '    "scale": {"params": {"xs": "[-1, 1]"}},\n'
+            "}\n\n\n"
+            "def scale(xs):\n"
+            '    """Guards via an alias and a negative literal bound."""\n'
+            "    arr = list(xs)\n"
+            "    if min(arr) < -1.0 or max(arr) > 1.0:\n"
+            '        raise ValueError("xs out of range")\n'
+            "    return arr\n\n\n"
+            "USES = (scale,)\n",
+        )
+        assert lint(tmp_path, select={"DI03"}).active_findings() == []
+
+    def test_di03_accepts_clamp_reassignment(self, tmp_path):
+        write(
+            tmp_path,
+            "pkg/mod.py",
+            '"""Fixture."""\n\n'
+            "__lint_contracts__ = {\n"
+            '    "use": {"params": {"level": "[0, 1]"}},\n'
+            "}\n\n\n"
+            "def use(level):\n"
+            '    """Clamps instead of raising."""\n'
+            "    level = min(max(level, 0.0), 1.0)\n"
+            "    return level * 2.0\n\n\n"
+            "USES = (use,)\n",
+        )
+        assert lint(tmp_path, select={"DI03"}).active_findings() == []
+
+    def test_di03_accepts_delegation_to_validator(self, tmp_path):
+        write(
+            tmp_path,
+            "pkg/mod.py",
+            '"""Fixture."""\n\n'
+            "__lint_contracts__ = {\n"
+            '    "check": {"params": {"x": "[0, 1]"}, "validates": ["x"]},\n'
+            '    "use": {"params": {"x": "[0, 1]"}},\n'
+            "}\n\n\n"
+            "def check(x):\n"
+            '    """Validator."""\n'
+            "    if x < 0.0 or x > 1.0:\n"
+            '        raise ValueError("x out of range")\n'
+            "    return x\n\n\n"
+            "def use(x):\n"
+            '    """Delegates the check."""\n'
+            "    x = check(x)\n"
+            "    return x * 0.5\n\n\n"
+            "USES = (check, use)\n",
+        )
+        assert lint(tmp_path, select={"DI03"}).active_findings() == []
+
+
+# ---------------------------------------------------------------------------
+# AR: architecture
+# ---------------------------------------------------------------------------
+
+
+class TestArchRules:
+    def test_layer_map_and_lookup(self):
+        assert subpackage_layer("repro.trust.records") == (2, "domain")
+        assert subpackage_layer("repro.service.http") == (4, "application")
+        assert subpackage_layer("repro") == (5, "interface")
+        assert subpackage_layer("numpy") is None
+        names = {name for _, name in LAYERS.values()}
+        assert names == {
+            "foundation",
+            "primitives",
+            "domain",
+            "composition",
+            "application",
+            "interface",
+        }
+
+    def test_ar01_flags_upward_import(self, tmp_path):
+        write(tmp_path, "src/repro/__init__.py", '"""Fixture root."""\n')
+        write(tmp_path, "src/repro/trust/__init__.py", '"""Fixture."""\n')
+        write(
+            tmp_path,
+            "src/repro/trust/uplink.py",
+            '"""Layer 2 reaching into layer 4."""\n\n'
+            "import repro.service.http\n",
+        )
+        findings = lint(tmp_path, select={"AR01"}).active_findings()
+        assert len(findings) == 1
+        assert "domain, layer 2" in findings[0].message
+        assert "application, layer 4" in findings[0].message
+
+    def test_ar01_allows_downward_and_external_imports(self, tmp_path):
+        write(tmp_path, "src/repro/__init__.py", '"""Fixture root."""\n')
+        write(
+            tmp_path,
+            "src/repro/trust/good.py",
+            '"""Layer 2 importing down and out."""\n\n'
+            "import json\n"
+            "import repro.errors\n"
+            "from repro.signal import windows\n",
+        )
+        assert lint(tmp_path, select={"AR01"}).active_findings() == []
+
+    def test_ar01_fences_devtools_both_ways(self, tmp_path):
+        write(tmp_path, "src/repro/__init__.py", '"""Fixture root."""\n')
+        write(
+            tmp_path,
+            "src/repro/trust/leak.py",
+            '"""Runtime module importing the linter."""\n\n'
+            "from repro.devtools import run_lint\n",
+        )
+        write(
+            tmp_path,
+            "src/repro/devtools/leak.py",
+            '"""Linter importing runtime code."""\n\n'
+            "from repro.trust import records\n",
+        )
+        findings = lint(tmp_path, select={"AR01"}).active_findings()
+        messages = " | ".join(f.message for f in findings)
+        assert len(findings) == 2
+        assert "only the interface layer" in messages
+        assert "linter must not depend" in messages
+
+    def test_ar02_flags_top_level_cycle(self, tmp_path):
+        write(
+            tmp_path,
+            "pkgc/x.py",
+            '"""Cycle member."""\n\nimport pkgc.y\n',
+        )
+        write(
+            tmp_path,
+            "pkgc/y.py",
+            '"""Cycle member."""\n\nimport pkgc.x\n',
+        )
+        findings = lint(tmp_path, select={"AR02"}).active_findings()
+        assert len(findings) == 2
+        assert all("import cycle" in f.message for f in findings)
+        assert {f.path for f in findings} == {"pkgc/x.py", "pkgc/y.py"}
+
+    def test_ar02_lazy_import_breaks_the_cycle(self, tmp_path):
+        write(
+            tmp_path,
+            "pkgc/x.py",
+            '"""Eager half."""\n\nimport pkgc.y\n',
+        )
+        write(
+            tmp_path,
+            "pkgc/y.py",
+            '"""Lazy half: the sanctioned way to break a cycle."""\n\n\n'
+            "def late():\n"
+            '    """Imports only when called."""\n'
+            "    import pkgc.x\n"
+            "    return pkgc.x\n\n\n"
+            "LATE = late\n",
+        )
+        assert lint(tmp_path, select={"AR02"}).active_findings() == []
+
+
+# ---------------------------------------------------------------------------
+# EX: exception flow
+# ---------------------------------------------------------------------------
+
+
+class TestExceptionRules:
+    def test_ex02_flags_leaking_main(self, tmp_path):
+        write(
+            tmp_path,
+            "pkg/cli.py",
+            '"""Fixture."""\n\n\n'
+            "def main():\n"
+            '    """Leaks to the interpreter."""\n'
+            '    raise RuntimeError("boom")\n',
+        )
+        findings = lint(tmp_path, select={"EX02"}).active_findings()
+        assert len(findings) == 1
+        assert "RuntimeError" in findings[0].message
+
+    def test_ex02_interprocedural_escape_through_callee(self, tmp_path):
+        write(
+            tmp_path,
+            "pkg/cli.py",
+            '"""Fixture."""\n\n\n'
+            "def helper():\n"
+            '    """Raises."""\n'
+            '    raise ValueError("bad")\n\n\n'
+            "def main():\n"
+            '    """Calls helper without catching."""\n'
+            "    return helper()\n",
+        )
+        findings = lint(tmp_path, select={"EX02"}).active_findings()
+        assert len(findings) == 1
+        assert "ValueError" in findings[0].message
+
+    def test_ex02_catching_the_hierarchy_silences(self, tmp_path):
+        write(
+            tmp_path,
+            "pkg/cli.py",
+            '"""Fixture."""\n\n\n'
+            "def helper():\n"
+            '    """Raises a ValueError subclass context."""\n'
+            '    raise ValueError("bad")\n\n\n'
+            "def main():\n"
+            '    """Catches through the hierarchy."""\n'
+            "    try:\n"
+            "        return helper()\n"
+            "    except Exception:\n"
+            "        return 1\n",
+        )
+        assert lint(tmp_path, select={"EX02"}).active_findings() == []
+
+    def test_ex01_flags_handler_escape(self, tmp_path):
+        write(
+            tmp_path,
+            "pkg/http.py",
+            '"""Fixture."""\n\n'
+            "from http.server import BaseHTTPRequestHandler\n\n\n"
+            "class Handler(BaseHTTPRequestHandler):\n"
+            '    """Handler that drops the connection."""\n\n'
+            "    def do_GET(self):\n"
+            '        """Lets ValueError escape."""\n'
+            '        raise ValueError("boom")\n\n\n'
+            "APP = Handler\n",
+        )
+        findings = lint(tmp_path, select={"EX01"}).active_findings()
+        assert len(findings) == 1
+        assert "ValueError" in findings[0].message
+        assert "do_GET" in findings[0].message
+
+
+# ---------------------------------------------------------------------------
+# DX: dead exports and definitions
+# ---------------------------------------------------------------------------
+
+
+class TestDeadCodeRules:
+    def test_dx01_flags_export_nothing_references(self, tmp_path):
+        write(
+            tmp_path,
+            "pkg/mod.py",
+            '"""Fixture."""\n\n'
+            '__all__ = ["dead_export"]\n\n\n'
+            "def dead_export():\n"
+            '    """Nothing references this."""\n'
+            "    return None\n",
+        )
+        findings = lint(tmp_path, select={"DX01"}).active_findings()
+        assert len(findings) == 1
+        assert "dead_export" in findings[0].message
+        assert findings[0].line == 3
+
+    def test_dx01_test_reference_keeps_export_alive(self, tmp_path):
+        write(
+            tmp_path,
+            "pkg/mod.py",
+            '"""Fixture."""\n\n'
+            '__all__ = ["live_export"]\n\n\n'
+            "def live_export():\n"
+            '    """Referenced by a test."""\n'
+            "    return None\n",
+        )
+        write(
+            tmp_path,
+            "tests/test_mod.py",
+            '"""Consumer."""\n\nfrom pkg.mod import live_export\n\n'
+            "RESULT = live_export\n",
+        )
+        result = run_lint(
+            [tmp_path / "pkg"], project_root=tmp_path, select={"DX01"}
+        )
+        assert result.active_findings() == []
+
+    def test_dx02_flags_unreferenced_definition(self, tmp_path):
+        write(
+            tmp_path,
+            "pkg/mod.py",
+            '"""Fixture."""\n\n\n'
+            "def unused_thing():\n"
+            '    """Dead weight."""\n'
+            "    return 1\n",
+        )
+        findings = lint(tmp_path, select={"DX02"}).active_findings()
+        assert len(findings) == 1
+        assert "unused_thing" in findings[0].message
+
+    def test_dx02_exemptions(self, tmp_path):
+        write(
+            tmp_path,
+            "pkg/mod.py",
+            '"""Fixture: decorated, dunder-adjacent, and main are exempt."""\n\n'
+            "import functools\n\n\n"
+            "@functools.lru_cache\n"
+            "def registered():\n"
+            '    """Decorators count as a use."""\n'
+            "    return 1\n\n\n"
+            "def main():\n"
+            '    """Entry points are exempt."""\n'
+            "    return 0\n",
+        )
+        assert lint(tmp_path, select={"DX02"}).active_findings() == []
+
+
+# ---------------------------------------------------------------------------
+# The seeded acceptance fixture: one violation per family, end to end.
+# ---------------------------------------------------------------------------
+
+
+def _seed_acceptance_fixture(root: Path) -> None:
+    write(root, "src/repro/__init__.py", '"""Fixture root package."""\n')
+    write(root, "src/repro/trust/__init__.py", '"""Fixture trust."""\n')
+    write(root, "src/repro/service/__init__.py", '"""Fixture service."""\n')
+    # DI02: an out-of-domain trust write.
+    write(
+        root,
+        "src/repro/trust/records.py",
+        '"""Trust records fixture."""\n\n\n'
+        "def promote():\n"
+        '    """Raises trust past its ceiling."""\n'
+        "    trust = 1.5\n"
+        "    return trust\n\n\n"
+        "PROMOTE = promote\n",
+    )
+    # AR01: a layering violation (domain -> application).
+    write(
+        root,
+        "src/repro/trust/uplink.py",
+        '"""Upward-import fixture."""\n\n'
+        "import repro.service.http\n",
+    )
+    # EX01: a non-ReproError escaping an HTTP handler.
+    write(
+        root,
+        "src/repro/service/http.py",
+        '"""HTTP handler fixture."""\n\n'
+        "from http.server import BaseHTTPRequestHandler\n\n\n"
+        "class Handler(BaseHTTPRequestHandler):\n"
+        '    """Fixture handler."""\n\n'
+        "    def do_GET(self):\n"
+        '        """Drops the connection on bad input."""\n'
+        '        raise ValueError("boom")\n\n\n'
+        "APP = Handler\n",
+    )
+    # DX01: a dead export.
+    write(
+        root,
+        "src/repro/trust/dead.py",
+        '"""Dead-export fixture."""\n\n'
+        '__all__ = ["dead_export"]\n\n\n'
+        "def dead_export():\n"
+        '    """Nothing references this export."""\n'
+        "    return None\n",
+    )
+
+
+class TestAcceptanceFixture:
+    EXPECTED = {
+        ("DI02", "src/repro/trust/records.py"),
+        ("AR01", "src/repro/trust/uplink.py"),
+        ("EX01", "src/repro/service/http.py"),
+        ("DX01", "src/repro/trust/dead.py"),
+    }
+
+    def test_exactly_the_seeded_findings(self, tmp_path):
+        _seed_acceptance_fixture(tmp_path)
+        result = lint(tmp_path)
+        got = {(f.rule, f.path) for f in result.active_findings()}
+        assert got == self.EXPECTED
+        assert len(result.active_findings()) == len(self.EXPECTED)
+
+    def test_human_reporter_shows_all_four_families(self, tmp_path, capsys):
+        _seed_acceptance_fixture(tmp_path)
+        code = lint_main(
+            [str(tmp_path / "src"), "--project-root", str(tmp_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        for rule, path in self.EXPECTED:
+            assert rule in out
+            assert path in out
+        assert "4 finding(s)" in out
+
+    def test_json_reporter_shows_all_four_families(self, tmp_path, capsys):
+        _seed_acceptance_fixture(tmp_path)
+        code = lint_main(
+            [
+                str(tmp_path / "src"),
+                "--project-root",
+                str(tmp_path),
+                "--format=json",
+            ]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["active_count"] == 4
+        got = {(f["rule"], f["path"]) for f in payload["findings"]}
+        assert got == self.EXPECTED
+        assert payload["cache_status"] == "cold"
+
+
+# ---------------------------------------------------------------------------
+# Incremental cache
+# ---------------------------------------------------------------------------
+
+
+def _seed_clean_tree(root: Path) -> None:
+    write(root, "src/repro/__init__.py", '"""Fixture root package."""\n')
+    write(root, "src/repro/trust/__init__.py", '"""Fixture trust."""\n')
+    write(
+        root,
+        "src/repro/trust/a.py",
+        '"""Fixture a."""\n\n\n'
+        "def helper():\n"
+        '    """Shared helper."""\n'
+        "    return 0.5\n",
+    )
+    write(
+        root,
+        "src/repro/trust/b.py",
+        '"""Fixture b (depends on a)."""\n\n'
+        "from repro.trust.a import helper\n\n\n"
+        "def wrap():\n"
+        '    """Wraps helper."""\n'
+        "    return helper()\n\n\n"
+        "WRAP = wrap\n",
+    )
+    write(
+        root,
+        "src/repro/trust/c.py",
+        '"""Fixture c (independent)."""\n\n\n'
+        "def solo():\n"
+        '    """No project imports."""\n'
+        "    return 0.25\n\n\n"
+        "SOLO = solo\n",
+    )
+
+
+class TestIncrementalCache:
+    def test_unchanged_tree_is_a_full_hit(self, tmp_path):
+        _seed_clean_tree(tmp_path)
+        first = lint(tmp_path)
+        assert first.cache_status == "cold"
+        assert first.active_findings() == []
+        second = lint(tmp_path)
+        assert second.cache_status == "hit"
+        assert second.reanalyzed == []
+        assert second.active_findings() == []
+        assert second.files_total == first.files_total
+
+    def test_editing_one_file_reanalyzes_only_dependents(self, tmp_path):
+        _seed_clean_tree(tmp_path)
+        lint(tmp_path)
+        a = tmp_path / "src/repro/trust/a.py"
+        a.write_text(a.read_text() + "\n# touched\n")
+        result = lint(tmp_path)
+        assert result.cache_status == "partial"
+        assert result.reanalyzed == [
+            "src/repro/trust/a.py",
+            "src/repro/trust/b.py",
+        ]
+        assert result.active_findings() == []
+
+    def test_corrupt_cache_falls_back_to_clean_cold_run(self, tmp_path):
+        _seed_clean_tree(tmp_path)
+        first = lint(tmp_path)
+        manifest = tmp_path / ".lint-cache" / "analysis.json"
+        assert manifest.is_file()
+        manifest.write_text("{{{ not json")
+        again = lint(tmp_path)
+        assert again.cache_status == "cold"
+        assert sorted(again.reanalyzed) == sorted(first.reanalyzed)
+        assert again.active_findings() == []
+
+    def test_cached_findings_survive_a_hit(self, tmp_path):
+        _seed_acceptance_fixture(tmp_path)
+        first = lint(tmp_path)
+        second = lint(tmp_path)
+        assert second.cache_status == "hit"
+        assert second.reanalyzed == []
+        assert {(f.rule, f.path) for f in second.active_findings()} == {
+            (f.rule, f.path) for f in first.active_findings()
+        }
+
+    def test_external_reference_change_reruns_global_rules(self, tmp_path):
+        write(
+            tmp_path,
+            "pkg/mod.py",
+            '"""Fixture."""\n\n\n'
+            "def unused_thing():\n"
+            '    """Dead until a test references it."""\n'
+            "    return 1\n",
+        )
+        first = run_lint(
+            [tmp_path / "pkg"], project_root=tmp_path, select={"DX02"}
+        )
+        assert [f.rule for f in first.active_findings()] == ["DX02"]
+        # No linted file changes, but a new external consumer appears.
+        write(
+            tmp_path,
+            "tests/test_mod.py",
+            '"""Consumer."""\n\nfrom pkg.mod import unused_thing\n',
+        )
+        second = run_lint(
+            [tmp_path / "pkg"], project_root=tmp_path, select={"DX02"}
+        )
+        assert second.active_findings() == []
+        assert second.cache_status in ("partial", "cold")
+
+    def test_contract_change_invalidates_the_whole_manifest(self, tmp_path):
+        write(
+            tmp_path,
+            "pkg/mod.py",
+            '"""Fixture."""\n\n'
+            "__lint_contracts__ = {\n"
+            '    "use": {"params": {"x": "[0, 2]"}},\n'
+            "}\n\n\n"
+            "def use(x):\n"
+            '    """Contracted."""\n'
+            "    return min(max(x, 0.0), 2.0)\n\n\n"
+            "USES = (use,)\n",
+        )
+        lint(tmp_path, select={"DI01"})
+        mod = tmp_path / "pkg/mod.py"
+        mod.write_text(mod.read_text().replace("[0, 2]", "[0, 1]"))
+        result = lint(tmp_path, select={"DI01"})
+        # The contract digest is part of the signature: full cold run.
+        assert result.cache_status == "cold"
+
+    def test_no_cache_flag_disables_the_cache(self, tmp_path):
+        _seed_clean_tree(tmp_path)
+        result = lint(tmp_path, use_cache=False)
+        assert result.cache_status == "disabled"
+        assert not (tmp_path / ".lint-cache").exists()
+
+
+# ---------------------------------------------------------------------------
+# CLI: --strict and --changed
+# ---------------------------------------------------------------------------
+
+
+_NH01_FIXTURE = (
+    "def decide(trust: float) -> bool:\n"
+    "    return trust == 0.5\n"
+    "\n\ncheck = decide\n"
+)
+
+
+class TestStrictMode:
+    def test_stale_baseline_fails_only_under_strict(self, tmp_path, capsys):
+        mod = write(tmp_path, "mod.py", _NH01_FIXTURE)
+        root = ["--project-root", str(tmp_path)]
+        assert lint_main([str(mod)] + root + ["--update-baseline"]) == 0
+        # Fix the finding: the baseline entry goes stale.
+        mod.write_text(_NH01_FIXTURE.replace("==", ">"))
+        assert lint_main([str(mod)] + root) == 0
+        assert lint_main([str(mod)] + root + ["--strict"]) == 1
+        err = capsys.readouterr().err
+        assert "stale baseline" in err
+
+    def test_strict_is_quiet_when_baseline_is_fresh(self, tmp_path, capsys):
+        mod = write(tmp_path, "mod.py", _NH01_FIXTURE)
+        root = ["--project-root", str(tmp_path)]
+        assert lint_main([str(mod)] + root + ["--update-baseline"]) == 0
+        assert lint_main([str(mod)] + root + ["--strict"]) == 0
+        capsys.readouterr()
+
+
+@pytest.mark.skipif(shutil.which("git") is None, reason="git unavailable")
+class TestChangedMode:
+    @staticmethod
+    def _git(root: Path, *args: str) -> None:
+        subprocess.run(
+            ["git", "-c", "user.email=t@example.com", "-c", "user.name=t"]
+            + list(args),
+            cwd=str(root),
+            check=True,
+            capture_output=True,
+        )
+
+    def _repo(self, root: Path) -> None:
+        write(root, "good.py", "X = 1\n")
+        write(root, "bad.py", "Y = 2\n")
+        self._git(root, "init", "-q")
+        self._git(root, "add", ".")
+        self._git(root, "commit", "-qm", "init")
+
+    def test_changed_lints_only_modified_files(self, tmp_path, capsys):
+        self._repo(tmp_path)
+        (tmp_path / "bad.py").write_text(_NH01_FIXTURE)
+        code = lint_main(
+            ["--changed", "--project-root", str(tmp_path), "--format=json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["files_checked"] == 1
+        assert {f["path"] for f in payload["findings"]} == {"bad.py"}
+
+    def test_changed_with_clean_tree_exits_zero(self, tmp_path, capsys):
+        self._repo(tmp_path)
+        code = lint_main(["--changed", "--project-root", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "no changed python files" in out
+
+    def test_changed_picks_up_untracked_files(self, tmp_path, capsys):
+        self._repo(tmp_path)
+        write(tmp_path, "fresh.py", _NH01_FIXTURE)
+        code = lint_main(
+            ["--changed", "--project-root", str(tmp_path), "--format=json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert {f["path"] for f in payload["findings"]} == {"fresh.py"}
+
+
+# ---------------------------------------------------------------------------
+# Runtime domain-boundary fixes surfaced by DI (regression pins)
+# ---------------------------------------------------------------------------
+
+
+class TestAsArraysDomainValidation:
+    def test_accepts_the_closed_unit_interval(self):
+        from repro.aggregation.base import as_arrays
+
+        values, trusts = as_arrays([0.0, 0.5, 1.0], [1.0, 0.0, 0.5])
+        assert values.shape == trusts.shape == (3,)
+
+    @pytest.mark.parametrize("bad", [[1.2, 0.5], [-0.1, 0.5]])
+    def test_rejects_out_of_domain_ratings(self, bad):
+        from repro.aggregation.base import as_arrays
+
+        with pytest.raises(ConfigurationError, match="ratings"):
+            as_arrays(bad, [0.5, 0.5])
+
+    @pytest.mark.parametrize("bad", [[1.0001, 0.5], [-0.0001, 0.5]])
+    def test_rejects_out_of_domain_trusts(self, bad):
+        from repro.aggregation.base import as_arrays
+
+        with pytest.raises(ConfigurationError, match="trusts"):
+            as_arrays([0.5, 0.5], bad)
+
+    def test_prior_error_contracts_are_preserved(self):
+        from repro.aggregation.base import as_arrays
+
+        with pytest.raises(EmptyWindowError):
+            as_arrays([], [])
+        with pytest.raises(ValueError, match="parallel"):
+            as_arrays([0.5], [0.5, 0.5])
+
+
+class TestMultipathDomainValidation:
+    def test_boundary_values_are_legal(self):
+        from repro.trust.entropy_trust import multipath
+
+        assert multipath([1.0], [-1.0]) == -1.0
+        assert multipath([], []) == 0.0
+
+    def test_rejects_out_of_domain_recommendation_trusts(self):
+        from repro.trust.entropy_trust import multipath
+
+        with pytest.raises(ConfigurationError, match="recommendation_trusts"):
+            multipath([1.5, 0.5], [0.5, 0.5])
+
+    def test_rejects_out_of_domain_remote_trusts(self):
+        from repro.trust.entropy_trust import multipath
+
+        with pytest.raises(ConfigurationError, match="remote_trusts"):
+            multipath([0.5, 0.5], [0.5, -2.0])
+
+    def test_weighting_unchanged_for_legal_inputs(self):
+        from repro.trust.entropy_trust import multipath
+
+        got = multipath([0.5, -0.5], [1.0, 1.0])
+        assert np.isclose(got, 1.0)

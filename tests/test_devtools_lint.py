@@ -525,6 +525,7 @@ class TestRunnerAndCli:
         dirty = tmp_path / "mod.py"
         dirty.write_text(
             "def decide(trust: float) -> bool:\n    return trust == 0.5\n"
+            "\n\ncheck = decide\n"
         )
         code = lint_main(
             [str(dirty), "--project-root", str(tmp_path), "--format=json"]
@@ -538,6 +539,7 @@ class TestRunnerAndCli:
         dirty = tmp_path / "mod.py"
         dirty.write_text(
             "def decide(trust: float) -> bool:\n    return trust == 0.5\n"
+            "\n\ncheck = decide\n"
         )
         root = ["--project-root", str(tmp_path)]
         assert lint_main([str(dirty)] + root + ["--update-baseline"]) == 0
@@ -550,7 +552,9 @@ class TestRunnerAndCli:
     def test_all_rule_families_registered(self):
         ids = set(all_rules())
         assert {"CC01", "CC02", "CC03", "NH01", "NH02", "NH03",
-                "AD01", "ST01", "ST02"} <= ids
+                "AD01", "ST01", "ST02",
+                "DI01", "DI02", "DI03", "AR01", "AR02",
+                "EX01", "EX02", "DX01", "DX02"} <= ids
 
 
 class TestSelfCheck:
