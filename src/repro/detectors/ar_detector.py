@@ -25,11 +25,12 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.errors import ConfigurationError, InsufficientDataError
+from repro.errors import ConfigurationError
 from repro.detectors.base import SuspicionDetector, SuspicionReport, WindowVerdict
 from repro.ratings.stream import RatingStream
 from repro.signal.ar import AR_METHODS
-from repro.signal.windows import CountWindower, TimeWindower
+from repro.signal.sliding import fit_windows
+from repro.signal.windows import CountWindower
 
 __all__ = ["ARModelErrorDetector"]
 
@@ -97,23 +98,23 @@ class ARModelErrorDetector(SuspicionDetector):
         return float(np.clip(raw, 0.0, 1.0))
 
     def window_errors(self, stream: RatingStream) -> List[WindowVerdict]:
-        """Fit every window and return its verdict (no accumulation)."""
-        times = stream.times
-        values = stream.values
-        fit = AR_METHODS[self.method]
+        """Fit every window and return its verdict (no accumulation).
+
+        All windows are fitted through the batched
+        :func:`~repro.signal.sliding.fit_windows` fast path -- for the
+        covariance method that is a handful of vectorized calls over
+        the whole stream instead of one least-squares solve per window.
+        """
         verdicts: List[WindowVerdict] = []
-        if isinstance(self.windower, TimeWindower):
-            windows = self.windower.windows(times)
-        else:
-            windows = self.windower.windows(times)
-        for window in windows:
-            if window.size < self.min_window:
-                continue
-            samples = window.values(values)
-            try:
-                model = fit(samples, self.order)
-            except InsufficientDataError:
-                continue
+        fitted = fit_windows(
+            stream.values,
+            self.order,
+            self.windower,
+            times=stream.times,
+            method=self.method,
+            min_window=self.min_window,
+        )
+        for window, model in fitted:
             error = model.normalized_error
             suspicious = error < self.threshold
             verdicts.append(

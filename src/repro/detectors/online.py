@@ -26,6 +26,7 @@ from repro.detectors.base import WindowVerdict
 from repro.errors import ConfigurationError, InsufficientDataError
 from repro.ratings.models import Rating
 from repro.signal.ar import AR_METHODS
+from repro.signal.sliding import SlidingCovarianceFitter
 from repro.signal.windows import Window
 
 __all__ = ["OnlineARDetector"]
@@ -44,6 +45,11 @@ class OnlineARDetector:
         method: AR estimator name.
         scale: suspicion level assigned to flagged windows (saturating,
             like the pipeline's literal rule).
+        incremental: maintain the covariance-method normal equations
+            under rank-1 updates (:class:`SlidingCovarianceFitter`)
+            instead of rebuilding the least-squares problem per refit
+            -- numerically equivalent, ``O(stride * p^2 + p^3)`` per
+            evaluation.  Only valid with ``method="covariance"``.
     """
 
     def __init__(
@@ -54,6 +60,7 @@ class OnlineARDetector:
         stride: int = 5,
         method: str = "covariance",
         scale: float = 1.0,
+        incremental: bool = False,
     ) -> None:
         if order < 1:
             raise ConfigurationError(f"order must be >= 1, got {order}")
@@ -71,12 +78,23 @@ class OnlineARDetector:
             )
         if not 0.0 < scale <= 1.0:
             raise ConfigurationError(f"scale must lie in (0, 1], got {scale}")
+        if incremental and method != "covariance":
+            raise ConfigurationError(
+                "incremental refitting is only available for the "
+                f"covariance method, not {method!r}"
+            )
         self.order = order
         self.threshold = float(threshold)
         self.window_size = int(window_size)
         self.stride = int(stride)
         self.method = method
         self.scale = float(scale)
+        self.incremental = bool(incremental)
+        self._fitter: Optional[SlidingCovarianceFitter] = (
+            SlidingCovarianceFitter(order=order, capacity=window_size)
+            if incremental
+            else None
+        )
         self._buffer: Deque[Rating] = deque(maxlen=window_size)
         self._since_last_fit = 0
         self._n_seen = 0
@@ -104,6 +122,8 @@ class OnlineARDetector:
     def reset(self) -> None:
         """Drop all buffered state (e.g. when switching objects)."""
         self._buffer.clear()
+        if self._fitter is not None:
+            self._fitter.reset()
         self._since_last_fit = 0
         self._n_seen = 0
         self._n_evaluations = 0
@@ -145,6 +165,8 @@ class OnlineARDetector:
             )
         self.reset()
         self._buffer.extend(buffered)
+        if self._fitter is not None:
+            self._fitter.extend(rating.value for rating in buffered)
         self._since_last_fit = int(state["since_last_fit"])
         self._n_seen = int(state["n_seen"])
         self._n_evaluations = int(state["n_evaluations"])
@@ -185,6 +207,8 @@ class OnlineARDetector:
             )
         self._last_time = rating.time
         self._buffer.append(rating)
+        if self._fitter is not None:
+            self._fitter.push(rating.value)
         self._rater_by_position[self._n_seen] = rating.rater_id
         self._n_seen += 1
         self._since_last_fit += 1
@@ -203,9 +227,12 @@ class OnlineARDetector:
         return emitted
 
     def _evaluate(self) -> Optional[WindowVerdict]:
-        values = np.array([r.value for r in self._buffer])
         try:
-            model = AR_METHODS[self.method](values, self.order)
+            if self._fitter is not None:
+                model = self._fitter.fit()
+            else:
+                values = np.array([r.value for r in self._buffer])
+                model = AR_METHODS[self.method](values, self.order)
         except InsufficientDataError:
             return None
         error = model.normalized_error

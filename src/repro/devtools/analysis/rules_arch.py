@@ -7,7 +7,8 @@ without the serving/experiment machinery around it:
 layer   name         subpackages
 ======  ===========  ====================================================
 0       foundation   ``errors``, ``_version``, ``reporting``
-1       primitives   ``signal``, ``ratings``
+1       primitives   ``signal`` (incl. ``signal.sliding``, the AR
+                     fast paths), ``ratings``
 2       domain       ``trust``, ``detectors``, ``aggregation``,
                      ``filters``, ``raters``, ``attacks``, ``data``,
                      ``evaluation``

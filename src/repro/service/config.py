@@ -38,6 +38,13 @@ class ServiceConfig:
         detector_stride: arrivals between AR refits.
         detector_method: AR estimator name (see ``repro.signal.ar``).
         detector_scale: suspicion level charged per flagged rating.
+        detector_incremental: refit through the incremental
+            sliding-window normal equations
+            (:class:`~repro.signal.sliding.SlidingCovarianceFitter`)
+            instead of rebuilding the least-squares problem per
+            evaluation.  ``None`` (the default) enables it exactly
+            when ``detector_method`` is ``"covariance"``; ``True``
+            with another method is a configuration error.
         trust_badness_weight: Procedure 2's ``b``.
         trust_detection_threshold: trust below this marks a rater
             malicious.
@@ -58,6 +65,7 @@ class ServiceConfig:
     detector_stride: int = 5
     detector_method: str = "covariance"
     detector_scale: float = 1.0
+    detector_incremental: Optional[bool] = None
     trust_badness_weight: float = 1.0
     trust_detection_threshold: float = 0.5
     trust_forgetting_factor: float = 1.0
@@ -102,12 +110,20 @@ class ServiceConfig:
             stride=self.detector_stride,
             method=self.detector_method,
             scale=self.detector_scale,
+            incremental=self.incremental_enabled,
         )
         TrustManagerConfig(
             badness_weight=self.trust_badness_weight,
             detection_threshold=self.trust_detection_threshold,
             forgetting_factor=self.trust_forgetting_factor,
         )
+
+    @property
+    def incremental_enabled(self) -> bool:
+        """Resolved ``detector_incremental`` (auto = covariance only)."""
+        if self.detector_incremental is None:
+            return self.detector_method == "covariance"
+        return bool(self.detector_incremental)
 
     def to_dict(self) -> dict:
         """Plain-dict form (embedded in snapshots)."""

@@ -76,6 +76,37 @@ class SubmitResult:
     flagged: bool = False
 
 
+@dataclass
+class _ScoreCacheEntry:
+    """Incremental per-product score aggregates (shard lock held).
+
+    Valid only while ``epoch`` matches the engine's trust-flush epoch:
+    every trust update can move every rater's weight, so a flush
+    invalidates all entries at once (lazily, by the epoch check).
+    Within an epoch trusts are constant, so each accepted rating folds
+    into the sums with its rater's current weight and the cached score
+    equals a full re-aggregation.
+
+    Attributes:
+        epoch: trust-flush epoch the aggregates were computed under.
+        n: ratings folded into the sums.
+        weight_sum: ``sum(max(T_i - floor, 0))``.
+        weighted_value_sum: ``sum(max(T_i - floor, 0) * x_i)``.
+        value_sum: ``sum(x_i)`` -- the all-at-or-below-floor fallback.
+    """
+
+    epoch: int
+    n: int
+    weight_sum: float
+    weighted_value_sum: float
+    value_sum: float
+
+    def score(self) -> float:
+        if self.weight_sum > 0.0:
+            return self.weighted_value_sum / self.weight_sum
+        return self.value_sum / self.n
+
+
 class _ReadWriteGate:
     """Many concurrent ingests, one exclusive snapshotter."""
 
@@ -123,6 +154,7 @@ class _Shard:
         "detectors": "lock",
         "recent": "lock",
         "charged": "lock",
+        "score_cache": "lock",
         "last_time": "lock",
         "pending_provided": "lock",
         "pending_suspicion": "lock",
@@ -145,6 +177,7 @@ class _Shard:
         # positions a future verdict's window can still cover.
         self.recent: Dict[int, Deque[Tuple[int, int]]] = {}
         self.charged: Dict[int, Set[int]] = {}
+        self.score_cache: Dict[int, "_ScoreCacheEntry"] = {}
         self.last_time: Dict[int, float] = {}
         self.pending_provided: Dict[int, int] = {}
         self.pending_suspicion: Dict[int, float] = {}
@@ -165,6 +198,7 @@ class _Shard:
             stride=c.detector_stride,
             method=c.detector_method,
             scale=c.detector_scale,
+            incremental=c.incremental_enabled,
         )
 
 
@@ -182,6 +216,7 @@ class RatingEngine:
     _GUARDED_BY = {
         "trust_manager": "_trust_lock",
         "_n_trust_updates": "_trust_lock",
+        "_trust_epoch": "_trust_lock",
         "_n_accepted": "_count_lock",
     }
 
@@ -205,6 +240,9 @@ class RatingEngine:
         self._count_lock = threading.Lock()
         self._n_accepted = 0
         self._n_trust_updates = 0
+        # Bumped on every trust flush: score-cache entries from older
+        # epochs were aggregated under stale trusts and are invalid.
+        self._trust_epoch = 0
         self._started = time.monotonic()
         self._shards = [_Shard(i, self.config) for i in range(self.config.n_shards)]
         self._recovering = False
@@ -227,6 +265,14 @@ class RatingEngine:
         )
         self._m_trust_updates = m.counter(
             "repro_trust_updates_total", "Trust manager flushes (Procedure 2 runs)."
+        )
+        self._m_score_hits = m.counter(
+            "repro_score_cache_hits_total",
+            "score() calls answered from the incremental aggregate cache.",
+        )
+        self._m_score_misses = m.counter(
+            "repro_score_cache_misses_total",
+            "score() calls that re-aggregated the product's ratings.",
         )
         self._m_fsync = m.histogram(
             "repro_wal_fsync_seconds", "Duration of WAL fsync calls."
@@ -328,6 +374,24 @@ class RatingEngine:
             )
         shard.store.add_rating(rating)
 
+        entry = shard.score_cache.get(pid)
+        if entry is not None:
+            # Trusts are constant within an epoch, so a current entry
+            # absorbs the new rating at its rater's current weight and
+            # stays equal to a full re-aggregation; a stale entry is
+            # dropped (the next score() repopulates it).
+            with self._trust_lock:
+                epoch = self._trust_epoch
+                trust = self.trust_manager.trust(rid)
+            if entry.epoch == epoch:
+                weight = max(trust - self.aggregator.floor, 0.0)
+                entry.n += 1
+                entry.weight_sum += weight
+                entry.weighted_value_sum += weight * rating.value
+                entry.value_sum += rating.value
+            else:
+                del shard.score_cache[pid]
+
         detector = shard.detectors.get(pid)
         if detector is None:
             detector = shard.make_detector()
@@ -406,6 +470,7 @@ class RatingEngine:
                 observations.record_suspicious(rater_id, count)
             self.trust_manager.update()
             self._n_trust_updates += 1
+            self._trust_epoch += 1
         shard.pending_provided = {}
         shard.pending_suspicion = {}
         shard.pending_suspicious = {}
@@ -427,9 +492,57 @@ class RatingEngine:
     def score(self, product_id: int) -> Optional[float]:
         """Trust-weighted (modified weighted average) score of a product.
 
+        Served from an incremental per-product aggregate cache when one
+        is current: a hit costs O(1) instead of re-aggregating every
+        rating.  A miss (first read, or any trust flush since the entry
+        was built) re-aggregates and repopulates the entry; ingests
+        fold new ratings into current entries (see :class:`_ScoreCacheEntry`
+        for why the cached value equals the full re-aggregation).
+
         Returns None for a registered product with no ratings; raises
         :class:`UnknownProductError` for a product never seen.
         """
+        shard = self._shard_for(product_id)
+        with shard.lock:
+            if not shard.store.has_product(product_id):
+                raise UnknownProductError(f"product {product_id} is not registered")
+            entry = shard.score_cache.get(product_id)
+            if entry is not None:
+                with self._trust_lock:
+                    epoch = self._trust_epoch
+                if entry.epoch == epoch:
+                    self._m_score_hits.inc()
+                    return entry.score()
+                del shard.score_cache[product_id]
+            self._m_score_misses.inc()
+            ratings = list(shard.store.stream(product_id))
+            if not ratings:
+                return None
+            # Epoch and trusts must come from one _trust_lock hold so
+            # the entry is stamped with the epoch its weights belong to.
+            with self._trust_lock:
+                epoch = self._trust_epoch
+                trusts = [self.trust_manager.trust(r.rater_id) for r in ratings]
+            values = [r.value for r in ratings]
+            floor = self.aggregator.floor
+            weights = [max(t - floor, 0.0) for t in trusts]
+            entry = _ScoreCacheEntry(
+                epoch=epoch,
+                n=len(ratings),
+                weight_sum=float(sum(weights)),
+                weighted_value_sum=float(
+                    sum(w * v for w, v in zip(weights, values))
+                ),
+                value_sum=float(sum(values)),
+            )
+            shard.score_cache[product_id] = entry
+            # Return the entry's own arithmetic, not the aggregator's:
+            # within an epoch every read must yield the identical float,
+            # whether it missed or hit.
+            return entry.score()
+
+    def _score_uncached(self, product_id: int) -> Optional[float]:
+        """The pre-cache score path (reference for tests and benches)."""
         shard = self._shard_for(product_id)
         with shard.lock:
             if not shard.store.has_product(product_id):

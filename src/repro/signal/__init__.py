@@ -4,6 +4,7 @@ from repro.signal.ar import AR_METHODS, ARModel, arburg, arcov, aryule, normaliz
 from repro.signal.spectrum import ARSpectrum, ar_power_spectrum, spectral_flatness
 from repro.signal.detrend import remove_linear_trend, remove_mean
 from repro.signal.levinson import LevinsonResult, autocorrelation_sequence, levinson_durbin
+from repro.signal.sliding import SlidingCovarianceFitter, fit_windows
 from repro.signal.whiteness import LjungBoxResult, ljung_box, sample_autocorrelation
 from repro.signal.windows import CountWindower, TimeWindower, Window, moving_average
 
@@ -22,6 +23,8 @@ __all__ = [
     "LevinsonResult",
     "autocorrelation_sequence",
     "levinson_durbin",
+    "SlidingCovarianceFitter",
+    "fit_windows",
     "LjungBoxResult",
     "ljung_box",
     "sample_autocorrelation",

@@ -23,8 +23,10 @@ campaign is more predictable and produces a visibly smaller ``e``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
 from repro.errors import InsufficientDataError, SignalModelError
 from repro.signal.levinson import autocorrelation_sequence, levinson_durbin
@@ -34,6 +36,44 @@ __all__ = ["ARModel", "arcov", "aryule", "arburg", "normalized_model_error", "AR
 # Residual energies below this fraction of machine scale are treated as an
 # exactly-predictable (e.g. constant) window.
 _ENERGY_EPS = 1e-12
+
+# Normal equations square the design's conditioning, so the fast solve is
+# only trusted while cond(X^T X) stays below this; beyond it (near-constant
+# or rank-deficient windows) the solver falls back to the reference
+# ``lstsq`` path, keeping fast-path coefficients within ~1e-9 of it.
+_GRAM_COND_LIMIT = 1e6
+
+
+def _design_and_target(x: np.ndarray, order: int) -> tuple:
+    """Covariance-method design matrix and target as strided views.
+
+    Row ``i`` of the design is ``[x[p+i-1], x[p+i-2], ..., x[i]]`` and the
+    target is ``x[p+i]``, for ``i = 0..N-p-1`` -- the support ``n = p..N-1``
+    of Hayes' ``covm``.  Built from one ``sliding_window_view`` call, so no
+    per-row Python slicing and no copies.
+    """
+    lagged = sliding_window_view(x, order + 1)[:, ::-1]
+    return lagged[:, 1:], lagged[:, 0]
+
+
+def _solve_normal_equations(
+    gram: np.ndarray, cross: np.ndarray, limit: float = _GRAM_COND_LIMIT
+) -> Optional[np.ndarray]:
+    """Solve ``gram @ a = -cross``; None when the Gram is untrustworthy."""
+    with np.errstate(divide="ignore", invalid="ignore"):
+        cond = np.linalg.cond(gram)
+    if not np.isfinite(cond) or cond > limit:
+        return None
+    try:
+        return np.linalg.solve(gram, -cross)
+    except np.linalg.LinAlgError:
+        return None
+
+
+def _lstsq_coefficients(design: np.ndarray, target: np.ndarray) -> np.ndarray:
+    """Reference solver: minimum-norm least squares (rank-deficient safe)."""
+    solution, *_ = np.linalg.lstsq(design, -target, rcond=None)
+    return solution
 
 
 @dataclass(frozen=True)
@@ -61,7 +101,7 @@ class ARModel:
     normalized_error: float
     method: str
     n_samples: int
-    residuals: np.ndarray = field(repr=False, default=None)
+    residuals: Optional[np.ndarray] = field(repr=False, default=None)
 
     def predict(self, x: np.ndarray) -> np.ndarray:
         """One-step-ahead predictions for samples ``p..len(x)-1``.
@@ -78,11 +118,8 @@ class ARModel:
             raise InsufficientDataError(
                 f"need more than {p} samples to predict, got {x.size}"
             )
-        a = self.coefficients
-        preds = np.empty(x.size - p)
-        for i, n in enumerate(range(p, x.size)):
-            preds[i] = -float(np.dot(a[1:], x[n - 1 :: -1][:p]))
-        return preds
+        design, _ = _design_and_target(x, p)
+        return -(design @ self.coefficients[1:])
 
 
 def _validate(x: np.ndarray, order: int) -> np.ndarray:
@@ -106,13 +143,11 @@ def _finalize(
     method: str,
 ) -> ARModel:
     """Compute residuals / energies over the covariance support ``p..N-1``."""
-    p = order
     n = x.size
-    # Prediction matrix: row i holds x[p+i-1], x[p+i-2], ..., x[i].
-    rows = np.stack([x[p + i - 1 : i - 1 if i > 0 else None : -1][:p] for i in range(n - p)])
-    residuals = x[p:] + rows @ a[1:]
+    design, target = _design_and_target(x, order)
+    residuals = target + design @ a[1:]
     error_energy = float(np.dot(residuals, residuals))
-    signal_energy = float(np.dot(x[p:], x[p:]))
+    signal_energy = float(np.dot(target, target))
     normalized = normalized_model_error(error_energy, signal_energy)
     return ARModel(
         order=order,
@@ -135,7 +170,14 @@ def normalized_model_error(error_energy: float, signal_energy: float) -> float:
     """
     if signal_energy <= _ENERGY_EPS:
         return 0.0
-    return float(np.clip(error_energy / signal_energy, 0.0, 1.0))
+    # Scalar clip: this sits on the streaming detector's per-refit
+    # path, where np.clip's dispatch overhead is measurable.
+    ratio = error_energy / signal_energy
+    if ratio < 0.0:
+        return 0.0
+    if ratio > 1.0:
+        return 1.0
+    return float(ratio)
 
 
 def arcov(x: np.ndarray, order: int) -> ARModel:
@@ -154,13 +196,13 @@ def arcov(x: np.ndarray, order: int) -> ARModel:
         The fitted :class:`ARModel`.
     """
     x = _validate(x, order)
-    p = order
-    n = x.size
-    # Design matrix X[i, k] = x[p + i - 1 - k], target y[i] = x[p + i].
-    design = np.stack([x[p + i - 1 : i - 1 if i > 0 else None : -1][:p] for i in range(n - p)])
-    target = x[p:]
-    # Solve min ||target + design @ a||^2 -> a = -lstsq(design, target).
-    solution, *_ = np.linalg.lstsq(design, -target, rcond=None)
+    design, target = _design_and_target(x, order)
+    # Fast path: normal equations X^T X a = -X^T y (one GEMM + a p-by-p
+    # solve instead of an SVD over the full design); rank-deficient or
+    # ill-conditioned windows fall back to minimum-norm least squares.
+    solution = _solve_normal_equations(design.T @ design, design.T @ target)
+    if solution is None:
+        solution = _lstsq_coefficients(design, target)
     a = np.concatenate(([1.0], solution))
     return _finalize(x, a, order, method="covariance")
 

@@ -357,6 +357,7 @@ EXPECTED_EXPORTS = {
         "CountWindower",
         "LevinsonResult",
         "LjungBoxResult",
+        "SlidingCovarianceFitter",
         "TimeWindower",
         "Window",
         "ar_power_spectrum",
@@ -364,6 +365,7 @@ EXPECTED_EXPORTS = {
         "arcov",
         "aryule",
         "autocorrelation_sequence",
+        "fit_windows",
         "levinson_durbin",
         "ljung_box",
         "moving_average",

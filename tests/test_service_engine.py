@@ -255,3 +255,73 @@ class TestSharding:
         assert stats["n_products"] == n_threads
         for trust in engine.trust_table().values():
             assert 0.0 <= trust <= 1.0
+
+
+class TestScoreCache:
+    def _metric(self, engine, name):
+        return engine.metrics.counter(name).value
+
+    def test_cached_score_equals_recompute(self):
+        engine = RatingEngine(ServiceConfig(**BASE))
+        for rating in make_stream(300):
+            engine.submit(rating)
+        for pid in range(3):
+            cached = engine.score(pid)
+            assert cached == pytest.approx(engine._score_uncached(pid), abs=1e-12)
+            # Second read is a hit and must not move the value.
+            assert engine.score(pid) == pytest.approx(cached, abs=1e-15)
+
+    def test_hit_and_miss_metrics(self):
+        # Large batch so no trust flush invalidates between reads.
+        engine = RatingEngine(ServiceConfig(**{**BASE, "batch_max_ratings": 10_000}))
+        for rating in make_stream(60):
+            engine.submit(rating)
+        engine.score(0)
+        assert self._metric(engine, "repro_score_cache_misses_total") == 1
+        assert self._metric(engine, "repro_score_cache_hits_total") == 0
+        engine.score(0)
+        engine.score(0)
+        assert self._metric(engine, "repro_score_cache_hits_total") == 2
+
+    def test_trust_flush_invalidates(self):
+        engine = RatingEngine(ServiceConfig(**{**BASE, "batch_max_ratings": 10_000}))
+        for rating in make_stream(60):
+            engine.submit(rating)
+        engine.score(0)
+        engine.flush()  # trust update -> new epoch
+        engine.score(0)
+        assert self._metric(engine, "repro_score_cache_misses_total") == 2
+        assert engine.score(0) == pytest.approx(
+            engine._score_uncached(0), abs=1e-12
+        )
+
+    def test_ingest_folds_into_current_entry(self):
+        engine = RatingEngine(ServiceConfig(**{**BASE, "batch_max_ratings": 10_000}))
+        ratings = make_stream(120)
+        for rating in ratings[:60]:
+            engine.submit(rating)
+        engine.score(0)  # populate the entry
+        for rating in ratings[60:]:
+            engine.submit(rating)
+        # The entry absorbed the new ratings incrementally: still a hit,
+        # still equal to a full recompute.
+        misses_before = self._metric(engine, "repro_score_cache_misses_total")
+        assert engine.score(0) == pytest.approx(engine._score_uncached(0), abs=1e-12)
+        assert self._metric(engine, "repro_score_cache_misses_total") == misses_before
+
+    def test_unknown_product_still_raises(self):
+        engine = RatingEngine(ServiceConfig(**BASE))
+        with pytest.raises(UnknownProductError):
+            engine.score(999)
+
+    def test_scores_correct_across_many_flushes(self):
+        # Flush every 8 ratings: entries go stale constantly; every read
+        # must still agree with the recompute path.
+        engine = RatingEngine(ServiceConfig(**BASE))
+        for i, rating in enumerate(make_stream(240)):
+            engine.submit(rating)
+            if i % 17 == 0 and engine.has_product(rating.product_id):
+                pid = rating.product_id
+                assert engine.score(pid) == pytest.approx(
+                    engine._score_uncached(pid), abs=1e-12
+                )

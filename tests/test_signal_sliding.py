@@ -1,0 +1,311 @@
+"""Equivalence tests for the covariance-method AR fast paths.
+
+The contract of :mod:`repro.signal.sliding` (and the normal-equations
+path inside :func:`repro.signal.ar.arcov`) is *numerical equivalence*
+with the reference least-squares solve, not approximate agreement:
+coefficients and normalized errors must match the reference to 1e-9 on
+every buffer the detectors can produce -- random, constant,
+near-constant, and rank-deficient alike.  The reference implementation
+below rebuilds the covariance design matrix with explicit Python loops
+(the seed implementation's shape) and solves with ``lstsq``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detectors.ar_detector import ARModelErrorDetector
+from repro.detectors.online import OnlineARDetector
+from repro.errors import ConfigurationError, InsufficientDataError, SignalModelError
+from repro.signal import (
+    AR_METHODS,
+    CountWindower,
+    SlidingCovarianceFitter,
+    TimeWindower,
+    arcov,
+    fit_windows,
+)
+from tests.conftest import make_stream
+
+TOL = 1e-9
+
+
+def reference_arcov(x, order):
+    """Loop-built covariance design + lstsq (the seed implementation)."""
+    x = np.asarray(x, dtype=float)
+    n = x.size
+    rows = []
+    targets = []
+    for i in range(order, n):
+        rows.append(x[i - 1 :: -1][:order])
+        targets.append(x[i])
+    design = np.vstack(rows)
+    target = np.asarray(targets)
+    solution, *_ = np.linalg.lstsq(design, -target, rcond=None)
+    residuals = target + design @ solution
+    error_energy = float(np.dot(residuals, residuals))
+    signal_energy = float(np.dot(target, target))
+    normalized = 1.0 if signal_energy <= 0.0 else error_energy / signal_energy
+    return np.concatenate(([1.0], solution)), float(np.clip(normalized, 0.0, 1.0))
+
+
+def assert_matches_reference(model, x, order):
+    coeffs, normalized = reference_arcov(x, order)
+    np.testing.assert_allclose(model.coefficients, coeffs, atol=TOL, rtol=0)
+    assert abs(model.normalized_error - normalized) < TOL
+
+
+def signal_cases(rng):
+    """Buffers spanning the conditioning spectrum the detectors see."""
+    n = 120
+    ar2 = [0.6, 0.55]
+    for _ in range(n):
+        ar2.append(0.5 + 0.55 * (ar2[-1] - 0.5) - 0.3 * (ar2[-2] - 0.5)
+                   + rng.normal(0, 0.03))
+    return {
+        "random": rng.uniform(0.0, 1.0, size=n),
+        "ar_process": np.clip(ar2, 0.0, 1.0),
+        "constant": np.full(n, 0.7),
+        "near_constant": 0.7 + 1e-9 * rng.standard_normal(n),
+        "rank_deficient": np.tile([0.2, 0.8], n // 2),
+        "campaign": np.concatenate(
+            [rng.uniform(0.4, 1.0, size=n // 2), np.full(n - n // 2, 0.95)]
+        ),
+    }
+
+
+class TestArcovFastPath:
+    @pytest.mark.parametrize(
+        "case", ["random", "ar_process", "constant", "near_constant",
+                 "rank_deficient", "campaign"]
+    )
+    def test_matches_reference(self, rng, case):
+        x = signal_cases(rng)[case]
+        for order in (1, 2, 4):
+            assert_matches_reference(arcov(x, order), x, order)
+
+    def test_residuals_still_available(self, rng):
+        x = rng.uniform(0, 1, size=60)
+        model = arcov(x, 4)
+        assert model.residuals is not None
+        assert model.residuals.shape == (56,)
+
+
+class TestSlidingCovarianceFitter:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SlidingCovarianceFitter(order=0, capacity=10)
+        with pytest.raises(ConfigurationError):
+            SlidingCovarianceFitter(order=4, capacity=8)
+        fitter = SlidingCovarianceFitter(order=2, capacity=10)
+        with pytest.raises(SignalModelError):
+            fitter.push(float("nan"))
+
+    def test_insufficient_data(self):
+        fitter = SlidingCovarianceFitter(order=4, capacity=20)
+        fitter.extend([0.5] * 8)
+        with pytest.raises(InsufficientDataError):
+            fitter.fit()
+
+    @pytest.mark.parametrize(
+        "case", ["random", "ar_process", "constant", "near_constant",
+                 "rank_deficient", "campaign"]
+    )
+    def test_streaming_matches_reference(self, rng, case):
+        x = signal_cases(rng)[case]
+        fitter = SlidingCovarianceFitter(order=4, capacity=50)
+        for i, value in enumerate(x):
+            fitter.push(value)
+            if len(fitter) > 8 and i % 5 == 0:
+                assert_matches_reference(fitter.fit(), fitter.values, 4)
+
+    def test_long_stream_drift_stays_below_tolerance(self, rng):
+        # 3000 pushes cross many rebuild boundaries and many full
+        # window turnovers; drift must never reach the equivalence bar.
+        x = np.clip(rng.normal(0.6, 0.2, size=3000), 0, 1)
+        fitter = SlidingCovarianceFitter(order=4, capacity=50)
+        worst = 0.0
+        for i, value in enumerate(x):
+            fitter.push(value)
+            if fitter.full and i % 7 == 0:
+                model = fitter.fit()
+                coeffs, normalized = reference_arcov(fitter.values, 4)
+                worst = max(
+                    worst,
+                    float(np.max(np.abs(model.coefficients - coeffs))),
+                    abs(model.normalized_error - normalized),
+                )
+        assert worst < TOL
+
+    def test_matches_arcov_exactly_shaped(self, rng):
+        x = rng.uniform(0, 1, size=50)
+        fitter = SlidingCovarianceFitter(order=4, capacity=50)
+        fitter.extend(x)
+        fast = fitter.fit()
+        slow = arcov(x, 4)
+        np.testing.assert_allclose(
+            fast.coefficients, slow.coefficients, atol=TOL, rtol=0
+        )
+        assert abs(fast.normalized_error - slow.normalized_error) < TOL
+        assert fast.n_samples == slow.n_samples == 50
+        assert fast.method == "covariance"
+        assert fast.residuals is None
+
+    def test_reset_and_refill(self, rng):
+        fitter = SlidingCovarianceFitter(order=2, capacity=20)
+        fitter.extend(rng.uniform(0, 1, size=20))
+        fitter.reset()
+        assert len(fitter) == 0
+        x = rng.uniform(0, 1, size=20)
+        fitter.extend(x)
+        assert_matches_reference(fitter.fit(), x, 2)
+
+
+class TestFitWindows:
+    def test_count_windows_match_per_window_arcov(self, rng):
+        values = rng.uniform(0, 1, size=400)
+        windower = CountWindower(size=50, step=10)
+        fitted = fit_windows(values, 4, windower)
+        assert len(fitted) > 30
+        for window, model in fitted:
+            x = window.values(values)
+            assert_matches_reference(model, x, 4)
+            assert model.residuals is not None
+
+    def test_rank_deficient_window_included(self, rng):
+        # A constant stretch makes some windows' Gram singular; those
+        # must fall back to lstsq, not be dropped or go NaN.
+        values = np.concatenate(
+            [rng.uniform(0, 1, size=100), np.full(100, 0.8),
+             rng.uniform(0, 1, size=100)]
+        )
+        fitted = fit_windows(values, 4, CountWindower(size=50, step=25))
+        assert len(fitted) == len(
+            [w for w in CountWindower(size=50, step=25).windows(
+                np.arange(300.0)) if w.size >= 9]
+        )
+        for window, model in fitted:
+            assert np.all(np.isfinite(model.coefficients))
+            assert_matches_reference(model, window.values(values), 4)
+
+    def test_time_windows_variable_sizes(self, rng):
+        times = np.sort(rng.uniform(0, 100, size=300))
+        values = rng.uniform(0, 1, size=300)
+        windower = TimeWindower(length=15.0, step=5.0)
+        fitted = fit_windows(values, 4, windower, times=times)
+        assert len(fitted) > 5
+        sizes = {w.size for w, _ in fitted}
+        assert len(sizes) > 1  # genuinely heterogeneous groups
+        for window, model in fitted:
+            assert_matches_reference(model, window.values(values), 4)
+
+    @pytest.mark.parametrize("method", ["autocorrelation", "burg"])
+    def test_other_estimators_match_loop(self, rng, method):
+        values = rng.uniform(0, 1, size=200)
+        windower = CountWindower(size=40, step=20)
+        fitted = fit_windows(values, 4, windower, method=method)
+        assert fitted
+        for window, model in fitted:
+            expected = AR_METHODS[method](window.values(values), 4)
+            np.testing.assert_array_equal(model.coefficients, expected.coefficients)
+            assert model.normalized_error == expected.normalized_error
+
+    def test_min_window_skips_small(self, rng):
+        values = rng.uniform(0, 1, size=100)
+        fitted = fit_windows(
+            values, 4, CountWindower(size=50, step=30), min_window=50
+        )
+        assert all(w.size >= 50 for w, _ in fitted)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(SignalModelError):
+            fit_windows([0.5] * 30, 0, CountWindower(size=10, step=5))
+        with pytest.raises(ConfigurationError):
+            fit_windows([0.5] * 30, 2, CountWindower(size=10, step=5),
+                        method="nope")
+        with pytest.raises(SignalModelError):
+            fit_windows([0.5, np.nan] * 15, 2, CountWindower(size=10, step=5))
+
+    def test_empty_signal(self):
+        assert fit_windows([], 4, CountWindower(size=50, step=25)) == []
+
+
+class TestDetectorEquivalence:
+    def test_batch_detector_unchanged_by_fast_path(self, rng):
+        # The batch detector's verdicts must equal fitting each window
+        # with the reference solver and thresholding (the seed logic).
+        values = np.clip(
+            np.concatenate(
+                [rng.normal(0.6, 0.2, size=150), np.full(80, 0.9),
+                 rng.normal(0.6, 0.2, size=70)]
+            ),
+            0.0,
+            1.0,
+        )
+        stream = make_stream(np.round(values, 2))
+        detector = ARModelErrorDetector(threshold=0.05)
+        verdicts = detector.window_errors(stream)
+        assert verdicts
+        for verdict in verdicts:
+            x = verdict.window.values(stream.values)
+            _, normalized = reference_arcov(x, detector.order)
+            assert abs(verdict.statistic - normalized) < TOL
+            assert verdict.suspicious == (verdict.statistic < detector.threshold)
+
+    def test_online_incremental_matches_batch_refit(self, rng):
+        # The headline equivalence: the incremental detector emits the
+        # same verdict sequence as the seed per-refit detector.
+        values = np.clip(
+            np.concatenate(
+                [rng.normal(0.6, 0.2, size=300), np.full(120, 0.85),
+                 rng.normal(0.6, 0.2, size=180)]
+            ),
+            0.0,
+            1.0,
+        )
+        ratings = list(make_stream(values))
+        fast = OnlineARDetector(window_size=50, stride=5, threshold=0.1,
+                                incremental=True)
+        slow = OnlineARDetector(window_size=50, stride=5, threshold=0.1,
+                                incremental=False)
+        fast_verdicts = fast.observe_many(ratings)
+        slow_verdicts = slow.observe_many(ratings)
+        assert len(fast_verdicts) == len(slow_verdicts)
+        for fv, sv in zip(fast_verdicts, slow_verdicts):
+            assert abs(fv.statistic - sv.statistic) < TOL
+            assert fv.suspicious == sv.suspicious
+            assert fv.level == sv.level
+            assert fv.window.index == sv.window.index
+
+    def test_incremental_state_roundtrip(self, rng):
+        values = np.clip(rng.normal(0.6, 0.2, size=200), 0, 1)
+        ratings = list(make_stream(values))
+        detector = OnlineARDetector(window_size=50, stride=5, incremental=True)
+        detector.observe_many(ratings[:120])
+        state = detector.state_dict()
+        restored = OnlineARDetector(window_size=50, stride=5, incremental=True)
+        restored.load_state(state)
+        tail_a = detector.observe_many(ratings[120:])
+        tail_b = restored.observe_many(ratings[120:])
+        assert len(tail_a) == len(tail_b)
+        for va, vb in zip(tail_a, tail_b):
+            assert abs(va.statistic - vb.statistic) < TOL
+            assert va.suspicious == vb.suspicious
+
+    def test_incremental_requires_covariance(self):
+        with pytest.raises(ConfigurationError):
+            OnlineARDetector(method="burg", incremental=True)
+
+    def test_reset_clears_fitter(self, rng):
+        values = np.clip(rng.normal(0.6, 0.2, size=120), 0, 1)
+        detector = OnlineARDetector(window_size=50, stride=5, incremental=True)
+        detector.observe_many(list(make_stream(values)))
+        detector.reset()
+        assert len(detector._fitter) == 0
+        replay = detector.observe_many(list(make_stream(values)))
+        fresh = OnlineARDetector(window_size=50, stride=5, incremental=True)
+        expected = fresh.observe_many(list(make_stream(values)))
+        assert [v.statistic for v in replay] == pytest.approx(
+            [v.statistic for v in expected], abs=TOL
+        )
