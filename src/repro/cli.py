@@ -134,6 +134,25 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         "--threshold", type=float, default=0.10, help="model-error alarm threshold"
     )
     parser.add_argument(
+        "--sources",
+        default="ar",
+        help=(
+            "comma-separated detector ensemble sources "
+            "(ar, cograph, iterfilter; default: ar only)"
+        ),
+    )
+    parser.add_argument(
+        "--source-weights",
+        default=None,
+        help="comma-separated combiner weights, aligned with --sources",
+    )
+    parser.add_argument(
+        "--combiner",
+        default="weighted_mean",
+        choices=("weighted_mean", "max"),
+        help="how per-source suspicion masses merge",
+    )
+    parser.add_argument(
         "--wal-dir",
         default=None,
         help="write-ahead log directory (enables durability + recovery)",
@@ -166,6 +185,14 @@ def _build_engine(args: argparse.Namespace):
     from repro.service import RatingEngine, ServiceConfig
     from repro.service.wal import WAL_FILENAME, latest_snapshot
 
+    sources = tuple(
+        name.strip() for name in args.sources.split(",") if name.strip()
+    )
+    weights = None
+    if args.source_weights is not None:
+        weights = tuple(
+            float(w) for w in args.source_weights.split(",") if w.strip()
+        )
     config = ServiceConfig(
         n_shards=args.shards,
         batch_max_ratings=args.batch,
@@ -173,6 +200,9 @@ def _build_engine(args: argparse.Namespace):
         detector_window=args.window,
         detector_stride=args.stride,
         detector_threshold=args.threshold,
+        ensemble_sources=sources,
+        ensemble_weights=weights,
+        ensemble_combiner=args.combiner,
         wal_dir=args.wal_dir,
         snapshot_every=args.snapshot_every,
     )
@@ -229,6 +259,8 @@ def _run_replay(args: argparse.Namespace) -> int:
         f"  AR evaluations: {stats['ar_evaluations']}  "
         f"windows flagged: {stats['windows_flagged']}  "
         f"trust updates: {stats['trust_updates']}",
+        f"  ensemble: {'+'.join(stats['ensemble']['sources'])} "
+        f"via {stats['ensemble']['combiner']}",
         f"  detected malicious raters: {malicious if malicious else 'none'}",
     ]
     print("\n".join(lines))

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import asdict
-from typing import Deque, List, Optional, Tuple
+from typing import Callable, Deque, List, Optional, Tuple
 
 import numpy as np
 
@@ -50,6 +50,16 @@ class OnlineARDetector:
             instead of rebuilding the least-squares problem per refit
             -- numerically equivalent, ``O(stride * p^2 + p^3)`` per
             evaluation.  Only valid with ``method="covariance"``.
+        max_raters_per_product: hard cap on the position -> rater map.
+            Between :meth:`prune` calls the map grows by one entry per
+            rating; under the cap the oldest positions are evicted as
+            new ones arrive (LRU -- positions are inserted in stream
+            order), so memory stays bounded even if a deployment
+            forgets to prune.  ``None`` (default) keeps the unbounded
+            behaviour.
+        on_eviction: optional callback invoked with the number of
+            entries evicted by a single arrival (deployments wire it
+            to an eviction counter metric).
     """
 
     def __init__(
@@ -61,6 +71,8 @@ class OnlineARDetector:
         method: str = "covariance",
         scale: float = 1.0,
         incremental: bool = False,
+        max_raters_per_product: Optional[int] = None,
+        on_eviction: Optional[Callable[[int], None]] = None,
     ) -> None:
         if order < 1:
             raise ConfigurationError(f"order must be >= 1, got {order}")
@@ -83,6 +95,10 @@ class OnlineARDetector:
                 "incremental refitting is only available for the "
                 f"covariance method, not {method!r}"
             )
+        if max_raters_per_product is not None and max_raters_per_product < 1:
+            raise ConfigurationError(
+                f"max_raters_per_product must be >= 1, got {max_raters_per_product}"
+            )
         self.order = order
         self.threshold = float(threshold)
         self.window_size = int(window_size)
@@ -90,6 +106,11 @@ class OnlineARDetector:
         self.method = method
         self.scale = float(scale)
         self.incremental = bool(incremental)
+        self.max_raters_per_product = (
+            None if max_raters_per_product is None else int(max_raters_per_product)
+        )
+        self.on_eviction = on_eviction
+        self.n_evictions = 0
         self._fitter: Optional[SlidingCovarianceFitter] = (
             SlidingCovarianceFitter(order=order, capacity=window_size)
             if incremental
@@ -129,6 +150,7 @@ class OnlineARDetector:
         self._n_evaluations = 0
         self._last_time = None
         self._rater_by_position = {}
+        self.n_evictions = 0
         self.verdicts = []
 
     # -- persistence ---------------------------------------------------------
@@ -210,6 +232,18 @@ class OnlineARDetector:
         if self._fitter is not None:
             self._fitter.push(rating.value)
         self._rater_by_position[self._n_seen] = rating.rater_id
+        cap = self.max_raters_per_product
+        if cap is not None and len(self._rater_by_position) > cap:
+            # Positions enter in stream order, so the dict's insertion
+            # order *is* recency order: evict from the front.
+            evicted = 0
+            while len(self._rater_by_position) > cap:
+                oldest = next(iter(self._rater_by_position))
+                del self._rater_by_position[oldest]
+                evicted += 1
+            self.n_evictions += evicted
+            if self.on_eviction is not None:
+                self.on_eviction(evicted)
         self._n_seen += 1
         self._since_last_fit += 1
         if not self.buffer_full or self._since_last_fit < self.stride:

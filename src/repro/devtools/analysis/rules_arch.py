@@ -14,6 +14,8 @@ layer   name         subpackages
                      ``evaluation``
 3       composition  ``core``, ``simulation``, ``audit``
 4       application  ``experiments``, ``presets``, ``service``
+                     (incl. ``service.ensemble``, the pluggable
+                     online detector sources)
 5       interface    ``cli``, ``__main__``, the root package
 ======  ===========  ====================================================
 

@@ -10,6 +10,7 @@ from repro.experiments import (
     collusion_groups,
     baselines,
     detection500,
+    ensemble_zoo,
     forgetting,
     individual_unfair,
     sensitivity,
@@ -100,6 +101,11 @@ REGISTRY = {
         individual_unfair.format_report,
         "individual vs. collaborative unfairness (Section II-B claim)",
     ),
+    "ensemble-zoo": (
+        ensemble_zoo.run,
+        ensemble_zoo.format_report,
+        "attack zoo: AR-only vs the online detector ensemble (extension)",
+    ),
 }
 
 __all__ = [
@@ -113,6 +119,7 @@ __all__ = [
     "sensitivity",
     "vouching",
     "detection500",
+    "ensemble_zoo",
     "fig2_fig3",
     "fig4",
     "fig5_netflix",

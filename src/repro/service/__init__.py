@@ -3,11 +3,13 @@
 Everything before this package was batch -- re-processing intervals
 offline.  ``repro.service`` is the live half of the paper's Fig. 1
 portal: a sharded, thread-safe :class:`RatingEngine` streaming ratings
-through per-product online AR detectors and batched Procedure 2 trust
-updates, write-ahead-log durability with atomic snapshots
-(:mod:`repro.service.wal`), dependency-free Prometheus metrics
-(:mod:`repro.service.metrics`), and a stdlib JSON HTTP API
-(:mod:`repro.service.http`).
+through a pluggable online detector ensemble
+(:mod:`repro.service.ensemble`: the paper's AR signal model, an
+incremental co-rating collusion graph, online iterative filtering)
+and batched Procedure 2 trust updates, write-ahead-log durability
+with atomic snapshots (:mod:`repro.service.wal`), dependency-free
+Prometheus metrics (:mod:`repro.service.metrics`), and a stdlib JSON
+HTTP API (:mod:`repro.service.http`).
 
 Run it from the command line::
 
@@ -24,6 +26,7 @@ or embed it::
 
 from repro.service.config import ServiceConfig
 from repro.service.engine import RatingEngine, SubmitResult
+from repro.service.ensemble import OnlineSuspicionSource
 from repro.service.http import RatingServiceServer, make_server, serve
 from repro.service.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.service.wal import (
@@ -37,6 +40,7 @@ __all__ = [
     "ServiceConfig",
     "RatingEngine",
     "SubmitResult",
+    "OnlineSuspicionSource",
     "RatingServiceServer",
     "make_server",
     "serve",

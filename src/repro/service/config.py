@@ -10,12 +10,32 @@ recovery can rebuild an identically-behaving engine.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, fields
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.signal.ar import AR_METHODS
 
 __all__ = ["ServiceConfig"]
+
+#: Default alarm threshold per ensemble source; ``None`` defers to the
+#: deprecated ``detector_threshold`` field (the AR source's historical
+#: knob, kept so pre-ensemble configs and snapshots still load).
+_DEFAULT_SOURCE_THRESHOLDS: Dict[str, Optional[float]] = {
+    "ar": None,
+    "cograph": 0.5,
+    "iterfilter": 0.5,
+}
+
+#: Default scoring period (in trust flushes) per ensemble source.  The
+#: AR source charges per rating, so its period is moot; the graph and
+#: iterative-filtering sources run whole-structure sweeps, and pricing
+#: those every flush is what would blow the <=2x ingest budget
+#: (benchmarks/bench_ensemble.py) -- they score every 4th flush.
+_DEFAULT_SOURCE_PERIODS: Dict[str, int] = {
+    "ar": 1,
+    "cograph": 4,
+    "iterfilter": 4,
+}
 
 
 @dataclass(frozen=True)
@@ -34,6 +54,9 @@ class ServiceConfig:
         detector_order: AR model order of the per-product streaming
             detector.
         detector_threshold: normalized model-error alarm threshold.
+            *Deprecated alias*: this is now just the default for the
+            AR entry of :attr:`ensemble_thresholds`; new configs
+            should set per-source thresholds there.
         detector_window: ratings per streaming analysis window.
         detector_stride: arrivals between AR refits.
         detector_method: AR estimator name (see ``repro.signal.ar``).
@@ -45,6 +68,30 @@ class ServiceConfig:
             evaluation.  ``None`` (the default) enables it exactly
             when ``detector_method`` is ``"covariance"``; ``True``
             with another method is a configuration error.
+        ensemble_sources: enabled online suspicion sources, by name
+            (see :data:`repro.service.ensemble.SOURCE_NAMES`); order
+            is the flush/combine order.  The default, ``("ar",)``,
+            reproduces the pre-ensemble engine bit-for-bit.
+        ensemble_weights: per-source combiner weights, aligned with
+            ``ensemble_sources`` (None = all 1.0).  Weights are
+            non-negative and must not all be zero.
+        ensemble_thresholds: per-source alarm thresholds, aligned with
+            ``ensemble_sources``; a ``None`` entry (or a ``None``
+            tuple) picks the source default -- for ``"ar"`` that is
+            the deprecated :attr:`detector_threshold`.
+        ensemble_periods: per-source scoring period in flushes,
+            aligned with ``ensemble_sources``; a ``None`` tuple picks
+            the source defaults (AR every flush; the graph and
+            iterative-filtering sweeps every 4th flush, which is what
+            keeps the full ensemble inside its 2x ingest budget).
+            The AR source charges per rating and ignores its period.
+        ensemble_combiner: how per-source suspicion masses merge
+            before the trust update: ``"weighted_mean"`` or ``"max"``
+            (see :data:`repro.service.ensemble.COMBINERS`).
+        max_raters_per_product: LRU cap on per-product rater
+            bookkeeping inside each source (detector position maps,
+            co-rating sets); evictions are counted in
+            ``repro_ensemble_evictions_total``.
         trust_badness_weight: Procedure 2's ``b``.
         trust_detection_threshold: trust below this marks a rater
             malicious.
@@ -66,6 +113,12 @@ class ServiceConfig:
     detector_method: str = "covariance"
     detector_scale: float = 1.0
     detector_incremental: Optional[bool] = None
+    ensemble_sources: Tuple[str, ...] = ("ar",)
+    ensemble_weights: Optional[Tuple[float, ...]] = None
+    ensemble_thresholds: Optional[Tuple[Optional[float], ...]] = None
+    ensemble_periods: Optional[Tuple[int, ...]] = None
+    ensemble_combiner: str = "weighted_mean"
+    max_raters_per_product: int = 1024
     trust_badness_weight: float = 1.0
     trust_detection_threshold: float = 0.5
     trust_forgetting_factor: float = 1.0
@@ -97,26 +150,83 @@ class ServiceConfig:
             raise ConfigurationError(
                 f"snapshot_every must be >= 0, got {self.snapshot_every}"
             )
+        self._validate_ensemble()
         # Detector / trust ranges are validated by their owners; fail
         # fast here so a bad config surfaces at construction, not at
-        # the first rating of a previously unseen product.
+        # the first rating of a previously unseen product.  Building
+        # the sources also validates per-source thresholds/periods.
         from repro.detectors.online import OnlineARDetector
+        from repro.service.ensemble import build_sources
         from repro.trust.manager import TrustManagerConfig
 
         OnlineARDetector(
             order=self.detector_order,
-            threshold=self.detector_threshold,
+            threshold=self.source_thresholds.get("ar", self.detector_threshold),
             window_size=self.detector_window,
             stride=self.detector_stride,
             method=self.detector_method,
             scale=self.detector_scale,
             incremental=self.incremental_enabled,
+            max_raters_per_product=self.max_raters_per_product,
         )
+        build_sources(self)
         TrustManagerConfig(
             badness_weight=self.trust_badness_weight,
             detection_threshold=self.trust_detection_threshold,
             forgetting_factor=self.trust_forgetting_factor,
         )
+
+    def _validate_ensemble(self) -> None:
+        # Tuple-ify sequence fields so JSON round-trips (lists) compare
+        # and hash like freshly-built configs.
+        object.__setattr__(self, "ensemble_sources", tuple(self.ensemble_sources))
+        for field_name in ("ensemble_weights", "ensemble_thresholds", "ensemble_periods"):
+            value = getattr(self, field_name)
+            if value is not None:
+                object.__setattr__(self, field_name, tuple(value))
+        from repro.service.ensemble import SOURCE_NAMES
+        from repro.service.ensemble.base import COMBINERS
+
+        sources = self.ensemble_sources
+        if not sources:
+            raise ConfigurationError("ensemble_sources must name at least one source")
+        unknown = [name for name in sources if name not in SOURCE_NAMES]
+        if unknown:
+            raise ConfigurationError(
+                f"unknown ensemble sources {unknown}; choose from {list(SOURCE_NAMES)}"
+            )
+        if len(set(sources)) != len(sources):
+            raise ConfigurationError(f"duplicate ensemble sources in {sources}")
+        for field_name in ("ensemble_weights", "ensemble_thresholds", "ensemble_periods"):
+            value = getattr(self, field_name)
+            if value is not None and len(value) != len(sources):
+                raise ConfigurationError(
+                    f"{field_name} has {len(value)} entries for "
+                    f"{len(sources)} sources"
+                )
+        if self.ensemble_weights is not None:
+            if any(w < 0 for w in self.ensemble_weights):
+                raise ConfigurationError(
+                    f"ensemble_weights must be >= 0, got {self.ensemble_weights}"
+                )
+            if sum(self.ensemble_weights) <= 0:
+                raise ConfigurationError("ensemble_weights must not all be zero")
+        if self.ensemble_periods is not None and any(
+            p < 1 for p in self.ensemble_periods
+        ):
+            raise ConfigurationError(
+                f"ensemble_periods must be >= 1, got {self.ensemble_periods}"
+            )
+        if self.ensemble_combiner not in COMBINERS:
+            raise ConfigurationError(
+                f"unknown combiner {self.ensemble_combiner!r}; "
+                f"choose from {sorted(COMBINERS)}"
+            )
+        if self.max_raters_per_product < 1:
+            raise ConfigurationError(
+                f"max_raters_per_product must be >= 1, "
+                f"got {self.max_raters_per_product}"
+            )
 
     @property
     def incremental_enabled(self) -> bool:
@@ -124,6 +234,48 @@ class ServiceConfig:
         if self.detector_incremental is None:
             return self.detector_method == "covariance"
         return bool(self.detector_incremental)
+
+    @property
+    def source_weights(self) -> Dict[str, float]:
+        """Resolved source -> combiner weight (default 1.0 each)."""
+        if self.ensemble_weights is None:
+            return {name: 1.0 for name in self.ensemble_sources}
+        return {
+            name: float(weight)
+            for name, weight in zip(self.ensemble_sources, self.ensemble_weights)
+        }
+
+    @property
+    def source_thresholds(self) -> Dict[str, float]:
+        """Resolved source -> alarm threshold.
+
+        ``None`` entries fall back to the per-source default; for the
+        AR source the default is the deprecated
+        :attr:`detector_threshold` field, so configs written before
+        per-source thresholds behave unchanged.
+        """
+        explicit = self.ensemble_thresholds or (None,) * len(self.ensemble_sources)
+        resolved = {}
+        for name, value in zip(self.ensemble_sources, explicit):
+            if value is None:
+                value = _DEFAULT_SOURCE_THRESHOLDS.get(name)
+            if value is None:  # the "ar" default defers to the alias
+                value = self.detector_threshold
+            resolved[name] = float(value)
+        return resolved
+
+    @property
+    def source_periods(self) -> Dict[str, int]:
+        """Resolved source -> scoring period in flushes."""
+        if self.ensemble_periods is None:
+            return {
+                name: _DEFAULT_SOURCE_PERIODS.get(name, 1)
+                for name in self.ensemble_sources
+            }
+        return {
+            name: int(period)
+            for name, period in zip(self.ensemble_sources, self.ensemble_periods)
+        }
 
     def to_dict(self) -> dict:
         """Plain-dict form (embedded in snapshots)."""

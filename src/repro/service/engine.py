@@ -4,26 +4,28 @@
 long-running, thread-safe serving component:
 
 * **Sharding** -- products are hashed across ``n_shards`` independently
-  locked shards, each owning its slice of the rating store, one
-  :class:`~repro.detectors.online.OnlineARDetector` per active
-  product, and the pending observation tallies for its raters.
-  Unrelated products never contend on a lock.
+  locked shards, each owning its slice of the rating store, its
+  instances of the configured detector ensemble
+  (:mod:`repro.service.ensemble`), and the pending observation tallies
+  for its raters.  Unrelated products never contend on a lock.
+* **Detector ensemble** -- every accepted rating is observed by each
+  enabled :class:`~repro.service.ensemble.OnlineSuspicionSource`; at
+  flush time their per-rater suspicion masses are merged by the
+  configured combiner and fed to Procedure 2.  The default config
+  enables only the AR source, which reproduces the pre-ensemble
+  engine bit-for-bit (see
+  :class:`~repro.service.ensemble.ar_source.ARSuspicionSource`).
 * **Batched trust updates** -- per-rater observations (ratings
-  provided, suspicion charged by the streaming detector) accumulate in
-  the shard and are flushed into the global
+  provided, suspicion charged by the sources) accumulate in the shard
+  and are flushed into the global
   :class:`~repro.trust.manager.TrustManager` every
   ``batch_max_ratings`` ingests or ``batch_max_seconds`` of wall time,
   amortizing Procedure 2 over many ratings.
 * **Durability** -- accepted ratings are appended to a write-ahead log
   *before* touching in-memory state; :meth:`snapshot` persists the
-  bounded engine state and :meth:`recover` rebuilds a crashed engine
-  bit-for-bit by replaying the WAL over the latest snapshot.
-
-The suspicion accounting is equivalent to
-:meth:`OnlineARDetector.suspicious_raters` for a constant detector
-scale, but incremental and bounded: each stream position is charged at
-most once (the level is the constant ``detector_scale``), so the
-engine only remembers the positions still inside the detector window.
+  bounded engine state (ensemble state included) and :meth:`recover`
+  rebuilds a crashed engine bit-for-bit by replaying the WAL over the
+  latest snapshot.
 """
 
 from __future__ import annotations
@@ -31,17 +33,18 @@ from __future__ import annotations
 import contextlib
 import threading
 import time
-from collections import deque
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Deque, Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional
 
 from repro.aggregation.methods import ModifiedWeightedAverage
-from repro.detectors.online import OnlineARDetector
 from repro.errors import ConfigurationError, UnknownProductError
 from repro.ratings.models import Product, RaterClass, RaterProfile, Rating
 from repro.ratings.store import RatingStore
 from repro.service.config import ServiceConfig
+from repro.service.ensemble import build_sources
+from repro.service.ensemble.ar_source import ARSuspicionSource
+from repro.service.ensemble.base import COMBINERS, OnlineSuspicionSource
 from repro.service.metrics import MetricsRegistry
 from repro.service.wal import (
     WAL_FILENAME,
@@ -151,14 +154,10 @@ class _Shard:
     # Lint contract (CC03): all mutable shard state is owned by `lock`.
     _GUARDED_BY = {
         "store": "lock",
-        "detectors": "lock",
-        "recent": "lock",
-        "charged": "lock",
+        "sources": "lock",
         "score_cache": "lock",
         "last_time": "lock",
         "pending_provided": "lock",
-        "pending_suspicion": "lock",
-        "pending_suspicious": "lock",
         "since_flush": "lock",
         "last_flush": "lock",
         "n_accepted": "lock",
@@ -172,34 +171,19 @@ class _Shard:
         self.config = config
         self.lock = threading.RLock()
         self.store = RatingStore()
-        self.detectors: Dict[int, OnlineARDetector] = {}
-        # Last window_size (position, rater_id) pairs per product: the
-        # positions a future verdict's window can still cover.
-        self.recent: Dict[int, Deque[Tuple[int, int]]] = {}
-        self.charged: Dict[int, Set[int]] = {}
+        # The shard's own instances of the configured detector
+        # ensemble, in config order (= flush/combine order).
+        self.sources: Dict[str, OnlineSuspicionSource] = build_sources(config)
+        self.ar: Optional[ARSuspicionSource] = self.sources.get("ar")  # type: ignore[assignment]
         self.score_cache: Dict[int, "_ScoreCacheEntry"] = {}
         self.last_time: Dict[int, float] = {}
         self.pending_provided: Dict[int, int] = {}
-        self.pending_suspicion: Dict[int, float] = {}
-        self.pending_suspicious: Dict[int, int] = {}
         self.since_flush = 0
         self.last_flush = time.monotonic()
         self.n_accepted = 0
         self.n_rejected = 0
         self.n_evaluations = 0
         self.n_flagged = 0
-
-    def make_detector(self) -> OnlineARDetector:
-        c = self.config
-        return OnlineARDetector(
-            order=c.detector_order,
-            threshold=c.detector_threshold,
-            window_size=c.detector_window,
-            stride=c.detector_stride,
-            method=c.detector_method,
-            scale=c.detector_scale,
-            incremental=c.incremental_enabled,
-        )
 
 
 class RatingEngine:
@@ -217,6 +201,7 @@ class RatingEngine:
         "trust_manager": "_trust_lock",
         "_n_trust_updates": "_trust_lock",
         "_trust_epoch": "_trust_lock",
+        "_suspicion_totals": "_trust_lock",
         "_n_accepted": "_count_lock",
     }
 
@@ -240,6 +225,11 @@ class RatingEngine:
         self._count_lock = threading.Lock()
         self._n_accepted = 0
         self._n_trust_updates = 0
+        self._combine = COMBINERS[self.config.ensemble_combiner]
+        self._source_weights = self.config.source_weights
+        # Combined suspicion mass ever flushed per rater -- the
+        # engine-level detector statistic (see suspicion_table()).
+        self._suspicion_totals: Dict[int, float] = {}
         # Bumped on every trust flush: score-cache entries from older
         # epochs were aggregated under stale trusts and are invalid.
         self._trust_epoch = 0
@@ -288,6 +278,32 @@ class RatingEngine:
             )
             for i in range(self.config.n_shards)
         ]
+        self._m_suspicion = {
+            name: m.gauge(
+                "repro_ensemble_suspicion",
+                "Suspicion mass emitted by a source at its latest flush.",
+                labels={"source": name},
+            )
+            for name in self.config.ensemble_sources
+        }
+        self._m_flush_latency = {
+            name: m.histogram(
+                "repro_ensemble_flush_seconds",
+                "Wall time of one source's flush() call.",
+                labels={"source": name},
+            )
+            for name in self.config.ensemble_sources
+        }
+        self._m_evictions = {
+            name: m.counter(
+                "repro_ensemble_evictions_total",
+                "Bounded-memory LRU evictions inside a source.",
+                labels={"source": name},
+            )
+            for name in self.config.ensemble_sources
+        }
+        for shard in self._shards:
+            self._wire_shard(shard)
 
         self.wal: Optional[WriteAheadLog] = None
         if self.config.wal_dir is not None:
@@ -296,6 +312,29 @@ class RatingEngine:
                 fsync_every=self.config.wal_fsync_every,
                 on_fsync=self._m_fsync.observe,
             )
+
+    def _wire_shard(self, shard: _Shard) -> None:
+        """Point a shard's sources at the engine's metrics/counters.
+
+        Callbacks run under the shard lock (observe/flush hold it), so
+        touching shard counters here is safe.
+        """
+        for name, source in shard.sources.items():
+            source.on_eviction = self._m_evictions[name].inc
+        ar = shard.ar
+        if ar is not None:
+
+            def on_evaluation() -> None:
+                shard.n_evaluations += 1
+                self._m_refits.inc()
+
+            def on_flag() -> None:
+                shard.n_flagged += 1
+                self._m_flagged.inc()
+
+            ar.on_evaluation = on_evaluation
+            ar.on_flag = on_flag
+            ar.on_new_product = self._m_active_products.inc
 
     # -- routing -----------------------------------------------------------
 
@@ -392,26 +431,10 @@ class RatingEngine:
             else:
                 del shard.score_cache[pid]
 
-        detector = shard.detectors.get(pid)
-        if detector is None:
-            detector = shard.make_detector()
-            shard.detectors[pid] = detector
-            shard.recent[pid] = deque(maxlen=self.config.detector_window)
-            shard.charged[pid] = set()
-            self._m_active_products.inc()
-        shard.recent[pid].append((detector.n_seen, rid))
-        verdict = detector.observe(rating)
+        for source in shard.sources.values():
+            source.observe(rating)
         shard.last_time[pid] = rating.time
-
-        flagged = False
-        if verdict is not None:
-            shard.n_evaluations += 1
-            self._m_refits.inc()
-            if verdict.suspicious:
-                flagged = True
-                shard.n_flagged += 1
-                self._m_flagged.inc()
-                self._charge_window(shard, pid, detector)
+        flagged = shard.ar.last_flagged if shard.ar is not None else False
 
         shard.pending_provided[rid] = shard.pending_provided.get(rid, 0) + 1
         shard.since_flush += 1
@@ -427,59 +450,57 @@ class RatingEngine:
             self._flush_shard(shard)
         return flagged
 
-    def _charge_window(self, shard: _Shard, pid: int, detector: OnlineARDetector) -> None:
-        """Charge the detector's current window, once per position (shard lock held).
-
-        The verdict's window is exactly the last ``len(buffer)``
-        positions, which is what ``shard.recent[pid]`` holds; each
-        never-charged position adds ``detector_scale`` suspicion to its
-        rater -- the batch max-then-sum rule for a constant scale.
-        """
-        charged = shard.charged[pid]
-        scale = self.config.detector_scale
-        for position, rater_id in shard.recent[pid]:
-            if position in charged:
-                continue
-            charged.add(position)
-            shard.pending_suspicion[rater_id] = (
-                shard.pending_suspicion.get(rater_id, 0.0) + scale
-            )
-            shard.pending_suspicious[rater_id] = (
-                shard.pending_suspicious.get(rater_id, 0) + 1
-            )
-        # Positions that fell out of the window can never be charged
-        # again; keep the set bounded.
-        cutoff = detector.n_seen - self.config.detector_window
-        if cutoff > 0:
-            charged -= {p for p in charged if p < cutoff}
-
     # -- trust flushing ------------------------------------------------------
 
     def _flush_shard(self, shard: _Shard) -> None:
-        """Push a shard's pending tallies through Procedure 2 (lock held)."""
+        """Push a shard's pending tallies through Procedure 2 (lock held).
+
+        Each source flushes its per-rater suspicion mass (timed into
+        ``repro_ensemble_flush_seconds``); the configured combiner
+        merges the masses; the merged mass plus the AR source's
+        flagged-rating counts feed the trust update.
+        """
         if shard.since_flush == 0:
             shard.last_flush = time.monotonic()
             return
+        per_source: Dict[str, Dict[int, float]] = {}
+        flagged_counts: Dict[int, int] = {}
+        for name, source in shard.sources.items():
+            start = time.perf_counter()
+            mass = source.flush()
+            self._m_flush_latency[name].observe(time.perf_counter() - start)
+            self._m_suspicion[name].set(sum(mass.values()))
+            per_source[name] = mass
+            # Only sources whose alarms map onto individual ratings
+            # report flagged counts (today: the AR source).
+            flush_counts = getattr(source, "flush_counts", None)
+            if flush_counts is not None:
+                for rater_id, count in flush_counts().items():
+                    flagged_counts[rater_id] = (
+                        flagged_counts.get(rater_id, 0) + count
+                    )
+        combined = self._combine(per_source, self._source_weights)
         with self._trust_lock:
             observations = self.trust_manager.observations
             for rater_id, count in shard.pending_provided.items():
                 observations.record_provided(rater_id, count)
-            for rater_id, value in shard.pending_suspicion.items():
+            for rater_id, value in combined.items():
                 observations.record_suspicion_value(rater_id, value)
-            for rater_id, count in shard.pending_suspicious.items():
+                self._suspicion_totals[rater_id] = (
+                    self._suspicion_totals.get(rater_id, 0.0) + value
+                )
+            for rater_id, count in flagged_counts.items():
                 observations.record_suspicious(rater_id, count)
             self.trust_manager.update()
             self._n_trust_updates += 1
             self._trust_epoch += 1
         shard.pending_provided = {}
-        shard.pending_suspicion = {}
-        shard.pending_suspicious = {}
         shard.since_flush = 0
         shard.last_flush = time.monotonic()
         self._m_trust_updates.inc()
         self._m_queue_depth[shard.index].set(0)
-        for detector in shard.detectors.values():
-            detector.prune()
+        for source in shard.sources.values():
+            source.prune()
 
     def flush(self) -> None:
         """Flush every shard's pending observations into the trust manager."""
@@ -569,6 +590,37 @@ class RatingEngine:
         with self._trust_lock:
             return self.trust_manager.detected_malicious()
 
+    def suspicion_table(self) -> Dict[int, float]:
+        """rater_id -> combined suspicion mass ever flushed.
+
+        The engine-level detector statistic: what the ensemble has
+        charged each rater with so far, after combining.  Pending
+        (unflushed) mass is not included.
+        """
+        with self._trust_lock:
+            return dict(self._suspicion_totals)
+
+    def ensemble_stats(self) -> dict:
+        """Configuration and counters of the detector ensemble."""
+        thresholds = self.config.source_thresholds
+        periods = self.config.source_periods
+        per_source = {}
+        for name in self.config.ensemble_sources:
+            evictions = 0
+            for shard in self._shards:
+                with shard.lock:
+                    evictions += shard.sources[name].n_evictions
+            per_source[name] = {
+                "weight": self._source_weights[name],
+                "threshold": thresholds[name],
+                "period": periods[name],
+                "n_evictions": evictions,
+            }
+        return {
+            "combiner": self.config.ensemble_combiner,
+            "sources": per_source,
+        }
+
     def has_product(self, product_id: int) -> bool:
         """True when some shard has seen the product."""
         shard = self._shard_for(product_id)
@@ -610,6 +662,7 @@ class RatingEngine:
             "trust_updates": self._n_trust_updates,
             "ratings_per_second": accepted / uptime if uptime > 0 else 0.0,
             "shards": per_shard,
+            "ensemble": self.ensemble_stats(),
             "wal_entries": self.wal.n_entries if self.wal is not None else None,
         }
 
@@ -619,25 +672,17 @@ class RatingEngine:
         """Bounded engine state; callers must hold the write gate."""
         shards_state = []
         for shard in self._shards:
-            products = {}
-            for pid, detector in shard.detectors.items():
-                products[str(pid)] = {
-                    "detector": detector.state_dict(),
-                    "recent": [[p, r] for p, r in shard.recent[pid]],
-                    "charged": sorted(shard.charged[pid]),
-                    "last_time": shard.last_time[pid],
-                }
             shards_state.append(
                 {
-                    "products": products,
+                    "sources": {
+                        name: source.state_dict()
+                        for name, source in shard.sources.items()
+                    },
+                    "last_time": {
+                        str(pid): t for pid, t in shard.last_time.items()
+                    },
                     "pending_provided": {
                         str(k): v for k, v in shard.pending_provided.items()
-                    },
-                    "pending_suspicion": {
-                        str(k): v for k, v in shard.pending_suspicion.items()
-                    },
-                    "pending_suspicious": {
-                        str(k): v for k, v in shard.pending_suspicious.items()
                     },
                     "since_flush": shard.since_flush,
                     "n_accepted": shard.n_accepted,
@@ -659,13 +704,56 @@ class RatingEngine:
                     for rid in self.trust_manager.rater_ids
                 )
             }
+            suspicion_state = {
+                str(rid): value for rid, value in self._suspicion_totals.items()
+            }
         return {
-            "version": 1,
+            "version": 2,
             "config": self.config.to_dict(),
             "wal_position": self._n_accepted,
             "n_trust_updates": self._n_trust_updates,
             "trust": trust_state,
+            "suspicion_totals": suspicion_state,
             "shards": shards_state,
+        }
+
+    @staticmethod
+    def _upgrade_shard_state(shard_state: dict) -> dict:
+        """Translate a version-1 shard snapshot to the version-2 layout.
+
+        Version-1 engines ran exactly the AR detector with its state
+        spread over the shard (``products``/``pending_suspicion``/
+        ``pending_suspicious``), so the upgrade is a pure reshaping
+        into one :class:`ARSuspicionSource` state plus the shard-level
+        ``last_time`` map.
+        """
+        products = {}
+        last_time = {}
+        for pid_str, product_state in shard_state["products"].items():
+            products[pid_str] = {
+                "detector": product_state["detector"],
+                "recent": product_state["recent"],
+                "charged": product_state["charged"],
+            }
+            last_time[pid_str] = product_state["last_time"]
+        return {
+            "sources": {
+                "ar": {
+                    "products": products,
+                    "pending_mass": shard_state["pending_suspicion"],
+                    "pending_counts": shard_state["pending_suspicious"],
+                    "n_evaluations": shard_state["n_evaluations"],
+                    "n_flagged": shard_state["n_flagged"],
+                }
+            },
+            "last_time": last_time,
+            "pending_provided": shard_state["pending_provided"],
+            "since_flush": shard_state["since_flush"],
+            "n_accepted": shard_state["n_accepted"],
+            "n_rejected": shard_state["n_rejected"],
+            "n_evaluations": shard_state["n_evaluations"],
+            "n_flagged": shard_state["n_flagged"],
+            "store_n_ratings": shard_state["store_n_ratings"],
         }
 
     def _load_state(self, state: dict) -> None:
@@ -676,33 +764,30 @@ class RatingEngine:
                 f"snapshot has {len(shards_state)} shards, engine has "
                 f"{len(self._shards)}"
             )
+        version = int(state.get("version", 1))
         for shard, shard_state in zip(self._shards, shards_state):
+            if version < 2:
+                shard_state = self._upgrade_shard_state(shard_state)
             if shard.store.n_ratings != shard_state["store_n_ratings"]:
                 raise ConfigurationError(
                     f"shard {shard.index}: WAL prefix rebuilt "
                     f"{shard.store.n_ratings} ratings but the snapshot "
                     f"recorded {shard_state['store_n_ratings']}"
                 )
-            for pid_str, product_state in shard_state["products"].items():
-                pid = int(pid_str)
-                detector = shard.make_detector()
-                detector.load_state(product_state["detector"])
-                shard.detectors[pid] = detector
-                shard.recent[pid] = deque(
-                    ((int(p), int(r)) for p, r in product_state["recent"]),
-                    maxlen=self.config.detector_window,
+            saved_sources = shard_state["sources"]
+            if set(saved_sources) != set(shard.sources):
+                raise ConfigurationError(
+                    f"shard {shard.index}: snapshot has ensemble sources "
+                    f"{sorted(saved_sources)} but the config enables "
+                    f"{sorted(shard.sources)}"
                 )
-                shard.charged[pid] = {int(p) for p in product_state["charged"]}
-                shard.last_time[pid] = float(product_state["last_time"])
-                self._m_active_products.inc()
+            for name, source in shard.sources.items():
+                source.load_state(saved_sources[name])
+            shard.last_time = {
+                int(pid): float(t) for pid, t in shard_state["last_time"].items()
+            }
             shard.pending_provided = {
                 int(k): int(v) for k, v in shard_state["pending_provided"].items()
-            }
-            shard.pending_suspicion = {
-                int(k): float(v) for k, v in shard_state["pending_suspicion"].items()
-            }
-            shard.pending_suspicious = {
-                int(k): int(v) for k, v in shard_state["pending_suspicious"].items()
             }
             shard.since_flush = int(shard_state["since_flush"])
             shard.n_accepted = int(shard_state["n_accepted"])
@@ -715,6 +800,10 @@ class RatingEngine:
                 record.successes = float(record_state["successes"])
                 record.failures = float(record_state["failures"])
                 record.history = [float(v) for v in record_state["history"]]
+            self._suspicion_totals = {
+                int(k): float(v)
+                for k, v in state.get("suspicion_totals", {}).items()
+            }
         self._n_trust_updates = int(state.get("n_trust_updates", 0))
         with self._count_lock:
             self._n_accepted = int(state["wal_position"])

@@ -1,0 +1,187 @@
+"""Online iterative-filtering suspicion source.
+
+De Kerchove & Van Dooren's iterative filtering (PAPERS.md) jointly
+estimates object quality and rater reliability: qualities are
+reliability-weighted means, reliabilities shrink with a rater's
+distance from the estimated qualities, iterate.  Raters who
+consistently rate far from the consensus -- ballot stuffers, slow
+Sybil ramps pulling an item's score -- end up with low weight no
+matter how smooth their individual rating stream looks to the AR
+model.
+
+The online adaptation keeps a bounded *hot window* of recent ratings
+per product and runs a few damped reweighting sweeps over those
+windows at scoring time (every ``score_every`` flushes).  Weights
+persist across flushes (damping makes them a slow EWMA of the batch
+estimate) but are pruned to raters still present in some hot window,
+so memory is bounded by ``n_products x hot_window``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.ratings.models import Rating
+from repro.service.ensemble.base import OnlineSuspicionSource, unit_suspicion
+
+__all__ = ["IterativeFilterSource"]
+
+
+class IterativeFilterSource(OnlineSuspicionSource):
+    """Damped reciprocal-distance iterative filtering over hot windows.
+
+    Args:
+        threshold: minimum suspicion score (``1 - w / max_w``, in
+            ``[0, 1]``) for a rater to be charged.
+        score_every: run the reweighting sweeps every N-th flush.
+        hot_window: recent ratings kept per product.
+        n_sweeps: reweighting sweeps per scoring pass.
+        damping: blend factor for new weights (0 = frozen, 1 = jump to
+            the batch estimate each pass).
+        eps: distance regularizer; keeps perfectly-agreeing raters'
+            reciprocal-distance weights finite.
+        min_ratings: products with fewer hot ratings are skipped (a
+            two-rating "consensus" is noise).
+    """
+
+    name = "iterfilter"
+
+    def __init__(
+        self,
+        threshold: float = 0.5,
+        score_every: int = 1,
+        hot_window: int = 64,
+        n_sweeps: int = 3,
+        damping: float = 0.5,
+        eps: float = 1e-3,
+        min_ratings: int = 3,
+    ) -> None:
+        super().__init__(threshold=threshold, score_every=score_every)
+        if hot_window < 2:
+            raise ConfigurationError(f"hot_window must be >= 2, got {hot_window}")
+        if n_sweeps < 1:
+            raise ConfigurationError(f"n_sweeps must be >= 1, got {n_sweeps}")
+        if not 0.0 < damping <= 1.0:
+            raise ConfigurationError(f"damping must lie in (0, 1], got {damping}")
+        if eps <= 0.0:
+            raise ConfigurationError(f"eps must be > 0, got {eps}")
+        if min_ratings < 2:
+            raise ConfigurationError(f"min_ratings must be >= 2, got {min_ratings}")
+        self.hot_window = int(hot_window)
+        self.n_sweeps = int(n_sweeps)
+        self.damping = float(damping)
+        self.eps = float(eps)
+        self.min_ratings = int(min_ratings)
+        # product -> deque of (rater_id, value), most recent last.
+        self._hot: Dict[int, Deque[Tuple[int, float]]] = {}
+        # rater -> reliability weight in (0, 1].
+        self._weights: Dict[int, float] = {}
+        # rater -> ratings since the last scoring pass.
+        self._counts: Dict[int, int] = {}
+        self._since_score = 0
+
+    # -- protocol ----------------------------------------------------------
+
+    def observe(self, rating: Rating) -> None:
+        window = self._hot.get(rating.product_id)
+        if window is None:
+            window = deque(maxlen=self.hot_window)
+            self._hot[rating.product_id] = window
+        window.append((rating.rater_id, rating.value))
+        self._counts[rating.rater_id] = self._counts.get(rating.rater_id, 0) + 1
+
+    def flush(self) -> Dict[int, float]:
+        self._since_score += 1
+        if self._since_score < self.score_every:
+            return {}
+        self._since_score = 0
+        mass = self._score()
+        self._counts = {}
+        return mass
+
+    # -- scoring -----------------------------------------------------------
+
+    def _score(self) -> Dict[int, float]:
+        """Run the damped sweeps; charge low-weight raters.
+
+        Suspicion score = ``1 - w / max_w``: the rater whose weight
+        collapsed relative to the most reliable rater is the most
+        suspicious.  Mass is the score times the rater's ratings since
+        the last scoring pass (level-per-rating accounting, like the
+        other sources).
+        """
+        windows = [w for w in self._hot.values() if len(w) >= self.min_ratings]
+        if not windows:
+            return {}
+        # Seed weights for newly-seen raters; prune raters that left
+        # every hot window (bounded memory).
+        active: Dict[int, float] = {}
+        for window in windows:
+            for rater_id, _ in window:
+                if rater_id not in active:
+                    active[rater_id] = self._weights.get(rater_id, 1.0)
+        weights = active
+
+        for _ in range(self.n_sweeps):
+            distances: Dict[int, List[float]] = {}
+            for window in windows:
+                denominator = sum(weights[r] for r, _ in window)
+                if denominator <= 0.0:
+                    continue
+                quality = (
+                    sum(weights[r] * v for r, v in window) / denominator
+                )
+                for rater_id, value in window:
+                    distances.setdefault(rater_id, []).append(
+                        (value - quality) ** 2
+                    )
+            raw = {
+                rater_id: 1.0 / (sum(sq) / len(sq) + self.eps)
+                for rater_id, sq in distances.items()
+            }
+            top = max(raw.values())
+            damping = self.damping
+            for rater_id, value in raw.items():
+                weights[rater_id] = (1.0 - damping) * weights[
+                    rater_id
+                ] + damping * (value / top)
+
+        self._weights = weights
+        max_weight = max(weights.values())
+        if max_weight <= 0.0:
+            return {}
+        mass: Dict[int, float] = {}
+        for rater_id, weight in weights.items():
+            score = 1.0 - weight / max_weight
+            if score < self.threshold:
+                continue
+            charged = self._counts.get(rater_id, 0)
+            if charged:
+                mass[rater_id] = unit_suspicion(score) * charged
+        return mass
+
+    # -- persistence -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "hot": {
+                str(pid): [[r, v] for r, v in window]
+                for pid, window in self._hot.items()
+            },
+            "weights": {str(k): v for k, v in self._weights.items()},
+            "counts": {str(k): v for k, v in self._counts.items()},
+            "since_score": self._since_score,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._hot = {}
+        for pid_str, rows in state["hot"].items():
+            window: Deque[Tuple[int, float]] = deque(maxlen=self.hot_window)
+            for rid, value in rows:
+                window.append((int(rid), float(value)))
+            self._hot[int(pid_str)] = window
+        self._weights = {int(k): float(v) for k, v in state["weights"].items()}
+        self._counts = {int(k): int(v) for k, v in state["counts"].items()}
+        self._since_score = int(state["since_score"])

@@ -10,6 +10,7 @@ dependencies) exposing the portal surface of Fig. 1:
 ``GET /healthz``            liveness + uptime
 ``GET /metrics``            Prometheus text exposition
 ``GET /stats``              the engine's ``snapshot_stats()`` as JSON
+``GET /ensemble``           detector ensemble config + counters
 ==========================  ===============================================
 
 ``POST /ratings`` accepts ``{"rater_id": int, "product_id": int,
@@ -101,6 +102,9 @@ class _Handler(BaseHTTPRequestHandler):
             return
         if self.path == "/stats":
             self._send_json(200, engine.snapshot_stats())
+            return
+        if self.path == "/ensemble":
+            self._send_json(200, engine.ensemble_stats())
             return
         match = _SCORE_RE.match(self.path)
         if match:

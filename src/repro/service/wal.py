@@ -9,10 +9,13 @@ state intact.  Two stdlib-only mechanisms provide that:
   exact pre-crash state, because the whole pipeline is deterministic
   in arrival order.
 * Snapshots -- periodic JSON dumps of the engine's bounded state
-  (trust records, detector buffers, pending batch tallies, counters)
-  written atomically via ``os.replace``.  A snapshot records the WAL
-  position it covers, so recovery only has to *re-process* the WAL
-  suffix; the prefix is merely re-inserted into the rating store.
+  (trust records, the per-source state of the detector ensemble,
+  pending batch tallies, counters) written atomically via
+  ``os.replace``.  A snapshot records the WAL position it covers, so
+  recovery only has to *re-process* the WAL suffix; the prefix is
+  merely re-inserted into the rating store.  Snapshot version 2 added
+  the ensemble state; version-1 snapshots (single AR detector) are
+  upgraded transparently on load.
 
 File layout inside a WAL directory::
 

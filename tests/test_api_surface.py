@@ -34,6 +34,7 @@ PUBLIC_MODULES = [
     "repro.presets",
     "repro.reporting",
     "repro.service",
+    "repro.service.ensemble",
     "repro.devtools",
     "repro.devtools.analysis",
 ]
@@ -279,6 +280,7 @@ EXPECTED_EXPORTS = {
         "baselines",
         "collusion_groups",
         "detection500",
+        "ensemble_zoo",
         "fig2_fig3",
         "fig4",
         "fig5_netflix",
@@ -339,6 +341,7 @@ EXPECTED_EXPORTS = {
         "Gauge",
         "Histogram",
         "MetricsRegistry",
+        "OnlineSuspicionSource",
         "RatingEngine",
         "RatingServiceServer",
         "ServiceConfig",
@@ -349,6 +352,18 @@ EXPECTED_EXPORTS = {
         "read_snapshot",
         "serve",
         "write_snapshot",
+    ],
+    "repro.service.ensemble": [
+        "ARSuspicionSource",
+        "COMBINERS",
+        "CoRatingGraphSource",
+        "IterativeFilterSource",
+        "OnlineSuspicionSource",
+        "SOURCE_NAMES",
+        "build_sources",
+        "combine_max",
+        "combine_weighted_mean",
+        "unit_suspicion",
     ],
     "repro.signal": [
         "ARModel",
