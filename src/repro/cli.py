@@ -153,9 +153,35 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         help="how per-source suspicion masses merge",
     )
     parser.add_argument(
+        "--store",
+        default="memory",
+        choices=("memory", "tiered"),
+        help=(
+            "rating storage backend: all-in-RAM lists, or sqlite cold "
+            "tier + numpy hot windows (flat memory at large histories)"
+        ),
+    )
+    parser.add_argument(
+        "--hot-window",
+        type=int,
+        default=None,
+        help="tiered backend per-product hot-window size (default: 2x --window)",
+    )
+    parser.add_argument(
         "--wal-dir",
         default=None,
         help="write-ahead log directory (enables durability + recovery)",
+    )
+    parser.add_argument(
+        "--segment-entries",
+        type=int,
+        default=100_000,
+        help="WAL entries per segment file (rotation granularity)",
+    )
+    parser.add_argument(
+        "--no-wal-gc",
+        action="store_true",
+        help="keep all WAL segments and snapshots (disable reclamation)",
     )
     parser.add_argument(
         "--snapshot-every",
@@ -183,7 +209,7 @@ def _run_experiment(args: argparse.Namespace) -> str:
 def _build_engine(args: argparse.Namespace):
     """Construct (or recover) a service engine from CLI arguments."""
     from repro.service import RatingEngine, ServiceConfig
-    from repro.service.wal import WAL_FILENAME, latest_snapshot
+    from repro.service.wal import wal_exists
 
     sources = tuple(
         name.strip() for name in args.sources.split(",") if name.strip()
@@ -203,15 +229,17 @@ def _build_engine(args: argparse.Namespace):
         ensemble_sources=sources,
         ensemble_weights=weights,
         ensemble_combiner=args.combiner,
+        store_backend=args.store,
+        store_hot_window=args.hot_window,
         wal_dir=args.wal_dir,
+        wal_segment_entries=args.segment_entries,
+        wal_gc=not args.no_wal_gc,
         snapshot_every=args.snapshot_every,
     )
-    if args.wal_dir is not None:
+    if args.wal_dir is not None and wal_exists(args.wal_dir):
         from pathlib import Path
 
-        wal_dir = Path(args.wal_dir)
-        if (wal_dir / WAL_FILENAME).exists() or latest_snapshot(wal_dir) is not None:
-            return RatingEngine.recover(wal_dir, config=config)
+        return RatingEngine.recover(Path(args.wal_dir), config=config)
     return RatingEngine(config)
 
 

@@ -8,7 +8,11 @@ layer   name         subpackages
 ======  ===========  ====================================================
 0       foundation   ``errors``, ``_version``, ``reporting``
 1       primitives   ``signal`` (incl. ``signal.sliding``, the AR
-                     fast paths), ``ratings``
+                     fast paths), ``ratings`` (incl.
+                     ``ratings.backend`` / ``ratings.tiered``, the
+                     pluggable rating-store backends -- the sqlite
+                     cold tier lives here so ``service`` can stay a
+                     pure consumer of the storage API)
 2       domain       ``trust``, ``detectors``, ``aggregation``,
                      ``filters``, ``raters``, ``attacks``, ``data``,
                      ``evaluation``

@@ -1,14 +1,19 @@
 """Rating-system substrate: records, scales, streams, store, arrivals."""
 
 from repro.ratings.arrivals import nonhomogeneous_arrival_times, poisson_arrival_times
+from repro.ratings.backend import InMemoryBackend, RatingStoreBackend
 from repro.ratings.io import read_csv, read_jsonl, write_csv, write_jsonl
 from repro.ratings.models import Product, RaterClass, RaterProfile, Rating, fresh_rating_id
 from repro.ratings.quality import ConstantQuality, LinearRampQuality, PiecewiseQuality
 from repro.ratings.scales import ELEVEN_LEVEL, FIVE_STAR, TEN_LEVEL, RatingScale
 from repro.ratings.store import RatingStore
 from repro.ratings.stream import RatingStream
+from repro.ratings.tiered import TieredRatingBackend
 
 __all__ = [
+    "InMemoryBackend",
+    "RatingStoreBackend",
+    "TieredRatingBackend",
     "nonhomogeneous_arrival_times",
     "poisson_arrival_times",
     "read_csv",

@@ -1,17 +1,28 @@
-"""In-memory rating database.
+"""Rating database facade over pluggable storage backends.
 
-The authors back their simulator with MySQL; :class:`RatingStore` is the
-pure-Python substitute.  It indexes ratings by product and by rater,
-keeps rater profiles and product records, and hands out
-:class:`~repro.ratings.stream.RatingStream` views for analysis.
+The authors back their simulator with MySQL; :class:`RatingStore` is
+the pure-Python substitute.  It keeps the bounded registries (product
+records, rater profiles) itself and delegates the unbounded part --
+the rating rows -- to a :class:`~repro.ratings.backend.RatingStoreBackend`:
+
+* :class:`~repro.ratings.backend.InMemoryBackend` (the default)
+  keeps everything in Python lists, exactly the historical behavior;
+* :class:`~repro.ratings.tiered.TieredRatingBackend` holds full
+  history in sqlite with per-product numpy hot windows, so resident
+  memory stays flat while histories grow.
+
+Either way the store indexes ratings by product and by rater and
+hands out :class:`~repro.ratings.stream.RatingStream` views for
+analysis.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Optional
 
 from repro.errors import UnknownProductError, UnknownRaterError
+from repro.ratings.backend import InMemoryBackend, RatingStoreBackend
 from repro.ratings.models import Product, RaterProfile, Rating
 from repro.ratings.stream import RatingStream
 
@@ -19,14 +30,24 @@ __all__ = ["RatingStore"]
 
 
 class RatingStore:
-    """Mutable container for products, raters, and their ratings."""
+    """Mutable container for products, raters, and their ratings.
 
-    def __init__(self) -> None:
+    Args:
+        backend: rating-row storage engine; ``None`` builds a fresh
+            :class:`~repro.ratings.backend.InMemoryBackend`.
+    """
+
+    def __init__(self, backend: Optional[RatingStoreBackend] = None) -> None:
         self._products: Dict[int, Product] = {}
         self._raters: Dict[int, RaterProfile] = {}
-        self._by_product: Dict[int, List[Rating]] = defaultdict(list)
-        self._by_rater: Dict[int, List[Rating]] = defaultdict(list)
-        self._n_ratings = 0
+        self._backend: RatingStoreBackend = (
+            backend if backend is not None else InMemoryBackend()
+        )
+
+    @property
+    def backend(self) -> RatingStoreBackend:
+        """The storage engine holding this store's rating rows."""
+        return self._backend
 
     # -- registration -----------------------------------------------------
 
@@ -38,17 +59,21 @@ class RatingStore:
         """Register a rater profile; re-registering overwrites."""
         self._raters[profile.rater_id] = profile
 
-    def add_rating(self, rating: Rating) -> None:
-        """Record a rating.  Product and rater must be registered."""
+    def add_rating(self, rating: Rating, seq: Optional[int] = None) -> None:
+        """Record a rating.  Product and rater must be registered.
+
+        ``seq`` is the rating's global log position when the caller
+        tracks one (the serving engine passes its WAL sequence number
+        so a durable backend can align with the log); standalone users
+        omit it.
+        """
         if rating.product_id not in self._products:
             raise UnknownProductError(
                 f"product {rating.product_id} is not registered"
             )
         if rating.rater_id not in self._raters:
             raise UnknownRaterError(f"rater {rating.rater_id} is not registered")
-        self._by_product[rating.product_id].append(rating)
-        self._by_rater[rating.rater_id].append(rating)
-        self._n_ratings += 1
+        self._backend.add(rating, seq=seq)
 
     def add_ratings(self, ratings: Iterable[Rating]) -> None:
         for rating in ratings:
@@ -58,7 +83,7 @@ class RatingStore:
 
     def __len__(self) -> int:
         """Total number of ratings recorded."""
-        return self._n_ratings
+        return self._backend.n_ratings
 
     def __contains__(self, product_id: object) -> bool:
         """``product_id in store`` -- membership over *product* ids.
@@ -81,17 +106,28 @@ class RatingStore:
 
         Long-running services recycle a store between epochs without
         re-registering the catalog; the product/rater indexes survive,
-        only the rating lists are emptied.
+        only the rating rows are emptied.
         """
-        self._by_product.clear()
-        self._by_rater.clear()
-        self._n_ratings = 0
+        self._backend.clear()
+
+    def commit(self) -> None:
+        """Flush the backend's buffered rows to durable storage.
+
+        A no-op for the in-memory backend; the serving engine calls
+        this inside its snapshot gate so the cold tier is durable
+        before WAL segments behind the snapshot are garbage-collected.
+        """
+        self._backend.commit()
+
+    def close(self) -> None:
+        """Commit and release backend resources (no-op for memory)."""
+        self._backend.close()
 
     # -- lookups ----------------------------------------------------------
 
     @property
     def n_ratings(self) -> int:
-        return self._n_ratings
+        return self._backend.n_ratings
 
     @property
     def product_ids(self) -> List[int]:
@@ -115,26 +151,23 @@ class RatingStore:
 
     def has_rated(self, rater_id: int, product_id: int) -> bool:
         """True when the rater already rated the product (one-per-product rule)."""
-        return any(r.product_id == product_id for r in self._by_rater.get(rater_id, ()))
+        return self._backend.has_rated(rater_id, product_id)
 
     def stream(self, product_id: int) -> RatingStream:
         """Time-sorted stream of one product's ratings."""
         if product_id not in self._products:
             raise UnknownProductError(f"product {product_id} is not registered")
-        return RatingStream.from_ratings(self._by_product.get(product_id, ()))
+        return RatingStream.from_ratings(self._backend.product_ratings(product_id))
 
     def rater_stream(self, rater_id: int) -> RatingStream:
         """Time-sorted stream of one rater's ratings across products."""
         if rater_id not in self._raters:
             raise UnknownRaterError(f"rater {rater_id} is not registered")
-        return RatingStream.from_ratings(self._by_rater.get(rater_id, ()))
+        return RatingStream.from_ratings(self._backend.rater_ratings(rater_id))
 
     def all_ratings(self) -> RatingStream:
         """Every rating in the store, time-sorted."""
-        everything: List[Rating] = []
-        for ratings in self._by_product.values():
-            everything.extend(ratings)
-        return RatingStream.from_ratings(everything)
+        return RatingStream.from_ratings(self._backend.all_ratings())
 
     def raters_by_class(self) -> Dict[object, List[int]]:
         """Map rater class -> sorted rater ids (evaluation convenience)."""

@@ -1,0 +1,429 @@
+"""Tiered rating storage: sqlite cold tier + numpy hot windows.
+
+The in-memory rating store keeps every rating as a Python object
+forever, so a long-running service's resident memory -- and the cost
+of anything that walks full history -- grows without bound.
+:class:`TieredRatingBackend` bounds that by splitting storage into two
+tiers, the "quality repository" shape the paper's MySQL-backed
+simulator (and related reputation systems) assume:
+
+* **Cold tier** -- the full rating history in an sqlite3 database
+  (stdlib, one file per engine shard).  Rows are keyed by their global
+  write-ahead-log sequence number, so recovery can line the database
+  up against a WAL suffix exactly.  Inserts are buffered and committed
+  in batches; a commit is durable (``synchronous=FULL``), which is
+  what makes it safe for the serving tier to garbage-collect WAL
+  segments older than the last snapshot.
+* **Hot tier** -- per product, a fixed-capacity ring buffer backed by
+  a numpy structured array (40 bytes/rating, no per-object overhead)
+  holding the newest ratings.  Detector-sized reads of young products
+  are served from it without touching sqlite.
+
+Reads that need more than the hot window (full-history aggregation,
+per-rater streams) flush the insert buffer and query sqlite; reads
+fully covered by a product's hot window never leave RAM.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.ratings.backend import RatingStoreBackend
+from repro.ratings.models import Rating
+
+__all__ = ["TieredRatingBackend", "HOT_DTYPE"]
+
+# Domain contracts checked by `repro lint` (rule family DI): tier
+# capacities and batch sizes are positive counts; sequence positions
+# are non-negative.
+__lint_contracts__ = {
+    "TieredRatingBackend.__init__": {
+        "params": {"hot_window": "[1, inf)", "commit_every": "[1, inf)"},
+    },
+    "TieredRatingBackend.truncate_from": {"params": {"seq": "[0, inf)"}},
+}
+
+#: Compact row layout of the hot tier (one structured-array element).
+HOT_DTYPE = np.dtype(
+    [
+        ("rating_id", np.int64),
+        ("rater_id", np.int64),
+        ("product_id", np.int64),
+        ("value", np.float64),
+        ("time", np.float64),
+        ("unfair", np.bool_),
+    ]
+)
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS ratings (
+    seq        INTEGER PRIMARY KEY,
+    rating_id  INTEGER NOT NULL,
+    rater_id   INTEGER NOT NULL,
+    product_id INTEGER NOT NULL,
+    value      REAL    NOT NULL,
+    time       REAL    NOT NULL,
+    unfair     INTEGER NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_ratings_product ON ratings (product_id, seq);
+CREATE INDEX IF NOT EXISTS idx_ratings_rater   ON ratings (rater_id, seq);
+"""
+
+
+class _HotWindow:
+    """Ring buffer of the newest ratings of one product."""
+
+    __slots__ = ("rows", "start", "count")
+
+    def __init__(self, capacity: int) -> None:
+        self.rows = np.zeros(capacity, dtype=HOT_DTYPE)
+        self.start = 0
+        self.count = 0
+
+    def push(self, rating: Rating) -> None:
+        capacity = len(self.rows)
+        if self.count == capacity:
+            index = self.start
+            self.start = (self.start + 1) % capacity
+        else:
+            index = (self.start + self.count) % capacity
+            self.count += 1
+        self.rows[index] = (
+            rating.rating_id,
+            rating.rater_id,
+            rating.product_id,
+            rating.value,
+            rating.time,
+            rating.unfair,
+        )
+
+    def ratings(self) -> List[Rating]:
+        """Contents oldest-first, rebuilt as :class:`Rating` records."""
+        out: List[Rating] = []
+        capacity = len(self.rows)
+        for offset in range(self.count):
+            row = self.rows[(self.start + offset) % capacity]
+            out.append(
+                Rating(
+                    rating_id=int(row["rating_id"]),
+                    rater_id=int(row["rater_id"]),
+                    product_id=int(row["product_id"]),
+                    value=float(row["value"]),
+                    time=float(row["time"]),
+                    unfair=bool(row["unfair"]),
+                )
+            )
+        return out
+
+    def contains_rater(self, rater_id: int) -> bool:
+        capacity = len(self.rows)
+        for offset in range(self.count):
+            if self.rows[(self.start + offset) % capacity]["rater_id"] == rater_id:
+                return True
+        return False
+
+
+def _rating_from_row(row: tuple) -> Rating:
+    return Rating(
+        rating_id=int(row[0]),
+        rater_id=int(row[1]),
+        product_id=int(row[2]),
+        value=float(row[3]),
+        time=float(row[4]),
+        unfair=bool(row[5]),
+    )
+
+
+_SELECT_COLUMNS = "rating_id, rater_id, product_id, value, time, unfair"
+
+
+class TieredRatingBackend(RatingStoreBackend):
+    """Full history in sqlite, newest ratings in numpy ring buffers.
+
+    Args:
+        path: sqlite database file (created with parents); ``None``
+            uses an in-memory database -- same semantics, no
+            durability, handy for tests and WAL-less engines.
+        hot_window: per-product ring-buffer capacity.  Size it to the
+            detectors' needs (the serving tier defaults to twice the
+            streaming detector window) so detector-scale reads stay in
+            RAM.
+        commit_every: buffered inserts per sqlite transaction.  Each
+            commit is durable (``synchronous=FULL``); smaller values
+            tighten the durable lag at an fsync cost per commit.
+
+    Thread safety: a single internal lock guards the connection, the
+    insert buffer, and the hot tier, so one backend may be shared by
+    readers while an owner writes.  (Inside the serving engine every
+    call additionally happens under the owning shard's lock.)
+    """
+
+    name = "tiered"
+
+    # Lint contract (CC03): all mutable tier state is owned by _lock.
+    _GUARDED_BY = {
+        "_conn": "_lock",
+        "_pending": "_lock",
+        "_hot": "_lock",
+        "_product_counts": "_lock",
+        "_n_total": "_lock",
+        "_n_committed": "_lock",
+        "_next_seq": "_lock",
+    }
+
+    def __init__(
+        self,
+        path: Optional[Union[str, Path]] = None,
+        hot_window: int = 128,
+        commit_every: int = 2048,
+    ) -> None:
+        if hot_window < 1:
+            raise ConfigurationError(f"hot_window must be >= 1, got {hot_window}")
+        if commit_every < 1:
+            raise ConfigurationError(f"commit_every must be >= 1, got {commit_every}")
+        self._path = Path(path) if path is not None else None
+        self.hot_window = int(hot_window)
+        self.commit_every = int(commit_every)
+        self._lock = threading.Lock()
+        if self._path is not None:
+            self._path.parent.mkdir(parents=True, exist_ok=True)
+        target = str(self._path) if self._path is not None else ":memory:"
+        self._conn = sqlite3.connect(target, check_same_thread=False)
+        self._conn.executescript(_SCHEMA)
+        if self._path is not None:
+            # WAL journaling keeps readers cheap; FULL synchronous makes
+            # each commit a real durability point (the WAL-segment GC
+            # horizon depends on it).
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=FULL")
+        self._pending: List[tuple] = []
+        self._pending_new = 0
+        self._hot: Dict[int, _HotWindow] = {}
+        self._load_existing()
+
+    # -- startup / recovery ------------------------------------------------
+
+    def _load_existing(self) -> None:
+        """Derive counters from whatever the database already holds.
+
+        Callers hold ``_lock``; the ``__init__`` call is single-threaded
+        (no other thread can see the backend during construction).
+        """
+        row = self._conn.execute(
+            "SELECT COUNT(*), COALESCE(MAX(seq), -1) FROM ratings"
+        ).fetchone()
+        self._n_total = int(row[0])
+        self._n_committed = int(row[0])
+        self._next_seq = int(row[1]) + 1
+        self._product_counts: Dict[int, int] = {
+            int(pid): int(count)
+            for pid, count in self._conn.execute(
+                "SELECT product_id, COUNT(*) FROM ratings GROUP BY product_id"
+            )
+        }
+
+    def truncate_from(self, seq: int) -> int:
+        """Delete every row with sequence >= ``seq``; returns rows kept.
+
+        Recovery calls this to roll the cold tier back to exactly the
+        state a snapshot covers before the WAL suffix is re-processed
+        (re-ingested rows re-insert under their original sequence
+        numbers, so the operation is idempotent).  Hot windows are
+        dropped -- they repopulate from new arrivals, and reads fall
+        through to sqlite meanwhile.
+        """
+        if seq < 0:
+            raise ConfigurationError(f"truncate_from needs seq >= 0, got {seq}")
+        with self._lock:
+            self._commit_locked()
+            self._conn.execute("DELETE FROM ratings WHERE seq >= ?", (int(seq),))
+            self._conn.commit()
+            self._hot.clear()
+            self._load_existing()
+            return self._n_total
+
+    def product_ids(self) -> List[int]:
+        """Distinct product ids present in storage (sorted)."""
+        with self._lock:
+            self._commit_locked()
+            return sorted(
+                int(pid)
+                for (pid,) in self._conn.execute(
+                    "SELECT DISTINCT product_id FROM ratings"
+                )
+            )
+
+    def rater_ids(self) -> List[int]:
+        """Distinct rater ids present in storage (sorted)."""
+        with self._lock:
+            self._commit_locked()
+            return sorted(
+                int(rid)
+                for (rid,) in self._conn.execute(
+                    "SELECT DISTINCT rater_id FROM ratings"
+                )
+            )
+
+    # -- writes ------------------------------------------------------------
+
+    def add(self, rating: Rating, seq: Optional[int] = None) -> None:
+        with self._lock:
+            if seq is None:
+                seq = self._next_seq
+            seq = int(seq)
+            row = (
+                seq,
+                rating.rating_id,
+                rating.rater_id,
+                rating.product_id,
+                rating.value,
+                rating.time,
+                1 if rating.unfair else 0,
+            )
+            if seq < self._next_seq and self._seq_known_locked(seq):
+                # Idempotent re-ingest (a replayed WAL suffix): refresh
+                # the cold row under its original key, leave counters
+                # and the hot tier untouched.
+                self._pending.append(row)
+            else:
+                self._next_seq = max(self._next_seq, seq + 1)
+                window = self._hot.get(rating.product_id)
+                if window is None:
+                    window = _HotWindow(self.hot_window)
+                    self._hot[rating.product_id] = window
+                window.push(rating)
+                self._product_counts[rating.product_id] = (
+                    self._product_counts.get(rating.product_id, 0) + 1
+                )
+                self._pending.append(row)
+                self._pending_new += 1
+                self._n_total += 1
+            if len(self._pending) >= self.commit_every:
+                self._commit_locked()
+
+    def _seq_known_locked(self, seq: int) -> bool:
+        """True when ``seq`` is already buffered or committed (lock held)."""
+        if any(pending[0] == seq for pending in self._pending):
+            return True
+        return (
+            self._conn.execute(
+                "SELECT 1 FROM ratings WHERE seq = ?", (seq,)
+            ).fetchone()
+            is not None
+        )
+
+    def _commit_locked(self) -> None:
+        if not self._pending:
+            return
+        self._conn.executemany(
+            "INSERT OR REPLACE INTO ratings "
+            "(seq, rating_id, rater_id, product_id, value, time, unfair) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?)",
+            self._pending,
+        )
+        self._conn.commit()
+        self._n_committed += self._pending_new
+        self._pending = []
+        self._pending_new = 0
+
+    def commit(self) -> None:
+        """Flush buffered inserts through a durable sqlite commit."""
+        with self._lock:
+            self._commit_locked()
+
+    def close(self) -> None:
+        """Commit any buffered rows and close the connection."""
+        with self._lock:
+            self._commit_locked()
+            self._conn.close()
+
+    # -- reads -------------------------------------------------------------
+
+    @property
+    def n_ratings(self) -> int:
+        with self._lock:
+            return self._n_total
+
+    def product_ratings(self, product_id: int) -> List[Rating]:
+        with self._lock:
+            total = self._product_counts.get(product_id, 0)
+            if total == 0:
+                return []
+            window = self._hot.get(product_id)
+            if window is not None and window.count == total:
+                return window.ratings()
+            self._commit_locked()
+            rows = self._conn.execute(
+                f"SELECT {_SELECT_COLUMNS} FROM ratings "
+                "WHERE product_id = ? ORDER BY seq",
+                (int(product_id),),
+            ).fetchall()
+        return [_rating_from_row(row) for row in rows]
+
+    def rater_ratings(self, rater_id: int) -> List[Rating]:
+        with self._lock:
+            self._commit_locked()
+            rows = self._conn.execute(
+                f"SELECT {_SELECT_COLUMNS} FROM ratings "
+                "WHERE rater_id = ? ORDER BY seq",
+                (int(rater_id),),
+            ).fetchall()
+        return [_rating_from_row(row) for row in rows]
+
+    def all_ratings(self) -> List[Rating]:
+        with self._lock:
+            self._commit_locked()
+            rows = self._conn.execute(
+                f"SELECT {_SELECT_COLUMNS} FROM ratings ORDER BY seq"
+            ).fetchall()
+        return [_rating_from_row(row) for row in rows]
+
+    def has_rated(self, rater_id: int, product_id: int) -> bool:
+        with self._lock:
+            total = self._product_counts.get(product_id, 0)
+            if total == 0:
+                return False
+            window = self._hot.get(product_id)
+            if window is not None:
+                if window.contains_rater(rater_id):
+                    return True
+                if window.count == total:
+                    return False
+            self._commit_locked()
+            row = self._conn.execute(
+                "SELECT 1 FROM ratings WHERE rater_id = ? AND product_id = ? "
+                "LIMIT 1",
+                (int(rater_id), int(product_id)),
+            ).fetchone()
+            return row is not None
+
+    def clear(self) -> None:
+        with self._lock:
+            self._pending = []
+            self._conn.execute("DELETE FROM ratings")
+            self._conn.commit()
+            self._hot.clear()
+            self._load_existing()
+
+    # -- telemetry ---------------------------------------------------------
+
+    def stats(self) -> dict:
+        with self._lock:
+            hot = sum(window.count for window in self._hot.values())
+            payload = {
+                "backend": self.name,
+                "hot_ratings": hot,
+                "cold_ratings": self._n_committed,
+                "pending_ratings": len(self._pending),
+                "hot_window": self.hot_window,
+                "path": str(self._path) if self._path is not None else None,
+            }
+        if self._path is not None and self._path.exists():
+            payload["cold_bytes"] = self._path.stat().st_size
+        return payload

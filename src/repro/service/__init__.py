@@ -6,8 +6,10 @@ portal: a sharded, thread-safe :class:`RatingEngine` streaming ratings
 through a pluggable online detector ensemble
 (:mod:`repro.service.ensemble`: the paper's AR signal model, an
 incremental co-rating collusion graph, online iterative filtering)
-and batched Procedure 2 trust updates, write-ahead-log durability
-with atomic snapshots (:mod:`repro.service.wal`), dependency-free
+and batched Procedure 2 trust updates, segmented write-ahead-log
+durability with atomic snapshots and segment garbage collection
+(:mod:`repro.service.wal`), tiered rating storage (sqlite cold tier +
+numpy hot windows, :mod:`repro.ratings.tiered`), dependency-free
 Prometheus metrics (:mod:`repro.service.metrics`), and a stdlib JSON
 HTTP API (:mod:`repro.service.http`).
 
@@ -32,7 +34,11 @@ from repro.service.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.service.wal import (
     WriteAheadLog,
     latest_snapshot,
+    list_segments,
+    prune_snapshots,
     read_snapshot,
+    replay_wal,
+    wal_exists,
     write_snapshot,
 )
 
@@ -50,6 +56,10 @@ __all__ = [
     "MetricsRegistry",
     "WriteAheadLog",
     "latest_snapshot",
+    "list_segments",
+    "prune_snapshots",
     "read_snapshot",
+    "replay_wal",
+    "wal_exists",
     "write_snapshot",
 ]

@@ -96,9 +96,30 @@ class ServiceConfig:
         trust_detection_threshold: trust below this marks a rater
             malicious.
         trust_forgetting_factor: evidence discount per trust update.
+        store_backend: rating-row storage engine per shard:
+            ``"memory"`` (the historical all-in-RAM lists) or
+            ``"tiered"`` (full history in sqlite cold storage plus
+            per-product numpy hot windows, so resident memory stays
+            flat as histories grow -- see
+            :class:`~repro.ratings.tiered.TieredRatingBackend`).
+        store_hot_window: per-product hot-window capacity of the
+            tiered backend; ``None`` resolves to twice
+            ``detector_window`` so detector-scale reads never touch
+            sqlite.  Ignored by the memory backend.
         wal_dir: directory for the write-ahead log and snapshots
-            (None = run without durability).
+            (None = run without durability).  The tiered backend
+            places its per-shard sqlite files in a ``store/``
+            subdirectory; without a ``wal_dir`` it falls back to
+            in-memory sqlite (no durability).
         wal_fsync_every: fsync the WAL every N appends.
+        wal_segment_entries: entries per WAL segment file; the log
+            rotates to a new segment after this many appends, and the
+            garbage collector reclaims whole segments behind the
+            latest snapshot.
+        wal_gc: reclaim WAL segments and stale snapshots after each
+            snapshot.  Segment deletion needs the durable (tiered)
+            backend -- with the memory backend recovery replays the
+            whole log, so only superseded snapshots are pruned.
         snapshot_every: write an automatic snapshot every N accepted
             ratings (0 = only explicit :meth:`snapshot` calls).
     """
@@ -122,8 +143,12 @@ class ServiceConfig:
     trust_badness_weight: float = 1.0
     trust_detection_threshold: float = 0.5
     trust_forgetting_factor: float = 1.0
+    store_backend: str = "memory"
+    store_hot_window: Optional[int] = None
     wal_dir: Optional[str] = None
     wal_fsync_every: int = 1
+    wal_segment_entries: int = 100_000
+    wal_gc: bool = True
     snapshot_every: int = 0
 
     def __post_init__(self) -> None:
@@ -142,9 +167,22 @@ class ServiceConfig:
                 f"unknown AR method {self.detector_method!r}; "
                 f"choose from {sorted(AR_METHODS)}"
             )
+        if self.store_backend not in ("memory", "tiered"):
+            raise ConfigurationError(
+                f"unknown store_backend {self.store_backend!r}; "
+                f"choose from ['memory', 'tiered']"
+            )
+        if self.store_hot_window is not None and self.store_hot_window < 1:
+            raise ConfigurationError(
+                f"store_hot_window must be >= 1 or None, got {self.store_hot_window}"
+            )
         if self.wal_fsync_every < 1:
             raise ConfigurationError(
                 f"wal_fsync_every must be >= 1, got {self.wal_fsync_every}"
+            )
+        if self.wal_segment_entries < 1:
+            raise ConfigurationError(
+                f"wal_segment_entries must be >= 1, got {self.wal_segment_entries}"
             )
         if self.snapshot_every < 0:
             raise ConfigurationError(
@@ -227,6 +265,13 @@ class ServiceConfig:
                 f"max_raters_per_product must be >= 1, "
                 f"got {self.max_raters_per_product}"
             )
+
+    @property
+    def resolved_hot_window(self) -> int:
+        """Resolved tiered hot-window size (auto = 2x detector window)."""
+        if self.store_hot_window is not None:
+            return int(self.store_hot_window)
+        return max(2 * self.detector_window, 1)
 
     @property
     def incremental_enabled(self) -> bool:

@@ -21,11 +21,18 @@ long-running, thread-safe serving component:
   :class:`~repro.trust.manager.TrustManager` every
   ``batch_max_ratings`` ingests or ``batch_max_seconds`` of wall time,
   amortizing Procedure 2 over many ratings.
-* **Durability** -- accepted ratings are appended to a write-ahead log
-  *before* touching in-memory state; :meth:`snapshot` persists the
-  bounded engine state (ensemble state included) and :meth:`recover`
-  rebuilds a crashed engine bit-for-bit by replaying the WAL over the
-  latest snapshot.
+* **Durability** -- accepted ratings are appended to a segmented
+  write-ahead log *before* touching in-memory state; :meth:`snapshot`
+  persists the bounded engine state (ensemble state included) and
+  :meth:`recover` rebuilds a crashed engine bit-for-bit by replaying
+  the WAL over the latest snapshot.
+* **Tiered storage** -- with ``store_backend="tiered"`` each shard's
+  rating rows live in a sqlite cold tier (one file per shard under
+  ``wal_dir/store/``) plus per-product numpy hot windows, keyed by
+  WAL sequence number.  Because the cold tier is durable, snapshots
+  garbage-collect the WAL segments they cover, so disk, memory, and
+  recovery time stay proportional to the suffix since the last
+  snapshot -- never to total history.
 """
 
 from __future__ import annotations
@@ -39,19 +46,20 @@ from typing import Dict, Iterable, List, Optional
 
 from repro.aggregation.methods import ModifiedWeightedAverage
 from repro.errors import ConfigurationError, UnknownProductError
+from repro.ratings.backend import InMemoryBackend, RatingStoreBackend
 from repro.ratings.models import Product, RaterClass, RaterProfile, Rating
 from repro.ratings.store import RatingStore
+from repro.ratings.tiered import TieredRatingBackend
 from repro.service.config import ServiceConfig
 from repro.service.ensemble import build_sources
 from repro.service.ensemble.ar_source import ARSuspicionSource
 from repro.service.ensemble.base import COMBINERS, OnlineSuspicionSource
 from repro.service.metrics import MetricsRegistry
 from repro.service.wal import (
-    WAL_FILENAME,
     WriteAheadLog,
     latest_snapshot,
-    rating_from_dict,
-    rating_to_dict,
+    list_snapshots,
+    prune_snapshots,
     read_snapshot,
     write_snapshot,
 )
@@ -166,11 +174,16 @@ class _Shard:
         "n_flagged": "lock",
     }
 
-    def __init__(self, index: int, config: ServiceConfig) -> None:
+    def __init__(
+        self,
+        index: int,
+        config: ServiceConfig,
+        backend: Optional[RatingStoreBackend] = None,
+    ) -> None:
         self.index = index
         self.config = config
         self.lock = threading.RLock()
-        self.store = RatingStore()
+        self.store = RatingStore(backend=backend)
         # The shard's own instances of the configured detector
         # ensemble, in config order (= flush/combine order).
         self.sources: Dict[str, OnlineSuspicionSource] = build_sources(config)
@@ -234,7 +247,16 @@ class RatingEngine:
         # epochs were aggregated under stale trusts and are invalid.
         self._trust_epoch = 0
         self._started = time.monotonic()
-        self._shards = [_Shard(i, self.config) for i in range(self.config.n_shards)]
+        # The tiered backend's sqlite files are durable only alongside
+        # a WAL directory; that combination is what licenses WAL
+        # segment GC (recovery reads the prefix from sqlite, not the log).
+        self._durable_store = (
+            self.config.store_backend == "tiered" and self.config.wal_dir is not None
+        )
+        self._shards = [
+            _Shard(i, self.config, backend=self._build_backend(i))
+            for i in range(self.config.n_shards)
+        ]
         self._recovering = False
 
         m = self.metrics
@@ -266,6 +288,17 @@ class RatingEngine:
         )
         self._m_fsync = m.histogram(
             "repro_wal_fsync_seconds", "Duration of WAL fsync calls."
+        )
+        self._m_wal_segments = m.gauge(
+            "repro_wal_segments", "WAL segment files currently on disk."
+        )
+        self._m_store_hot = m.gauge(
+            "repro_store_hot_ratings",
+            "Ratings resident in the hot storage tier across shards.",
+        )
+        self._m_store_cold = m.gauge(
+            "repro_store_cold_ratings",
+            "Ratings committed to the cold storage tier across shards.",
         )
         self._m_active_products = m.gauge(
             "repro_active_products", "Products with streaming detector state."
@@ -308,10 +341,24 @@ class RatingEngine:
         self.wal: Optional[WriteAheadLog] = None
         if self.config.wal_dir is not None:
             self.wal = WriteAheadLog(
-                Path(self.config.wal_dir) / WAL_FILENAME,
+                Path(self.config.wal_dir),
                 fsync_every=self.config.wal_fsync_every,
+                segment_entries=self.config.wal_segment_entries,
                 on_fsync=self._m_fsync.observe,
+                on_rotate=self._m_wal_segments.set,
             )
+            self._m_wal_segments.set(self.wal.n_segments)
+
+    def _build_backend(self, index: int) -> RatingStoreBackend:
+        """One shard's rating-row storage engine, per the config."""
+        if self.config.store_backend != "tiered":
+            return InMemoryBackend()
+        path: Optional[Path] = None
+        if self.config.wal_dir is not None:
+            path = Path(self.config.wal_dir) / "store" / f"shard-{index:03d}.sqlite"
+        return TieredRatingBackend(
+            path=path, hot_window=self.config.resolved_hot_window
+        )
 
     def _wire_shard(self, shard: _Shard) -> None:
         """Point a shard's sources at the engine's metrics/counters.
@@ -377,7 +424,9 @@ class RatingEngine:
         """Ingest a batch; returns one result per rating."""
         return [self.submit(rating) for rating in ratings]
 
-    def _ingest(self, rating: Rating, log: bool) -> SubmitResult:
+    def _ingest(
+        self, rating: Rating, log: bool, seq: Optional[int] = None
+    ) -> SubmitResult:
         shard = self._shard_for(rating.product_id)
         with shard.lock:
             last = shard.last_time.get(rating.product_id)
@@ -391,19 +440,24 @@ class RatingEngine:
                         f"{rating.time} after {last}"
                     ),
                 )
-            seq: Optional[int] = None
             if log and self.wal is not None:
                 seq = self.wal.append(rating)
-            flagged = self._apply(shard, rating)
             with self._count_lock:
                 if seq is None:
                     seq = self._n_accepted
+            flagged = self._apply(shard, rating, seq)
+            with self._count_lock:
                 self._n_accepted += 1
         self._m_accepted.inc()
         return SubmitResult(accepted=True, seq=seq, flagged=flagged)
 
-    def _apply(self, shard: _Shard, rating: Rating) -> bool:
-        """Store + detect + tally one accepted rating (shard lock held)."""
+    def _apply(self, shard: _Shard, rating: Rating, seq: int) -> bool:
+        """Store + detect + tally one accepted rating (shard lock held).
+
+        ``seq`` is the rating's global log position; a durable backend
+        keys its cold-tier row by it, which is what makes recovery's
+        suffix re-ingest idempotent.
+        """
         pid, rid = rating.product_id, rating.rater_id
         if not shard.store.has_product(pid):
             shard.store.add_product(Product(product_id=pid, quality=0.5))
@@ -411,7 +465,7 @@ class RatingEngine:
             shard.store.add_rater(
                 RaterProfile(rater_id=rid, rater_class=RaterClass.RELIABLE)
             )
-        shard.store.add_rating(rating)
+        shard.store.add_rating(rating, seq=seq)
 
         entry = shard.score_cache.get(pid)
         if entry is not None:
@@ -808,7 +862,7 @@ class RatingEngine:
         with self._count_lock:
             self._n_accepted = int(state["wal_position"])
 
-    def _restore_rating(self, rating: Rating) -> None:
+    def _restore_rating(self, rating: Rating, seq: Optional[int] = None) -> None:
         """Re-insert a pre-snapshot WAL rating into the store only
         (single-threaded recovery)."""
         shard = self._shard_for(rating.product_id)
@@ -818,21 +872,35 @@ class RatingEngine:
             shard.store.add_rater(
                 RaterProfile(rater_id=rating.rater_id, rater_class=RaterClass.RELIABLE)
             )
-        shard.store.add_rating(rating)
+        shard.store.add_rating(rating, seq=seq)
 
     def snapshot(self) -> Path:
         """Persist engine state atomically; returns the snapshot path.
 
         Blocks new submits for the duration (exclusive gate), so the
-        snapshot covers a clean WAL prefix.
+        snapshot covers a clean WAL prefix.  The order inside the gate
+        is the durability contract: WAL synced, then every shard's
+        cold tier committed, then the snapshot written -- only *then*
+        may the garbage collector reclaim the WAL segments and older
+        snapshots the new snapshot supersedes (``wal_gc``).  Segment
+        deletion additionally requires the durable tiered backend;
+        with the memory backend recovery replays the whole log, so
+        only superseded snapshots are pruned.
         """
         if self.config.wal_dir is None:
             raise ConfigurationError("snapshots need a configured wal_dir")
         with self._gate.write():
             if self.wal is not None:
                 self.wal.sync()
+            for shard in self._shards:
+                shard.store.commit()
             state = self._state_dict()
-            return write_snapshot(self.config.wal_dir, state)
+            path = write_snapshot(self.config.wal_dir, state)
+            if self.config.wal_gc:
+                if self._durable_store and self.wal is not None:
+                    self.wal.gc(int(state["wal_position"]))
+                prune_snapshots(self.config.wal_dir, keep=1)
+            return path
 
     @classmethod
     def recover(
@@ -843,15 +911,31 @@ class RatingEngine:
     ) -> "RatingEngine":
         """Rebuild an engine from a WAL directory.
 
-        Loads the latest snapshot (if any), re-inserts the covered WAL
-        prefix into the rating store, then re-processes the WAL suffix
-        through the full ingest path -- yielding trust and suspicion
-        state identical to an uninterrupted run.  With no snapshot the
-        entire WAL is re-processed.  An empty or missing directory
-        yields a fresh engine.
+        Loads the latest snapshot (if any) and re-processes the WAL
+        suffix past its position through the full ingest path --
+        yielding trust and suspicion state identical to an
+        uninterrupted run.  How the covered *prefix* comes back
+        depends on the backend:
+
+        * **tiered** -- the prefix already sits in the per-shard
+          sqlite cold tiers.  Recovery rolls each cold tier back to
+          exactly the snapshot position (dropping rows a crash may
+          have committed past it; the replay re-inserts them under
+          the same sequence numbers), adopts the product/rater
+          registrations recorded there, and never reads pre-snapshot
+          WAL segments -- which is why recovery time is proportional
+          to the suffix, and why those segments can be
+          garbage-collected at all.
+        * **memory** -- the whole WAL is replayed (prefix into the
+          store, suffix through ingest), so the full log must still
+          exist; recovering a GC'd log with the memory backend fails
+          loudly.
+
+        With no snapshot the entire WAL is re-processed.  An empty or
+        missing directory yields a fresh engine.
 
         Args:
-            wal_dir: directory holding ``wal.jsonl`` and snapshots.
+            wal_dir: directory holding WAL segments and snapshots.
             config: configuration to use when no snapshot embeds one
                 (a snapshot's embedded config always wins, since the
                 replay must match how the state was produced).
@@ -875,30 +959,114 @@ class RatingEngine:
         engine._recovering = True
         try:
             position = int(state["wal_position"]) if state is not None else 0
-            suffix: List[Rating] = []
-            n_entries = 0
             assert engine.wal is not None
-            for seq, rating in engine.wal.replay():
-                n_entries += 1
-                if seq < position:
-                    engine._restore_rating(rating)
-                else:
-                    suffix.append(rating)
-            if n_entries < position:
+            # O(1) sanity checks from segment metadata -- no scan.
+            if engine.wal.n_entries < position:
                 raise ConfigurationError(
-                    f"WAL has {n_entries} entries but snapshot "
+                    f"WAL has {engine.wal.n_entries} entries but snapshot "
                     f"{snapshot_path} covers {position}"
                 )
-            if state is not None:
-                engine._load_state(state)
-            for rating in suffix:
-                engine._ingest(rating, log=False)
+            first_seq = engine.wal.first_seq
+            if first_seq > position:
+                raise ConfigurationError(
+                    f"oldest WAL segment starts at {first_seq} but the "
+                    f"latest snapshot covers only {position}; the log was "
+                    f"garbage-collected past the snapshot"
+                )
+            if engine._durable_store:
+                # Prefix comes from the cold tiers; roll them back to
+                # the snapshot position and adopt the registrations.
+                for shard in engine._shards:
+                    with shard.lock:
+                        backend = shard.store.backend
+                        backend.truncate_from(position)
+                        for pid in backend.product_ids():
+                            if not shard.store.has_product(pid):
+                                shard.store.add_product(
+                                    Product(product_id=pid, quality=0.5)
+                                )
+                        for rid in backend.rater_ids():
+                            if not shard.store.has_rater(rid):
+                                shard.store.add_rater(
+                                    RaterProfile(
+                                        rater_id=rid,
+                                        rater_class=RaterClass.RELIABLE,
+                                    )
+                                )
+                if state is not None:
+                    engine._load_state(state)
+                for seq, rating in engine.wal.replay(start=position):
+                    engine._ingest(rating, log=False, seq=seq)
+            else:
+                if first_seq > 0:
+                    raise ConfigurationError(
+                        f"WAL prefix below {first_seq} was garbage-collected; "
+                        f"the memory backend needs the full log to recover "
+                        f"(use store_backend='tiered' or wal_gc=False)"
+                    )
+                suffix: List[tuple] = []
+                for seq, rating in engine.wal.replay():
+                    if seq < position:
+                        engine._restore_rating(rating, seq)
+                    else:
+                        suffix.append((seq, rating))
+                if state is not None:
+                    engine._load_state(state)
+                for seq, rating in suffix:
+                    engine._ingest(rating, log=False, seq=seq)
         finally:
             engine._recovering = False
         return engine
 
+    def storage_stats(self) -> dict:
+        """Tier occupancy, WAL segment layout, and snapshot inventory.
+
+        Also refreshes the ``repro_store_hot_ratings`` /
+        ``repro_store_cold_ratings`` / ``repro_wal_segments`` gauges.
+        """
+        per_shard = []
+        hot = cold = pending = 0
+        for shard in self._shards:
+            with shard.lock:
+                stats = shard.store.backend.stats()
+            stats = {"shard": shard.index, **stats}
+            hot += int(stats.get("hot_ratings", 0))
+            cold += int(stats.get("cold_ratings", 0))
+            pending += int(stats.get("pending_ratings", 0))
+            per_shard.append(stats)
+        self._m_store_hot.set(hot)
+        self._m_store_cold.set(cold)
+        wal_info = None
+        if self.wal is not None:
+            segments = self.wal.segments()
+            self._m_wal_segments.set(len(segments))
+            wal_info = {
+                "directory": str(self.wal.directory),
+                "n_entries": self.wal.n_entries,
+                "first_seq": self.wal.first_seq,
+                "n_segments": len(segments),
+                "segment_entries": self.wal.segment_entries,
+                "segments": [
+                    {"start": start, "file": path.name}
+                    for start, path in segments
+                ],
+                "n_snapshots": len(list_snapshots(self.wal.directory)),
+                "gc_enabled": bool(self.config.wal_gc),
+            }
+        return {
+            "backend": self.config.store_backend,
+            "hot_ratings": hot,
+            "cold_ratings": cold,
+            "pending_ratings": pending,
+            "shards": per_shard,
+            "wal": wal_info,
+        }
+
     def close(self) -> None:
-        """Flush pending trust observations and sync/close the WAL."""
+        """Flush pending observations, then release storage and the WAL."""
         self.flush()
+        for shard in self._shards:
+            with shard.lock:
+                shard.store.close()
         if self.wal is not None:
             self.wal.close()

@@ -11,6 +11,7 @@ dependencies) exposing the portal surface of Fig. 1:
 ``GET /metrics``            Prometheus text exposition
 ``GET /stats``              the engine's ``snapshot_stats()`` as JSON
 ``GET /ensemble``           detector ensemble config + counters
+``GET /storage``            storage tiers + WAL segments (``storage_stats()``)
 ==========================  ===============================================
 
 ``POST /ratings`` accepts ``{"rater_id": int, "product_id": int,
@@ -105,6 +106,9 @@ class _Handler(BaseHTTPRequestHandler):
             return
         if self.path == "/ensemble":
             self._send_json(200, engine.ensemble_stats())
+            return
+        if self.path == "/storage":
+            self._send_json(200, engine.storage_stats())
             return
         match = _SCORE_RE.match(self.path)
         if match:

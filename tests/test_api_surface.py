@@ -318,6 +318,7 @@ EXPECTED_EXPORTS = {
         "ConstantQuality",
         "ELEVEN_LEVEL",
         "FIVE_STAR",
+        "InMemoryBackend",
         "LinearRampQuality",
         "PiecewiseQuality",
         "Product",
@@ -326,8 +327,10 @@ EXPECTED_EXPORTS = {
         "Rating",
         "RatingScale",
         "RatingStore",
+        "RatingStoreBackend",
         "RatingStream",
         "TEN_LEVEL",
+        "TieredRatingBackend",
         "fresh_rating_id",
         "nonhomogeneous_arrival_times",
         "poisson_arrival_times",
@@ -348,9 +351,13 @@ EXPECTED_EXPORTS = {
         "SubmitResult",
         "WriteAheadLog",
         "latest_snapshot",
+        "list_segments",
         "make_server",
+        "prune_snapshots",
         "read_snapshot",
+        "replay_wal",
         "serve",
+        "wal_exists",
         "write_snapshot",
     ],
     "repro.service.ensemble": [

@@ -106,4 +106,7 @@ class TestReplay:
             ["replay", str(trace_csv), "--window", "12", "--wal-dir", str(wal_dir)]
         )
         assert code == 0
-        assert (wal_dir / "wal.jsonl").exists()
+        from repro.service.wal import wal_exists
+
+        assert wal_exists(wal_dir)
+        assert (wal_dir / "wal-000000000000.jsonl").exists()

@@ -487,7 +487,8 @@ class TestEnsembleCrashRecovery:
         # Crash point: the next rating reaches the WAL, not the engine.
         doomed.wal.append(stream[cut])
         doomed.wal.sync()
-        del doomed  # no flush, no close -- the "kill"
+        doomed.wal.close()  # releases the owner lock, like a dead process
+        del doomed  # no flush, no engine close -- the "kill"
 
         recovered = RatingEngine.recover(
             tmp_path / "doomed", config=_ensemble_config(tmp_path / "doomed")
@@ -576,6 +577,7 @@ class TestEnsembleCrashRecovery:
         v1_state = {**state, "version": 1, "shards": v1_shards}
         v1_state.pop("suspicion_totals")
 
+        engine.wal.close()  # release the WAL so `fresh` can open it
         fresh = RatingEngine(config)
         for rating in stream:  # rebuild the store prefix as recover() does
             fresh._restore_rating(rating)

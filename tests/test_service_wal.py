@@ -12,9 +12,11 @@ from repro.service import RatingEngine, ServiceConfig, WriteAheadLog
 from repro.service.wal import (
     WAL_FILENAME,
     latest_snapshot,
+    list_segments,
     list_snapshots,
     read_snapshot,
     replay_wal,
+    wal_exists,
     write_snapshot,
 )
 from tests.test_service_engine import BASE, make_stream
@@ -70,6 +72,141 @@ class TestWriteAheadLog:
             list(replay_wal(path))
 
 
+class TestSegments:
+    def _fill(self, directory, n, segment_entries=10, **kwargs):
+        wal = WriteAheadLog(directory, segment_entries=segment_entries, **kwargs)
+        for rating in make_stream(n):
+            wal.append(rating)
+        return wal
+
+    def test_rotation_creates_numbered_segments(self, tmp_path):
+        wal = self._fill(tmp_path, 35, segment_entries=10)
+        wal.close()
+        segments = list_segments(tmp_path)
+        assert [start for start, _ in segments] == [0, 10, 20, 30]
+        assert [path.name for _, path in segments] == [
+            "wal-000000000000.jsonl",
+            "wal-000000000010.jsonl",
+            "wal-000000000020.jsonl",
+            "wal-000000000030.jsonl",
+        ]
+        replayed = list(replay_wal(tmp_path))
+        assert [seq for seq, _ in replayed] == list(range(35))
+
+    def test_rotation_callback_reports_segment_count(self, tmp_path):
+        counts = []
+        wal = self._fill(tmp_path, 35, segment_entries=10, on_rotate=counts.append)
+        wal.close()
+        assert counts == [2, 3, 4]
+
+    def test_open_reads_only_the_last_segment(self, tmp_path):
+        """Sealed segments are never opened on reopen: corrupt them all
+        and the count must still come out right."""
+        wal = self._fill(tmp_path, 35, segment_entries=10)
+        wal.close()
+        for start, path in list_segments(tmp_path)[:-1]:
+            path.write_text("garbage that would not parse\n" * 10)
+        reopened = WriteAheadLog(tmp_path, segment_entries=10)
+        assert reopened.n_entries == 35
+        assert reopened.append(make_stream(36)[35]) == 35
+        reopened.close()
+
+    def test_replay_from_start_of_later_segment(self, tmp_path):
+        wal = self._fill(tmp_path, 35, segment_entries=10)
+        wal.close()
+        replayed = list(replay_wal(tmp_path, start=23))
+        assert [seq for seq, _ in replayed] == list(range(23, 35))
+
+    def test_gc_drops_covered_segments_only(self, tmp_path):
+        wal = self._fill(tmp_path, 35, segment_entries=10)
+        assert wal.gc(horizon=25) == 2  # [0,10) and [10,20) are covered
+        assert [start for start, _ in wal.segments()] == [20, 30]
+        assert wal.first_seq == 20
+        assert wal.n_entries == 35
+        with pytest.raises(ConfigurationError):
+            list(replay_wal(tmp_path, start=5))
+        assert len(list(replay_wal(tmp_path, start=25))) == 10
+        wal.close()
+
+    def test_gc_never_drops_the_active_segment(self, tmp_path):
+        wal = self._fill(tmp_path, 35, segment_entries=10)
+        assert wal.gc(horizon=1_000_000) == 3
+        assert [start for start, _ in wal.segments()] == [30]
+        wal.append(make_stream(36)[35])
+        assert wal.n_entries == 36
+        wal.close()
+
+    def test_legacy_single_file_is_migrated(self, tmp_path):
+        legacy = WriteAheadLog(tmp_path / "old" / WAL_FILENAME)
+        for rating in make_stream(5):
+            legacy.append(rating)
+        legacy.close()
+        # Simulate a pre-segment layout: a bare wal.jsonl.
+        (tmp_path / "migrate").mkdir()
+        (tmp_path / "old" / "wal-000000000000.jsonl").rename(
+            tmp_path / "migrate" / WAL_FILENAME
+        )
+        assert wal_exists(tmp_path / "migrate")
+        wal = WriteAheadLog(tmp_path / "migrate")
+        assert wal.n_entries == 5
+        assert not (tmp_path / "migrate" / WAL_FILENAME).exists()
+        assert (tmp_path / "migrate" / "wal-000000000000.jsonl").exists()
+        wal.close()
+
+    def test_second_engine_fails_fast_on_locked_directory(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        with pytest.raises(ConfigurationError, match="locked"):
+            WriteAheadLog(tmp_path)
+        wal.close()
+        reopened = WriteAheadLog(tmp_path)  # released on close
+        reopened.close()
+
+    def test_torn_partial_line_dropped_once(self, tmp_path):
+        wal = self._fill(tmp_path, 12, segment_entries=10)
+        wal.close()
+        active = list_segments(tmp_path)[-1][1]
+        with active.open("ab") as fh:
+            fh.write(b'{"rating_id": 999, "torn')
+        assert len(list(replay_wal(tmp_path))) == 12
+        reopened = WriteAheadLog(tmp_path, segment_entries=10)
+        assert reopened.n_entries == 12  # repaired: the tail is gone
+        reopened.close()
+        assert b"torn" not in active.read_bytes()
+
+    def test_torn_unparseable_final_line_dropped_once(self, tmp_path):
+        """A complete but garbled final line (newline made it to disk,
+        the payload did not) is also a torn tail."""
+        wal = self._fill(tmp_path, 12, segment_entries=10)
+        wal.close()
+        active = list_segments(tmp_path)[-1][1]
+        with active.open("ab") as fh:
+            fh.write(b'{"rating_id": 999, "garbled\n')
+        assert len(list(replay_wal(tmp_path))) == 12
+        reopened = WriteAheadLog(tmp_path, segment_entries=10)
+        assert reopened.n_entries == 12
+        reopened.close()
+
+    def test_mid_segment_corruption_raises(self, tmp_path):
+        """Only the *final* record may be torn; damage anywhere else is
+        real corruption and must refuse to replay."""
+        wal = self._fill(tmp_path, 8, segment_entries=100)
+        wal.close()
+        active = list_segments(tmp_path)[-1][1]
+        lines = active.read_text().splitlines()
+        lines[3] = '{"broken":'
+        active.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ConfigurationError):
+            list(replay_wal(tmp_path))
+
+    def test_stale_snapshot_tmp_removed_on_open(self, tmp_path):
+        stale = tmp_path / "snapshot-000000000099.json.tmp"
+        tmp_path.mkdir(exist_ok=True)
+        stale.write_text('{"half": ')
+        wal = WriteAheadLog(tmp_path)
+        assert not stale.exists()
+        wal.close()
+
+
 class TestSnapshots:
     def test_atomic_write_and_read(self, tmp_path):
         state = {"wal_position": 42, "payload": [1, 2, 3]}
@@ -112,8 +249,10 @@ class TestCrashRecovery:
             ServiceConfig(wal_dir=str(crash_dir), snapshot_every=50, **BASE)
         )
         crashed.submit_many(stream[:150])
-        # Crash: drop the engine without flush/close.  The WAL and the
-        # periodic snapshots are all that survive.
+        # Crash: drop the engine without flush/close.  Only the WAL's
+        # owner lock is released (a dead process would release it too);
+        # the WAL and the periodic snapshots are all that survive.
+        crashed.wal.close()
         del crashed
         assert latest_snapshot(crash_dir) is not None
 
@@ -140,6 +279,7 @@ class TestCrashRecovery:
             ServiceConfig(wal_dir=str(crash_dir), snapshot_every=40, **BASE)
         )
         crashed.submit_many(stream)
+        crashed.wal.close()
         del crashed
         for snapshot in list_snapshots(crash_dir):
             snapshot.unlink()
@@ -158,6 +298,7 @@ class TestCrashRecovery:
         engine = RatingEngine(ServiceConfig(wal_dir=str(wal_dir), **BASE))
         engine.submit(Rating(0, 1, 0, 0.5, time=9.0))
         engine.snapshot()
+        engine.wal.close()
         del engine
         recovered = RatingEngine.recover(wal_dir)
         assert not recovered.submit(Rating(1, 2, 0, 0.5, time=3.0)).accepted
