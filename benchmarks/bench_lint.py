@@ -3,7 +3,10 @@
 The incremental cache's value proposition is that an unchanged tree
 costs almost nothing to re-lint.  This bench prices that claim on the
 real ``src/`` tree: one cold run (empty cache), one warm run (full
-hit), and one incremental run after touching a single leaf module.
+hit), and two incremental runs -- one after touching a leaf module
+(small import cone), one after touching ``service/wal.py`` (the
+persistence tier, whose edit re-runs the interprocedural effect
+rules over its whole import cone).
 The warm run must re-analyze zero files; CI additionally enforces a
 wall-clock budget so a cache regression fails the build instead of
 silently slowing every push.
@@ -36,6 +39,11 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 # A leaf module with a small import cone: touching it should
 # invalidate only itself plus its few dependents, not the tree.
 TOUCH_TARGET = "src/repro/signal/detrend.py"
+# A persistence-tier module: touching it re-runs the effect-summary
+# rules (DP/SD/CC04-CC05) over its import cone -- the expensive end of
+# the incremental spectrum, priced separately so a regression in the
+# interprocedural pass shows up here rather than in the leaf number.
+SERVICE_TOUCH_TARGET = "src/repro/service/wal.py"
 
 
 def _timed_run(cache_dir: Path):
@@ -50,12 +58,21 @@ def _timed_run(cache_dir: Path):
     return result, elapsed
 
 
+def _touched_run(cache_dir: Path, relpath: str):
+    """Append a comment to ``relpath``, re-lint, restore the file."""
+    target = REPO_ROOT / relpath
+    original = target.read_text(encoding="utf-8")
+    try:
+        target.write_text(original + "\n# bench touch\n", encoding="utf-8")
+        return _timed_run(cache_dir)
+    finally:
+        target.write_text(original, encoding="utf-8")
+
+
 def run_bench(touch: bool = True) -> dict:
     """Cold, warm, and (optionally) incremental lint over src/."""
     workdir = Path(tempfile.mkdtemp(prefix="bench-lint-"))
     cache_dir = workdir / "lint-cache"
-    target = REPO_ROOT / TOUCH_TARGET
-    original = target.read_text(encoding="utf-8") if touch else None
     try:
         cold, cold_s = _timed_run(cache_dir)
         warm, warm_s = _timed_run(cache_dir)
@@ -70,17 +87,23 @@ def run_bench(touch: bool = True) -> dict:
             "active_findings": len(warm.active_findings()),
         }
         if touch:
-            target.write_text(original + "\n# bench touch\n", encoding="utf-8")
-            incr, incr_s = _timed_run(cache_dir)
+            incr, incr_s = _touched_run(cache_dir, TOUCH_TARGET)
             stats.update(
                 incremental_seconds=round(incr_s, 4),
                 incremental_reanalyzed=len(incr.reanalyzed),
                 incremental_cache_status=incr.cache_status,
             )
+            # Re-warm so the service touch is measured against a clean
+            # cache, not the leaf touch's residue.
+            _timed_run(cache_dir)
+            svc, svc_s = _touched_run(cache_dir, SERVICE_TOUCH_TARGET)
+            stats.update(
+                service_touch_seconds=round(svc_s, 4),
+                service_touch_reanalyzed=len(svc.reanalyzed),
+                service_touch_cache_status=svc.cache_status,
+            )
         return stats
     finally:
-        if original is not None:
-            target.write_text(original, encoding="utf-8")
         shutil.rmtree(workdir, ignore_errors=True)
 
 
@@ -99,6 +122,12 @@ def _report(stats: dict) -> str:
             f"touch one leaf module   {stats['incremental_seconds']:.3f}s"
             f"  ({stats['incremental_reanalyzed']} analyzed,"
             f" {stats['incremental_cache_status']})"
+        )
+    if "service_touch_seconds" in stats:
+        lines.append(
+            f"touch the WAL module    {stats['service_touch_seconds']:.3f}s"
+            f"  ({stats['service_touch_reanalyzed']} analyzed,"
+            f" {stats['service_touch_cache_status']})"
         )
     lines.append(f"active findings         {stats['active_findings']}")
     return "\n".join(lines)

@@ -16,8 +16,17 @@
 * :mod:`~repro.devtools.analysis.cache` -- the content-hash keyed
   cross-file cache under ``.lint-cache/`` that makes re-runs
   incremental (an unchanged tree re-analyzes zero files);
+* :mod:`~repro.devtools.analysis.effects` -- per-function I/O effect
+  summaries (write/flush/fsync/rename/dir-fsync/ack plus named effects
+  such as ``wal_append``) flattened through the call graph, and the
+  :class:`EffectRegistry` of durability contracts that modules extend
+  with ``__effect_contracts__`` declarations;
 * ``rules_domain`` / ``rules_arch`` / ``rules_exceptions`` /
-  ``rules_deadcode`` -- the DI, AR, EX, and DX rule families.
+  ``rules_deadcode`` -- the DI, AR, EX, and DX rule families;
+* ``rules_durability`` / ``rules_serialization`` /
+  ``rules_crossproc`` -- the DP (durability protocol), SD
+  (serialization contract), and CC04-CC05 (cross-process lock) rule
+  families built on the effect summaries.
 """
 
 from repro.devtools.analysis.cache import AnalysisCache
@@ -26,6 +35,13 @@ from repro.devtools.analysis.contracts import (
     FunctionContract,
     default_registry,
 )
+from repro.devtools.analysis.effects import (
+    EffectEvent,
+    EffectRegistry,
+    FunctionEffects,
+    default_effect_registry,
+    effect_summaries,
+)
 from repro.devtools.analysis.intervals import Interval
 from repro.devtools.analysis.model import AnalysisModel, ModuleInfo, get_analysis
 
@@ -33,9 +49,14 @@ __all__ = [
     "AnalysisCache",
     "AnalysisModel",
     "ContractRegistry",
+    "EffectEvent",
+    "EffectRegistry",
     "FunctionContract",
+    "FunctionEffects",
     "Interval",
     "ModuleInfo",
+    "default_effect_registry",
     "default_registry",
+    "effect_summaries",
     "get_analysis",
 ]

@@ -52,12 +52,16 @@ def content_hash(text: str) -> str:
 
 
 def compute_signature(
-    rule_ids: List[str], contract_digest: str, universe: List[str]
+    rule_ids: List[str],
+    contract_digest: str,
+    universe: List[str],
+    effects_digest: str = "",
 ) -> str:
     payload = {
         "format": _FORMAT_VERSION,
         "rules": sorted(rule_ids),
         "contracts": contract_digest,
+        "effects": effects_digest,
         "universe": sorted(universe),
     }
     blob = json.dumps(payload, sort_keys=True).encode("utf-8")
@@ -120,11 +124,16 @@ class AnalysisCache:
             try:
                 with os.fdopen(fd, "w", encoding="utf-8") as handle:
                     json.dump(manifest, handle, sort_keys=True)
-                os.replace(tmp_name, self.manifest_path)
+                # The manifest is deliberately NOT durable (no fsync, no
+                # directory fsync): a torn or vanished manifest fails the
+                # signature/JSON check on the next run and the cache goes
+                # cold -- an optimisation lost, never data.  The atomic
+                # rename only protects concurrent readers.
+                os.replace(tmp_name, self.manifest_path)  # repro: lint-disable[DP01]
             finally:
                 if os.path.exists(tmp_name):
                     try:
-                        os.unlink(tmp_name)
+                        os.unlink(tmp_name)  # repro: lint-disable[DP01]
                     except OSError:
                         pass  # stale temp file is harmless
         except OSError:

@@ -1,0 +1,297 @@
+"""CC04-CC05: cross-process lock rules (file locks, fork-under-lock).
+
+The lexical CC rules reason about ``threading`` locks inside one
+process; the multi-process roadmap adds two hazards they cannot see:
+
+* **CC04** -- a *blocking* ``fcntl.flock``/``lockf`` (no ``LOCK_NB``)
+  taken while a threading lock is held.  The file lock blocks
+  indefinitely on another process, which turns the in-process lock
+  into a cross-process convoy: every thread needing it stalls behind
+  another *process*.  The PR 8 lockfile acquires with
+  ``LOCK_EX | LOCK_NB`` for exactly this reason.  Checked directly and
+  through the call graph (calling, under a lock, a function whose
+  closure reaches a blocking flock).
+* **CC05** -- spawning a process (``os.fork``, ``subprocess.*``,
+  ``multiprocessing.*``, ``ProcessPoolExecutor``) while any lock is
+  held.  The child inherits the lock's *state* but not the thread
+  that would release it: a forked child deadlocks on first acquire,
+  and an inherited flock fd keeps the file lock alive after the
+  parent releases.  Also flagged lexically: a flock earlier in the
+  same function followed by a spawn (the child inherits the locked
+  fd even when no threading lock spans the spawn).
+
+Held-lock sets come from the existing per-function concurrency events
+(:class:`~repro.devtools.project.CallEvent`), so these rules see the
+same lock model as CC01-CC03.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.devtools.analysis.model import get_analysis
+from repro.devtools.core import Finding, Rule, SourceFile, register
+from repro.devtools.project import FunctionModel
+
+__all__ = ["BlockingFileLockRule", "SpawnUnderLockRule"]
+
+_FLOCK_RE = re.compile(r"^fcntl\.(flock|lockf)$")
+_SPAWN_RE = re.compile(
+    r"^(os\.(fork|forkpty|system|exec[lv]p?e?|spawn[lv]p?e?|posix_spawnp?)"
+    r"|subprocess\.(run|call|check_call|check_output|Popen)"
+    r"|multiprocessing\.(Process|Pool)"
+    r"|(concurrent\.futures\.)?ProcessPoolExecutor)$"
+)
+
+
+def _blocking_flock_lines(fn: FunctionModel) -> List[int]:
+    """Lines of fcntl.flock/lockf calls with no LOCK_NB in the args."""
+    out: List[int] = []
+    for node in ast.walk(fn.node):
+        if not isinstance(node, ast.Call):
+            continue
+        try:
+            src = ast.unparse(node.func)
+        except Exception:  # pragma: no cover - unparse is total on exprs
+            continue
+        if not _FLOCK_RE.match(src):
+            continue
+        args = " ".join(ast.unparse(arg) for arg in node.args)
+        if "LOCK_NB" not in args:
+            out.append(node.lineno)
+    return out
+
+
+def _flock_reasons(project, analysis) -> Dict[str, str]:
+    """Function qualname -> call-chain reason it reaches a blocking
+    flock (same closure shape as the blocking-seed analysis)."""
+    reason: Dict[str, Optional[str]] = {}
+    for qualname, fn in project.functions.items():
+        lines = _blocking_flock_lines(fn)
+        reason[qualname] = f"blocking flock at line {lines[0]}" if lines else None
+    changed = True
+    while changed:
+        changed = False
+        for qualname, fn in project.functions.items():
+            if reason[qualname] is not None:
+                continue
+            for call in fn.calls:
+                targets = (
+                    [call.callee]
+                    if call.callee is not None
+                    else analysis.resolve_call_targets(fn, call)
+                )
+                for callee in targets:
+                    if reason.get(callee) is None:
+                        continue
+                    if project.functions[callee].is_generator:
+                        continue
+                    reason[qualname] = f"{callee} -> {reason[callee]}"
+                    changed = True
+                    break
+                if reason[qualname] is not None:
+                    break
+    return {qn: why for qn, why in reason.items() if why is not None}
+
+
+def _held_at(fn: FunctionModel, line: int) -> Tuple:
+    """The widest held-lock set recorded for any call on this line."""
+    best: Tuple = ()
+    for call in fn.calls:
+        if call.line == line and len(call.held) > len(best):
+            best = call.held
+    return best
+
+
+def _held_names(held) -> str:
+    # HeldLock.node is a (class, attr, kind) LockNode tuple.
+    return ", ".join(sorted({f"{lock.node[0]}.{lock.node[1]}" for lock in held}))
+
+
+@register
+class BlockingFileLockRule(Rule):
+    id = "CC04"
+    name = "blocking-file-lock-under-lock"
+    rationale = (
+        "A blocking fcntl.flock taken while a threading lock is held "
+        "stalls every thread needing that lock behind another "
+        "*process*; acquire file locks with LOCK_NB (and handle "
+        "BlockingIOError) or before taking in-process locks."
+    )
+    scope = "cone"
+
+    def run(self, project, files: List[SourceFile]) -> Iterator[Finding]:
+        analysis = get_analysis(project, files)
+        reasons = _flock_reasons(project, analysis)
+        emit = {file.relpath for file in files}
+        by_relpath = {file.relpath: file for file in files}
+        for qualname, fn in sorted(project.functions.items()):
+            if fn.file.relpath not in emit:
+                continue
+            file = by_relpath[fn.file.relpath]
+            # Direct: a blocking flock on a line where locks are held.
+            for line in _blocking_flock_lines(fn):
+                held = _held_at(fn, line)
+                if held:
+                    yield self.finding(
+                        file,
+                        line,
+                        "blocking fcntl lock acquired while holding "
+                        f"[{_held_names(held)}] -- another process can "
+                        "stall every thread behind this lock; use "
+                        "LOCK_NB and handle BlockingIOError",
+                    )
+            # Indirect: calling, under a lock, into a blocking flock.
+            for call in fn.calls:
+                if not call.held:
+                    continue
+                targets = (
+                    [call.callee]
+                    if call.callee is not None
+                    else analysis.resolve_call_targets(fn, call)
+                )
+                for callee in targets:
+                    why = reasons.get(callee)
+                    if why is None or project.functions[callee].is_generator:
+                        continue
+                    yield self.finding(
+                        file,
+                        call.line,
+                        f"call while holding [{_held_names(call.held)}] "
+                        f"reaches a blocking fcntl lock ({why}) -- "
+                        "another process can stall every thread behind "
+                        "these locks",
+                    )
+                    break
+
+
+@register
+class SpawnUnderLockRule(Rule):
+    id = "CC05"
+    name = "spawn-under-lock"
+    rationale = (
+        "A child process inherits lock state but not the thread that "
+        "releases it: forking under a threading lock deadlocks the "
+        "child, and a spawn after flock leaks the locked fd into the "
+        "child, keeping the file lock alive after the parent exits."
+    )
+    scope = "cone"
+
+    def run(self, project, files: List[SourceFile]) -> Iterator[Finding]:
+        analysis = get_analysis(project, files)
+        spawn_reasons = self._spawn_reasons(project, analysis)
+        emit = {file.relpath for file in files}
+        by_relpath = {file.relpath: file for file in files}
+        for qualname, fn in sorted(project.functions.items()):
+            if fn.file.relpath not in emit:
+                continue
+            file = by_relpath[fn.file.relpath]
+            flock_lines = _blocking_flock_lines(fn) + self._nb_flock_lines(fn)
+            reported: set = set()
+            for call in fn.calls:
+                is_spawn = bool(_SPAWN_RE.match(call.func_src))
+                if is_spawn and call.held:
+                    reported.add(call.line)
+                    yield self.finding(
+                        file,
+                        call.line,
+                        f"{call.func_src} while holding "
+                        f"[{_held_names(call.held)}] -- the child "
+                        "inherits the locked state but not the thread "
+                        "that releases it",
+                    )
+                elif is_spawn and any(fl < call.line for fl in flock_lines):
+                    reported.add(call.line)
+                    yield self.finding(
+                        file,
+                        call.line,
+                        f"{call.func_src} after acquiring an fcntl "
+                        "lock in the same function -- the child "
+                        "inherits the locked fd and holds the file "
+                        "lock even after the parent releases it "
+                        "(close the fd or use close_fds/preexec_fn)",
+                    )
+                elif call.held and not is_spawn:
+                    # Indirect: calling, under a lock, into a spawn.
+                    targets = (
+                        [call.callee]
+                        if call.callee is not None
+                        else analysis.resolve_call_targets(fn, call)
+                    )
+                    for callee in targets:
+                        why = spawn_reasons.get(callee)
+                        if (
+                            why is None
+                            or project.functions[callee].is_generator
+                            or call.line in reported
+                        ):
+                            continue
+                        reported.add(call.line)
+                        yield self.finding(
+                            file,
+                            call.line,
+                            "call while holding "
+                            f"[{_held_names(call.held)}] reaches a "
+                            f"process spawn ({why}) -- the child "
+                            "inherits the locked state but not the "
+                            "thread that releases it",
+                        )
+                        break
+
+    @staticmethod
+    def _nb_flock_lines(fn: FunctionModel) -> List[int]:
+        """Non-blocking flock lines (still a lock the child inherits)."""
+        out: List[int] = []
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            try:
+                src = ast.unparse(node.func)
+            except Exception:  # pragma: no cover
+                continue
+            if _FLOCK_RE.match(src):
+                args = " ".join(ast.unparse(arg) for arg in node.args)
+                if "LOCK_NB" in args:
+                    out.append(node.lineno)
+        return out
+
+    @staticmethod
+    def _spawn_reasons(project, analysis) -> Dict[str, str]:
+        reason: Dict[str, Optional[str]] = {}
+        for qualname, fn in project.functions.items():
+            direct = next(
+                (
+                    call
+                    for call in fn.calls
+                    if _SPAWN_RE.match(call.func_src)
+                ),
+                None,
+            )
+            reason[qualname] = (
+                f"{direct.func_src} at line {direct.line}" if direct else None
+            )
+        changed = True
+        while changed:
+            changed = False
+            for qualname, fn in project.functions.items():
+                if reason[qualname] is not None:
+                    continue
+                for call in fn.calls:
+                    targets = (
+                        [call.callee]
+                        if call.callee is not None
+                        else analysis.resolve_call_targets(fn, call)
+                    )
+                    for callee in targets:
+                        if reason.get(callee) is None:
+                            continue
+                        if project.functions[callee].is_generator:
+                            continue
+                        reason[qualname] = f"{callee} -> {reason[callee]}"
+                        changed = True
+                        break
+                    if reason[qualname] is not None:
+                        break
+        return {qn: why for qn, why in reason.items() if why is not None}

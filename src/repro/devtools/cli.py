@@ -21,7 +21,7 @@ from typing import List, Optional
 
 from repro.devtools.baseline import Baseline
 from repro.devtools.core import all_rules
-from repro.devtools.reporters import format_human, format_json
+from repro.devtools.reporters import format_human, format_json, format_sarif
 from repro.devtools.runner import run_lint
 
 __all__ = ["configure_parser", "main", "run_from_args"]
@@ -39,7 +39,7 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--format",
-        choices=("human", "json"),
+        choices=("human", "json", "sarif"),
         default="human",
         help="report format (default: human)",
     )
@@ -244,7 +244,12 @@ def run_from_args(args: argparse.Namespace) -> int:
         )
         return 0
 
-    report = format_json(result) if args.format == "json" else format_human(result)
+    if args.format == "json":
+        report = format_json(result)
+    elif args.format == "sarif":
+        report = format_sarif(result)
+    else:
+        report = format_human(result)
     print(report)
     if not result.ok:
         return 1

@@ -190,9 +190,12 @@ def all_rules() -> Dict[str, Type[Rule]]:
     )
     from repro.devtools.analysis import (  # noqa: F401
         rules_arch,
+        rules_crossproc,
         rules_deadcode,
         rules_domain,
+        rules_durability,
         rules_exceptions,
+        rules_serialization,
     )
 
     return dict(_REGISTRY)

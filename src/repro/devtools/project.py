@@ -244,6 +244,12 @@ class ProjectModel:
                 for target in item.targets:
                     if isinstance(target, ast.Name) and target.id == "_GUARDED_BY":
                         model.guarded_by.update(self._literal_str_dict(item.value))
+            if isinstance(item, ast.AnnAssign) and isinstance(item.target, ast.Name):
+                # Class-level annotations (``server: SomeServer``) type
+                # the attribute the same way a method-body AnnAssign does.
+                annotated = _annotation_to_type(item.annotation)
+                if annotated:
+                    model.attr_types.setdefault(item.target.id, annotated)
             if isinstance(item, ast.FunctionDef):
                 self._collect_attrs(item, model)
         self.classes[node.name] = model

@@ -173,6 +173,7 @@ def run_lint(
         content_hash,
     )
     from repro.devtools.analysis.contracts import default_registry
+    from repro.devtools.analysis.effects import default_effect_registry
 
     root = (project_root or Path.cwd()).resolve()
     file_paths = collect_files(paths)
@@ -196,7 +197,10 @@ def run_lint(
 
     externals = _external_hashes(list(rules.values()), root)
     signature = compute_signature(
-        list(rules), default_registry().digest(), list(current)
+        list(rules),
+        default_registry().digest(),
+        list(current),
+        effects_digest=default_effect_registry().digest(),
     )
 
     cache: Optional[AnalysisCache] = None

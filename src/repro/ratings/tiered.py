@@ -170,6 +170,7 @@ class TieredRatingBackend(RatingStoreBackend):
     _GUARDED_BY = {
         "_conn": "_lock",
         "_pending": "_lock",
+        "_pending_new": "_lock",
         "_hot": "_lock",
         "_product_counts": "_lock",
         "_n_total": "_lock",
@@ -406,6 +407,10 @@ class TieredRatingBackend(RatingStoreBackend):
     def clear(self) -> None:
         with self._lock:
             self._pending = []
+            # Dropping buffered rows must also drop their commit credit,
+            # or the next _commit_locked inflates _n_committed by the
+            # number of rows cleared here (visible in stats()).
+            self._pending_new = 0
             self._conn.execute("DELETE FROM ratings")
             self._conn.commit()
             self._hot.clear()

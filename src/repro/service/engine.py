@@ -67,6 +67,24 @@ from repro.trust.manager import TrustManager, TrustManagerConfig
 
 __all__ = ["RatingEngine", "SubmitResult"]
 
+# Durability contracts (checked by lint rules DP02/SD03): an accepted
+# rating reaches the WAL before any store mutation; a snapshot fsyncs
+# the WAL before writing and only GCs segments the written snapshot
+# covers; keys added in snapshot v2 must load with defaults so v1
+# snapshots on disk still recover.
+__effect_contracts__ = {
+    "orderings": {
+        "RatingEngine._ingest": [["wal_append", "store_add"]],
+        "RatingEngine.snapshot": [
+            ["wal_fsync", "snapshot_write"],
+            ["snapshot_write", "wal_gc"],
+        ],
+    },
+    "state_keys_since": {
+        "RatingEngine": {"suspicion_totals": 2, "n_trust_updates": 2},
+    },
+}
+
 
 @dataclass(frozen=True)
 class SubmitResult:

@@ -36,6 +36,12 @@ from repro.service.engine import RatingEngine
 
 __all__ = ["RatingServiceServer", "make_server", "serve"]
 
+# Durability contract (checked by lint rule DP02): a 2xx response to
+# POST /ratings may only be sent after the rating reached the WAL.
+__effect_contracts__ = {
+    "orderings": {"_Handler.do_POST": [["wal_append", "ack"]]},
+}
+
 _SCORE_RE = re.compile(r"^/products/(-?\d+)/score$")
 _TRUST_RE = re.compile(r"^/raters/(-?\d+)/trust$")
 
@@ -156,7 +162,11 @@ class _Handler(BaseHTTPRequestHandler):
         if rating is None:
             self._send_json(400, {"error": error})
             return
-        result = self.server.engine.submit(rating)
+        try:
+            result = self.server.engine.submit(rating)
+        except ReproError as exc:
+            self._send_json(400, {"accepted": False, "error": str(exc)})
+            return
         if not result.accepted:
             self._send_json(409, {"accepted": False, "error": result.reason})
             return

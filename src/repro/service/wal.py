@@ -323,9 +323,15 @@ class WriteAheadLog:
 
     def _cleanup_stale_tmp(self) -> None:
         """Remove snapshot temp files left by a crash mid-write."""
+        removed = False
         for stale in self._directory.glob("*.json.tmp"):
             logger.warning("WAL %s: removing stale temp file %s", self._directory, stale.name)
             stale.unlink(missing_ok=True)
+            removed = True
+        if removed:
+            # Make the removals durable: without a directory fsync a
+            # power failure can resurrect the half-written temp files.
+            _fsync_dir(self._directory)
 
     def _migrate_legacy(self) -> None:
         """Adopt a pre-segment ``wal.jsonl`` as the first segment."""

@@ -246,10 +246,15 @@ EXPECTED_EXPORTS = {
         "AnalysisCache",
         "AnalysisModel",
         "ContractRegistry",
+        "EffectEvent",
+        "EffectRegistry",
         "FunctionContract",
+        "FunctionEffects",
         "Interval",
         "ModuleInfo",
+        "default_effect_registry",
         "default_registry",
+        "effect_summaries",
         "get_analysis",
     ],
     "repro.evaluation": [

@@ -588,6 +588,369 @@ class TestDeadCodeRules:
 
 
 # ---------------------------------------------------------------------------
+# DP: durability-protocol rules over interprocedural effect summaries
+# ---------------------------------------------------------------------------
+
+
+class TestEffectRuleRegistration:
+    def test_new_families_are_registered_under_their_ids(self):
+        from repro.devtools.analysis.rules_crossproc import (
+            BlockingFileLockRule,
+            SpawnUnderLockRule,
+        )
+        from repro.devtools.analysis.rules_durability import (
+            AtomicReplaceRule,
+            OrderingContractRule,
+            UnflushedWriteRule,
+        )
+        from repro.devtools.analysis.rules_serialization import (
+            NewKeyDefaultRule,
+            StateKeySymmetryRule,
+            VersionUpgradePathRule,
+        )
+        from repro.devtools.core import all_rules
+
+        catalog = all_rules()
+        assert catalog["DP01"] is AtomicReplaceRule
+        assert catalog["DP02"] is OrderingContractRule
+        assert catalog["DP03"] is UnflushedWriteRule
+        assert catalog["SD01"] is StateKeySymmetryRule
+        assert catalog["SD02"] is VersionUpgradePathRule
+        assert catalog["SD03"] is NewKeyDefaultRule
+        assert catalog["CC04"] is BlockingFileLockRule
+        assert catalog["CC05"] is SpawnUnderLockRule
+
+
+_DIR_FSYNC = (
+    "def flush_dir(directory):\n"
+    '    """Makes directory-entry mutations durable."""\n'
+    "    fd = os.open(directory, os.O_RDONLY)\n"
+    "    try:\n"
+    "        os.fsync(fd)\n"
+    "    finally:\n"
+    "        os.close(fd)\n"
+)
+
+
+class TestDurabilityRules:
+    def test_dp01_flags_rename_of_unfsynced_write(self, tmp_path):
+        write(
+            tmp_path,
+            "pkg/pub.py",
+            "import os\n\n\n"
+            "def publish(tmp, final):\n"
+            '    handle = open(tmp, "w")\n'
+            '    handle.write("x")\n'
+            "    handle.close()\n"
+            "    os.replace(tmp, final)\n",
+        )
+        result = lint(tmp_path, select={"DP01"})
+        messages = [f.message for f in result.active_findings()]
+        assert any("torn file" in m for m in messages)
+        assert any("directory fsync" in m for m in messages)
+
+    def test_dp01_full_protocol_is_clean(self, tmp_path):
+        write(
+            tmp_path,
+            "pkg/pub.py",
+            "import os\n\n\n" + _DIR_FSYNC + "\n\n"
+            "def publish(tmp, final, directory):\n"
+            '    handle = open(tmp, "w")\n'
+            '    handle.write("x")\n'
+            "    handle.flush()\n"
+            "    os.fsync(handle.fileno())\n"
+            "    handle.close()\n"
+            "    os.replace(tmp, final)\n"
+            "    flush_dir(directory)\n",
+        )
+        result = lint(tmp_path, select={"DP01"})
+        assert result.active_findings() == []
+
+    def test_dp01_sees_dir_fsync_through_a_callee(self, tmp_path):
+        # The dir fsync lives two files away; the flattened effect
+        # sequence still covers the unlink.
+        write(tmp_path, "pkg/__init__.py", "")
+        write(tmp_path, "pkg/util.py", "import os\n\n\n" + _DIR_FSYNC)
+        write(
+            tmp_path,
+            "pkg/gc.py",
+            "import os\n\n"
+            "from pkg.util import flush_dir\n\n\n"
+            "def drop(path, directory):\n"
+            "    os.unlink(path)\n"
+            "    flush_dir(directory)\n",
+        )
+        result = lint(tmp_path, select={"DP01"})
+        assert result.active_findings() == []
+
+    def test_dp02_flags_ack_before_append(self, tmp_path):
+        _seed_acceptance_fixture(tmp_path)
+        result = lint(tmp_path, select={"DP02"})
+        findings = result.active_findings()
+        assert [f.path for f in findings] == ["src/repro/service/ackflow.py"]
+        assert "wal_append" in findings[0].message
+
+    def test_dp02_append_before_ack_is_clean(self, tmp_path):
+        _seed_acceptance_fixture(tmp_path)
+        ackflow = tmp_path / "src/repro/service/ackflow.py"
+        text = ackflow.read_text()
+        assert '        self.ack(201, "ok")\n        self.log.append(entry)\n' in text
+        ackflow.write_text(
+            text.replace(
+                '        self.ack(201, "ok")\n        self.log.append(entry)\n',
+                '        self.log.append(entry)\n        self.ack(201, "ok")\n',
+            )
+        )
+        result = lint(tmp_path, select={"DP02"})
+        assert result.active_findings() == []
+
+    def test_dp03_flags_fsync_of_unflushed_handle(self, tmp_path):
+        write(
+            tmp_path,
+            "pkg/sync.py",
+            "import os\n\n\n"
+            "def persist(path):\n"
+            '    handle = open(path, "w")\n'
+            '    handle.write("x")\n'
+            "    os.fsync(handle.fileno())\n"
+            "    handle.close()\n",
+        )
+        result = lint(tmp_path, select={"DP03"})
+        assert [f.rule for f in result.active_findings()] == ["DP03"]
+        assert "flush" in result.active_findings()[0].message
+
+    def test_dp03_flushed_handle_is_clean(self, tmp_path):
+        write(
+            tmp_path,
+            "pkg/sync.py",
+            "import os\n\n\n"
+            "def persist(path):\n"
+            '    handle = open(path, "w")\n'
+            '    handle.write("x")\n'
+            "    handle.flush()\n"
+            "    os.fsync(handle.fileno())\n"
+            "    handle.close()\n",
+        )
+        result = lint(tmp_path, select={"DP03"})
+        assert result.active_findings() == []
+
+
+# ---------------------------------------------------------------------------
+# SD: serialization-contract rules
+# ---------------------------------------------------------------------------
+
+
+class TestSerializationRules:
+    def test_sd01_flags_key_asymmetry_both_ways(self, tmp_path):
+        write(
+            tmp_path,
+            "pkg/state.py",
+            "class Box:\n"
+            "    def state_dict(self):\n"
+            '        return {"kept": 1, "orphan": 2}\n\n'
+            "    def load_state(self, state):\n"
+            '        self.kept = state["kept"]\n'
+            '        self.ghost = state["ghost"]\n',
+        )
+        result = lint(tmp_path, select={"SD01"})
+        messages = sorted(f.message for f in result.active_findings())
+        assert len(messages) == 2
+        assert "'ghost'" in messages[0] and "never" in messages[0]
+        assert "'orphan'" in messages[1] and "no method" in messages[1]
+
+    def test_sd01_symmetric_pair_is_clean(self, tmp_path):
+        write(
+            tmp_path,
+            "pkg/state.py",
+            "class Box:\n"
+            "    def state_dict(self):\n"
+            '        return {"kept": self.kept}\n\n'
+            "    def load_state(self, state):\n"
+            '        self.kept = state["kept"]\n',
+        )
+        result = lint(tmp_path, select={"SD01"})
+        assert result.active_findings() == []
+
+    def test_sd02_flags_version_bump_without_upgrade(self, tmp_path):
+        _seed_acceptance_fixture(tmp_path)
+        result = lint(tmp_path, select={"SD02"})
+        findings = result.active_findings()
+        assert [f.path for f in findings] == ["src/repro/service/snapver.py"]
+        assert "version 3" in findings[0].message
+
+    def test_sd02_version_with_upgrade_compare_is_clean(self, tmp_path):
+        write(
+            tmp_path,
+            "pkg/state.py",
+            "class Box:\n"
+            "    def state_dict(self):\n"
+            '        return {"version": 2, "kept": self.kept}\n\n'
+            "    def load_state(self, state):\n"
+            '        if int(state.get("version", 1)) < 2:\n'
+            "            state = dict(state)\n"
+            '        self.kept = state["kept"]\n',
+        )
+        result = lint(tmp_path, select={"SD02"})
+        assert result.active_findings() == []
+
+    def test_sd03_flags_strict_read_of_new_key(self, tmp_path):
+        _seed_acceptance_fixture(tmp_path)
+        result = lint(tmp_path, select={"SD03"})
+        findings = result.active_findings()
+        assert [f.path for f in findings] == ["src/repro/service/snapkeys.py"]
+        assert "'extras'" in findings[0].message
+        assert ".get" in findings[0].message
+
+    def test_sd03_defaulted_read_is_clean(self, tmp_path):
+        _seed_acceptance_fixture(tmp_path)
+        snapkeys = tmp_path / "src/repro/service/snapkeys.py"
+        text = snapkeys.read_text()
+        snapkeys.write_text(
+            text.replace(
+                'self.extras = list(state["extras"])',
+                'self.extras = list(state.get("extras", []))',
+            )
+        )
+        result = lint(tmp_path, select={"SD03"})
+        assert result.active_findings() == []
+
+
+# ---------------------------------------------------------------------------
+# CC04-CC05: cross-process lock rules
+# ---------------------------------------------------------------------------
+
+
+class TestCrossProcessRules:
+    def test_cc04_flags_blocking_flock_under_lock(self, tmp_path):
+        _seed_acceptance_fixture(tmp_path)
+        result = lint(tmp_path, select={"CC04"})
+        findings = result.active_findings()
+        assert [f.path for f in findings] == ["src/repro/service/procfix.py"]
+        assert "LOCK_NB" in findings[0].message
+
+    def test_cc04_nonblocking_flock_is_clean(self, tmp_path):
+        _seed_acceptance_fixture(tmp_path)
+        procfix = tmp_path / "src/repro/service/procfix.py"
+        procfix.write_text(
+            procfix.read_text().replace(
+                "fcntl.flock(fd, fcntl.LOCK_EX)",
+                "fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)",
+            )
+        )
+        result = lint(tmp_path, select={"CC04"})
+        assert result.active_findings() == []
+
+    def test_cc04_sees_flock_through_a_callee(self, tmp_path):
+        write(
+            tmp_path,
+            "pkg/locks.py",
+            "import fcntl\n"
+            "import threading\n\n\n"
+            "def grab(fd):\n"
+            "    fcntl.flock(fd, fcntl.LOCK_EX)\n\n\n"
+            "class Owner:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n\n"
+            "    def attach(self, fd):\n"
+            "        with self._lock:\n"
+            "            grab(fd)\n",
+        )
+        result = lint(tmp_path, select={"CC04"})
+        findings = result.active_findings()
+        assert len(findings) == 1
+        assert "reaches a blocking fcntl lock" in findings[0].message
+
+    def test_cc05_flags_fork_under_lock(self, tmp_path):
+        _seed_acceptance_fixture(tmp_path)
+        result = lint(tmp_path, select={"CC05"})
+        findings = result.active_findings()
+        assert [f.path for f in findings] == ["src/repro/service/procfix.py"]
+        assert "os.fork" in findings[0].message
+
+    def test_cc05_fork_without_lock_is_clean(self, tmp_path):
+        write(
+            tmp_path,
+            "pkg/spawn.py",
+            "import os\n\n\n"
+            "def run_child():\n"
+            "    return os.fork()\n",
+        )
+        result = lint(tmp_path, select={"CC05"})
+        assert result.active_findings() == []
+
+    def test_cc05_flags_spawn_after_flock_in_same_function(self, tmp_path):
+        write(
+            tmp_path,
+            "pkg/spawn.py",
+            "import fcntl\n"
+            "import os\n"
+            "import subprocess\n\n\n"
+            "def locked_child(fd):\n"
+            "    fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)\n"
+            '    subprocess.run(["true"])\n',
+        )
+        result = lint(tmp_path, select={"CC05"})
+        findings = result.active_findings()
+        assert len(findings) == 1
+        assert "inherits the locked fd" in findings[0].message
+
+
+# ---------------------------------------------------------------------------
+# Effect summaries and the incremental cache
+# ---------------------------------------------------------------------------
+
+
+class TestEffectConeInvalidation:
+    def _seed(self, root: Path) -> None:
+        write(root, "src/repro/__init__.py", '"""Fixture root."""\n')
+        write(root, "src/repro/service/__init__.py", '"""Fixture svc."""\n')
+        write(
+            root,
+            "src/repro/service/callee.py",
+            '"""Durability helper fixture."""\n\n'
+            "import os\n\n\n" + _DIR_FSYNC + "\n\n"
+            "FLUSH_DIR = flush_dir\n",
+        )
+        write(
+            root,
+            "src/repro/service/caller.py",
+            '"""Publisher fixture depending on the helper."""\n\n'
+            "import os\n\n"
+            "from repro.service.callee import flush_dir\n\n\n"
+            "def publish(tmp, final, directory):\n"
+            '    """Atomic replace, dir fsync delegated to the helper."""\n'
+            "    os.replace(tmp, final)\n"
+            "    flush_dir(directory)\n\n\n"
+            "PUBLISH = publish\n",
+        )
+
+    def test_editing_callee_fsync_reanalyzes_caller_cone(self, tmp_path):
+        self._seed(tmp_path)
+        first = lint(tmp_path, select={"DP01"})
+        assert first.cache_status == "cold"
+        assert first.active_findings() == []
+        # Remove the fsync from the callee: the caller's rename loses
+        # its directory-fsync cover even though caller.py is untouched.
+        callee = tmp_path / "src/repro/service/callee.py"
+        callee.write_text(
+            callee.read_text().replace("        os.fsync(fd)\n", "        pass\n")
+        )
+        second = lint(tmp_path, select={"DP01"})
+        assert second.cache_status == "partial"
+        assert "src/repro/service/caller.py" in second.reanalyzed
+        got = {(f.rule, f.path) for f in second.active_findings()}
+        assert ("DP01", "src/repro/service/caller.py") in got
+
+    def test_unchanged_tree_reuses_effect_findings(self, tmp_path):
+        self._seed(tmp_path)
+        lint(tmp_path, select={"DP01"})
+        again = lint(tmp_path, select={"DP01"})
+        assert again.cache_status == "hit"
+        assert again.reanalyzed == []
+        assert again.active_findings() == []
+
+
+# ---------------------------------------------------------------------------
 # The seeded acceptance fixture: one violation per family, end to end.
 # ---------------------------------------------------------------------------
 
@@ -637,6 +1000,142 @@ def _seed_acceptance_fixture(root: Path) -> None:
         '    """Nothing references this export."""\n'
         "    return None\n",
     )
+    # DP01 + DP03: torn rename plus fsync of an unflushed handle.
+    write(
+        root,
+        "src/repro/service/walx.py",
+        '"""Atomic-publish fixture (torn rename, unflushed fsync)."""\n\n'
+        "import os\n\n\n"
+        "def publish(tmp, final):\n"
+        '    """Publishes tmp at final without durability discipline."""\n'
+        '    handle = open(tmp, "w")\n'
+        '    handle.write("state")\n'
+        "    os.fsync(handle.fileno())\n"
+        "    handle.close()\n"
+        "    os.replace(tmp, final)\n\n\n"
+        "PUBLISH = publish\n",
+    )
+    # DP02: acking the client before the entry reaches the log.
+    write(
+        root,
+        "src/repro/service/ackflow.py",
+        '"""Ack-before-append fixture for declared orderings."""\n\n'
+        "__effect_contracts__ = {\n"
+        '    "providers": {"Log.append": "wal_append"},\n'
+        '    "ack_providers": ["Server.ack"],\n'
+        '    "orderings": {"Server.handle": [["wal_append", "ack"]]},\n'
+        "}\n\n\n"
+        "class Log:\n"
+        '    """Fixture append-only log."""\n\n'
+        "    def __init__(self):\n"
+        "        self.entries = []\n\n"
+        "    def append(self, entry):\n"
+        '        """Records one entry."""\n'
+        "        self.entries.append(entry)\n\n\n"
+        "class Server:\n"
+        '    """Fixture server that acks before logging."""\n\n'
+        "    def __init__(self):\n"
+        "        self.log = Log()\n\n"
+        "    def ack(self, status, message):\n"
+        '        """Sends a status response."""\n'
+        "        return (status, message)\n\n"
+        "    def handle(self, entry):\n"
+        '        """Acks the client before the entry is logged."""\n'
+        '        self.ack(201, "ok")\n'
+        "        self.log.append(entry)\n\n\n"
+        "SERVER = Server\n"
+        "LOGGER = Log\n",
+    )
+    # SD01: load_state reads a key state_dict never writes.
+    write(
+        root,
+        "src/repro/service/snapstate.py",
+        '"""State-dict key-asymmetry fixture."""\n\n\n'
+        "class Snapshotter:\n"
+        '    """Round-trips its hot window through snapshots."""\n\n'
+        "    def __init__(self):\n"
+        "        self.hot = []\n\n"
+        "    def state_dict(self):\n"
+        '        """Serialized state."""\n'
+        '        return {"hot": list(self.hot)}\n\n'
+        "    def load_state(self, state):\n"
+        '        """Restores from a snapshot."""\n'
+        '        self.hot = list(state["hot"])\n'
+        '        self.extra = state["missing"]\n\n\n'
+        "SNAPSHOTTER = Snapshotter\n",
+    )
+    # SD02: snapshot version bumped to 3 with only a v1 upgrade path.
+    write(
+        root,
+        "src/repro/service/snapver.py",
+        '"""Version-bump-without-upgrade fixture."""\n\n\n'
+        "class Versioned:\n"
+        '    """Writes snapshot version 3 with only a v2 upgrade path."""\n\n'
+        "    def __init__(self):\n"
+        "        self.hot = []\n\n"
+        "    def state_dict(self):\n"
+        '        """Serialized state (format v3)."""\n'
+        '        return {"version": 3, "hot": list(self.hot)}\n\n'
+        "    def load_state(self, state):\n"
+        '        """Restores from a snapshot, upgrading v1 only."""\n'
+        '        version = int(state.get("version", 1))\n'
+        "        if version < 2:\n"
+        "            state = dict(state)\n"
+        '            state.setdefault("hot", [])\n'
+        '        self.hot = list(state["hot"])\n\n\n'
+        "VERSIONED = Versioned\n",
+    )
+    # SD03: a key introduced in v2 loaded strictly (no default).
+    write(
+        root,
+        "src/repro/service/snapkeys.py",
+        '"""New-key-without-default fixture."""\n\n'
+        "__effect_contracts__ = {\n"
+        '    "state_keys_since": {"Keyed": {"extras": 2}},\n'
+        "}\n\n\n"
+        "class Keyed:\n"
+        '    """Strictly loads a key that v1 snapshots do not have."""\n\n'
+        "    def __init__(self):\n"
+        "        self.base = []\n"
+        "        self.extras = []\n\n"
+        "    def state_dict(self):\n"
+        '        """Serialized state (format v2)."""\n'
+        "        return {\n"
+        '            "version": 2,\n'
+        '            "base": list(self.base),\n'
+        '            "extras": list(self.extras),\n'
+        "        }\n\n"
+        "    def load_state(self, state):\n"
+        '        """Restores from a snapshot."""\n'
+        '        version = int(state.get("version", 1))\n'
+        "        if version < 2:\n"
+        "            state = dict(state)\n"
+        '        self.base = list(state["base"])\n'
+        '        self.extras = list(state["extras"])\n\n\n'
+        "KEYED = Keyed\n",
+    )
+    # CC04 + CC05: blocking flock and fork while a lock is held.
+    write(
+        root,
+        "src/repro/service/procfix.py",
+        '"""Fork/flock-under-lock fixture."""\n\n'
+        "import fcntl\n"
+        "import os\n"
+        "import threading\n\n\n"
+        "class Spawner:\n"
+        '    """Holds its lock across cross-process operations."""\n\n'
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n\n"
+        "    def attach(self, fd):\n"
+        '        """Takes the file lock while the instance lock is held."""\n'
+        "        with self._lock:\n"
+        "            fcntl.flock(fd, fcntl.LOCK_EX)\n\n"
+        "    def spawn(self):\n"
+        '        """Forks while the instance lock is held."""\n'
+        "        with self._lock:\n"
+        "            return os.fork()\n\n\n"
+        "SPAWNER = Spawner\n",
+    )
 
 
 class TestAcceptanceFixture:
@@ -645,6 +1144,14 @@ class TestAcceptanceFixture:
         ("AR01", "src/repro/trust/uplink.py"),
         ("EX01", "src/repro/service/http.py"),
         ("DX01", "src/repro/trust/dead.py"),
+        ("DP01", "src/repro/service/walx.py"),
+        ("DP03", "src/repro/service/walx.py"),
+        ("DP02", "src/repro/service/ackflow.py"),
+        ("SD01", "src/repro/service/snapstate.py"),
+        ("SD02", "src/repro/service/snapver.py"),
+        ("SD03", "src/repro/service/snapkeys.py"),
+        ("CC04", "src/repro/service/procfix.py"),
+        ("CC05", "src/repro/service/procfix.py"),
     }
 
     def test_exactly_the_seeded_findings(self, tmp_path):
@@ -654,7 +1161,7 @@ class TestAcceptanceFixture:
         assert got == self.EXPECTED
         assert len(result.active_findings()) == len(self.EXPECTED)
 
-    def test_human_reporter_shows_all_four_families(self, tmp_path, capsys):
+    def test_human_reporter_shows_all_families(self, tmp_path, capsys):
         _seed_acceptance_fixture(tmp_path)
         code = lint_main(
             [str(tmp_path / "src"), "--project-root", str(tmp_path)]
@@ -664,9 +1171,9 @@ class TestAcceptanceFixture:
         for rule, path in self.EXPECTED:
             assert rule in out
             assert path in out
-        assert "4 finding(s)" in out
+        assert "12 finding(s)" in out
 
-    def test_json_reporter_shows_all_four_families(self, tmp_path, capsys):
+    def test_json_reporter_shows_all_families(self, tmp_path, capsys):
         _seed_acceptance_fixture(tmp_path)
         code = lint_main(
             [
@@ -678,10 +1185,36 @@ class TestAcceptanceFixture:
         )
         assert code == 1
         payload = json.loads(capsys.readouterr().out)
-        assert payload["active_count"] == 4
+        assert payload["active_count"] == 12
         got = {(f["rule"], f["path"]) for f in payload["findings"]}
         assert got == self.EXPECTED
         assert payload["cache_status"] == "cold"
+
+    def test_sarif_reporter_carries_all_families(self, tmp_path, capsys):
+        _seed_acceptance_fixture(tmp_path)
+        code = lint_main(
+            [
+                str(tmp_path / "src"),
+                "--project-root",
+                str(tmp_path),
+                "--format=sarif",
+            ]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == "2.1.0"
+        run = payload["runs"][0]
+        catalog = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+        assert {"DP01", "DP02", "DP03", "SD01", "SD02", "SD03", "CC04", "CC05"} <= catalog
+        got = {
+            (
+                entry["ruleId"],
+                entry["locations"][0]["physicalLocation"]["artifactLocation"]["uri"],
+            )
+            for entry in run["results"]
+        }
+        assert got == self.EXPECTED
+        assert all("suppressions" not in entry for entry in run["results"])
 
 
 # ---------------------------------------------------------------------------

@@ -551,10 +551,13 @@ class TestRunnerAndCli:
 
     def test_all_rule_families_registered(self):
         ids = set(all_rules())
-        assert {"CC01", "CC02", "CC03", "NH01", "NH02", "NH03",
+        assert {"CC01", "CC02", "CC03", "CC04", "CC05",
+                "NH01", "NH02", "NH03",
                 "AD01", "ST01", "ST02",
                 "DI01", "DI02", "DI03", "AR01", "AR02",
-                "EX01", "EX02", "DX01", "DX02"} <= ids
+                "EX01", "EX02", "DX01", "DX02",
+                "DP01", "DP02", "DP03",
+                "SD01", "SD02", "SD03"} <= ids
 
 
 class TestSelfCheck:

@@ -115,6 +115,24 @@ class TestStoreEquivalence:
         ]
         reopened.close()
 
+    def test_clear_drops_pending_commit_credit(self, tmp_path):
+        """clear() with uncommitted buffered rows must reset the pending
+        counter: the cleared rows were never committed, so they must not
+        inflate cold_ratings on the next commit."""
+        stream = make_stream(20, seed=11)
+        backend = TieredRatingBackend(path=tmp_path / "t.sqlite", hot_window=4)
+        for seq, rating in enumerate(stream[:10]):
+            backend.add(rating, seq=seq)
+        # Rows are buffered but not committed; clearing discards them.
+        backend.clear()
+        assert backend.n_ratings == 0
+        for seq, rating in enumerate(stream[10:]):
+            backend.add(rating, seq=seq)
+        backend.commit()
+        assert backend.stats()["cold_ratings"] == 10
+        assert backend.n_ratings == 10
+        backend.close()
+
     def test_truncate_from_rolls_back(self, tmp_path):
         stream = make_stream(50, seed=6)
         backend = TieredRatingBackend(path=tmp_path / "t.sqlite", hot_window=4)

@@ -8,6 +8,7 @@ import urllib.request
 
 import pytest
 
+from repro.errors import ReproError
 from repro.service import RatingEngine, ServiceConfig
 from repro.service.http import start_background
 
@@ -97,6 +98,30 @@ class TestRatingsEndpoint:
         _engine, base = service
         status, _body = _post(f"{base}/ratings", {"value": 0.5})
         assert status == 400
+
+    def test_engine_rejection_maps_to_400(self, service, monkeypatch):
+        """A ReproError raised inside engine.submit must come back as a
+        400 JSON body, not kill the handler thread mid-request."""
+        engine, base = service
+
+        def _refuse(rating):
+            raise ReproError("engine refused this rating")
+
+        monkeypatch.setattr(engine, "submit", _refuse)
+        status, body = _post(
+            f"{base}/ratings",
+            {"rater_id": 1, "product_id": 1, "value": 0.5, "time": 1.0},
+        )
+        assert status == 400
+        assert body["accepted"] is False
+        assert "engine refused" in body["error"]
+        # The server survives and keeps answering.
+        monkeypatch.undo()
+        status, _ = _post(
+            f"{base}/ratings",
+            {"rater_id": 1, "product_id": 1, "value": 0.5, "time": 2.0},
+        )
+        assert status == 201
 
 
 class TestReadEndpoints:

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -204,6 +205,35 @@ class TestSegments:
         stale.write_text('{"half": ')
         wal = WriteAheadLog(tmp_path)
         assert not stale.exists()
+        wal.close()
+
+    def test_stale_tmp_removal_is_made_durable(self, tmp_path, monkeypatch):
+        """Removing stale temp files must be followed by a directory
+        fsync, or a crash can resurrect the half-written files."""
+        import repro.service.wal as wal_mod
+
+        synced = []
+        monkeypatch.setattr(
+            wal_mod, "_fsync_dir", lambda path: synced.append(Path(path))
+        )
+        stale = tmp_path / "snapshot-000000000099.json.tmp"
+        stale.write_text('{"half": ')
+        wal = wal_mod.WriteAheadLog(tmp_path)
+        assert not stale.exists()
+        assert tmp_path in synced
+        wal.close()
+
+    def test_no_dir_fsync_when_no_stale_tmp(self, tmp_path, monkeypatch):
+        import repro.service.wal as wal_mod
+
+        synced = []
+        monkeypatch.setattr(
+            wal_mod, "_fsync_dir", lambda path: synced.append(Path(path))
+        )
+        wal = wal_mod.WriteAheadLog(tmp_path)
+        # The open itself may fsync for segment creation, but never on
+        # behalf of the (empty) stale-tmp sweep before any append.
+        assert synced.count(tmp_path) <= 1
         wal.close()
 
 
