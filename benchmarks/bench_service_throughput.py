@@ -1,23 +1,51 @@
-"""Service ingest throughput vs. shard count and batch size.
+"""Service ingest throughput vs. shard count, batch size, and workers.
 
-The serving engine's two scaling knobs are sharding (lock domains) and
-trust-flush batching (AR/Procedure-2 amortization).  This bench pushes
-the same synthetic multi-product stream through the engine under a
-grid of both and reports ratings/sec, plus one WAL-enabled
-configuration to price durability.  Concurrent cases drive one writer
-thread per shard (each thread owns the products of its shard, the
-intended deployment shape).
+The serving engine's two in-process scaling knobs are sharding (lock
+domains) and trust-flush batching (AR/Procedure-2 amortization).  This
+bench pushes the same synthetic multi-product stream through the
+engine under a grid of both and reports ratings/sec, plus one
+WAL-enabled configuration to price durability.  Concurrent cases drive
+one writer thread per shard (each thread owns the products of its
+shard, the intended deployment shape).
+
+``--workers`` adds the cluster section: a burst of ratings through a
+:class:`~repro.service.cluster.ClusterCoordinator` at each requested
+worker-process count.  The measured quantity is **ingest (ack)
+throughput** -- the rate at which submits return, each one durably
+appended to the coordinator WAL and queued to its owning worker --
+which is what an HTTP client of the async tier experiences.  Workers
+run a durable-apply configuration (fsync every accepted rating), and
+each worker's queue is bounded, so a burst larger than one worker's
+queue throttles to that worker's durable apply rate while more
+workers both multiply the admission credit and drain it in parallel.
+The end-to-end **applied** rate (burst fully flushed through trust
+updates) is reported next to the ack rate in every row.
+``--min-scaling`` turns the ack-throughput ratio between the largest
+and smallest worker counts into a CI floor -- enforced only where
+``os.cpu_count()`` can actually host that many workers in parallel;
+on a single-core box every process time-slices one CPU, the ratio is
+pinned near 1.0 by the scheduler, and the floor degrades to a note
+(the artifact still records the measured number plus ``cpu_count``).
 
 Also runs standalone without pytest::
 
     PYTHONPATH=src python benchmarks/bench_service_throughput.py
+    PYTHONPATH=src python benchmarks/bench_service_throughput.py \\
+        --workers 1,2,4 --json BENCH_service_scaling.json --min-scaling 2.5
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import math
+import os
+import shutil
+import sys
+import tempfile
 import threading
 import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -140,7 +168,7 @@ def test_ingest_throughput_with_wal(benchmark, stream, tmp_path):
     )
 
 
-def main() -> None:
+def shard_grid_report() -> None:
     """Standalone report: ratings/sec over the shard/batch grid."""
     stream = build_stream()
     rows = ["shards  batch  wal  ratings/sec"]
@@ -156,8 +184,6 @@ def main() -> None:
         ingest_concurrent(engine, stream)
         rate = len(stream) / (time.perf_counter() - start)
         rows.append(f"{4:>6}  {batch:>5}  off  {rate:>11,.0f}")
-    import tempfile
-
     with tempfile.TemporaryDirectory() as wal_dir:
         engine = RatingEngine(make_config(4, batch=64, wal_dir=wal_dir))
         start = time.perf_counter()
@@ -168,5 +194,198 @@ def main() -> None:
     emit(f"service ingest throughput ({len(stream)} ratings)", "\n".join(rows))
 
 
+# -- cluster scaling -------------------------------------------------------
+
+CLUSTER_RATINGS = 6_000
+CLUSTER_QUEUE_DEPTH = 2_048
+
+
+def _cluster_rates(workers: int, stream: list, queue_depth: int) -> tuple:
+    """(ack, applied) ratings/sec through a ``workers``-process cluster.
+
+    The ack clock covers the submit loop alone: each return means the
+    rating is in the coordinator WAL and queued to its owner, the
+    contract behind the HTTP 202.  With the burst larger than one
+    worker's queue, a small cluster spends most of the loop throttled
+    by backpressure to its workers' durable apply rate
+    (``wal_fsync_every=1``), while a larger one admits the burst on
+    aggregate credit and drains it in parallel -- that admission
+    capacity is what the ``scaling`` ratio prices.  The applied clock
+    runs on through ``flush()``, i.e. until every rating has been
+    applied and its trust digests folded in.
+    """
+    from repro.service.cluster import ClusterCoordinator
+
+    wal_dir = tempfile.mkdtemp(prefix=f"bench-cluster-{workers}w-")
+    try:
+        cluster = ClusterCoordinator(
+            ServiceConfig(
+                cluster_workers=workers,
+                cluster_queue_depth=queue_depth,
+                wal_dir=wal_dir,
+                wal_fsync_every=1,
+                cluster_ack_fsync_every=64,
+                batch_max_ratings=512,
+                detector_window=32,
+                detector_stride=8,
+                snapshot_every=0,
+                wal_gc=False,
+            )
+        )
+        try:
+            start = time.perf_counter()
+            for rating in stream:
+                cluster.submit(rating)
+            acked = time.perf_counter() - start
+            cluster.flush()
+            applied = time.perf_counter() - start
+        finally:
+            cluster.close()
+    finally:
+        shutil.rmtree(wal_dir, ignore_errors=True)
+    return len(stream) / acked, len(stream) / applied
+
+
+def run_cluster_bench(
+    worker_counts,
+    n_ratings: int = CLUSTER_RATINGS,
+    queue_depth: int = CLUSTER_QUEUE_DEPTH,
+) -> dict:
+    """Ack/applied throughput rows plus the ack-rate scaling ratio."""
+    stream = build_stream(n=n_ratings, seed=3)
+    rows = []
+    for workers in worker_counts:
+        ack, applied = _cluster_rates(workers, stream, queue_depth)
+        rows.append(
+            {
+                "workers": workers,
+                "ack_ratings_per_second": round(ack, 1),
+                "applied_ratings_per_second": round(applied, 1),
+            }
+        )
+    base = min(rows, key=lambda r: r["workers"])
+    top = max(rows, key=lambda r: r["workers"])
+    return {
+        "n_ratings": n_ratings,
+        "queue_depth": queue_depth,
+        "worker_fsync_every": 1,
+        "ack_fsync_every": 64,
+        "cpu_count": os.cpu_count() or 1,
+        "rows": rows,
+        "scaling": round(
+            top["ack_ratings_per_second"] / base["ack_ratings_per_second"], 2
+        ),
+        "applied_scaling": round(
+            top["applied_ratings_per_second"]
+            / base["applied_ratings_per_second"],
+            2,
+        ),
+        "scaling_span": f"{base['workers']}->{top['workers']} workers",
+    }
+
+
+def _cluster_report(stats: dict) -> str:
+    lines = [f"{'workers':>8}  {'ack/sec':>12}  {'applied/sec':>12}"]
+    for row in stats["rows"]:
+        lines.append(
+            f"{row['workers']:>8}  {row['ack_ratings_per_second']:>12,.0f}"
+            f"  {row['applied_ratings_per_second']:>12,.0f}"
+        )
+    lines.append(
+        f"ingest (ack) scaling {stats['scaling_span']}: x{stats['scaling']} "
+        f"(applied: x{stats['applied_scaling']}; burst {stats['n_ratings']}, "
+        f"queue depth {stats['queue_depth']}, worker fsync every append, "
+        f"{stats['cpu_count']} cpu(s))"
+    )
+    return "\n".join(lines)
+
+
+def check_scaling(stats: dict, min_scaling: float) -> list:
+    """Budget violations for CI; empty when the cluster tier scales.
+
+    The floor is only enforceable where the hardware can express
+    process parallelism: when the box has fewer cores than the
+    largest benched worker count, coordinator and workers time-slice
+    one CPU and the ack ratio is pinned near 1.0 no matter how the
+    tier behaves, so the check degrades to a note instead of a
+    failure (the ``scaling`` number still lands in the artifact).
+    """
+    top_workers = max(row["workers"] for row in stats["rows"])
+    if stats["cpu_count"] < top_workers:
+        print(
+            f"note: scaling floor x{min_scaling} not enforced -- "
+            f"{stats['cpu_count']} cpu(s) cannot host {top_workers} "
+            f"workers in parallel (measured: x{stats['scaling']})",
+            file=sys.stderr,
+        )
+        return []
+    if stats["scaling"] < min_scaling:
+        return [
+            f"cluster ack throughput scaled x{stats['scaling']} across "
+            f"{stats['scaling_span']} (floor: x{min_scaling})"
+        ]
+    return []
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--workers",
+        metavar="N,N,...",
+        help="also bench the multi-process cluster tier at these "
+        "worker counts (comma-separated), e.g. 1,2,4",
+    )
+    parser.add_argument(
+        "--ratings",
+        type=int,
+        default=CLUSTER_RATINGS,
+        help="stream length for the cluster section",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", help="write cluster stats as a JSON artifact"
+    )
+    parser.add_argument(
+        "--min-scaling",
+        type=float,
+        default=None,
+        help="fail (exit 1) when largest-vs-smallest worker-count "
+        "throughput scales below this factor",
+    )
+    parser.add_argument(
+        "--skip-grid",
+        action="store_true",
+        help="skip the in-process shard/batch grid",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.skip_grid:
+        shard_grid_report()
+    if not args.workers:
+        return 0
+
+    worker_counts = sorted({int(part) for part in args.workers.split(",")})
+    stats = run_cluster_bench(worker_counts, n_ratings=args.ratings)
+    emit(
+        f"cluster ingest throughput ({stats['n_ratings']} ratings, durable)",
+        _cluster_report(stats),
+    )
+    if args.json:
+        try:
+            Path(args.json).write_text(
+                json.dumps(stats, indent=2, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+        except OSError as exc:
+            print(f"error: cannot write {args.json}: {exc}", file=sys.stderr)
+            return 1
+    if args.min_scaling is not None:
+        problems = check_scaling(stats, args.min_scaling)
+        if problems:
+            for problem in problems:
+                print(f"budget violation: {problem}", file=sys.stderr)
+            return 1
+    return 0
+
+
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -116,6 +116,27 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
     """Service-engine knobs shared by ``serve`` and ``replay``."""
     parser.add_argument("--shards", type=int, default=4, help="engine shard count")
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help=(
+            "run a multi-process cluster with this many worker processes "
+            "(0 = in-process engine; requires --wal-dir)"
+        ),
+    )
+    parser.add_argument(
+        "--queue-depth",
+        type=int,
+        default=4096,
+        help="cluster: max acked ratings buffered per worker",
+    )
+    parser.add_argument(
+        "--ack-fsync-every",
+        type=int,
+        default=64,
+        help="cluster: group-commit the ingest WAL every N acks",
+    )
+    parser.add_argument(
         "--batch", type=int, default=64, help="ratings per trust flush (per shard)"
     )
     parser.add_argument(
@@ -235,7 +256,14 @@ def _build_engine(args: argparse.Namespace):
         wal_segment_entries=args.segment_entries,
         wal_gc=not args.no_wal_gc,
         snapshot_every=args.snapshot_every,
+        cluster_workers=args.workers,
+        cluster_queue_depth=args.queue_depth,
+        cluster_ack_fsync_every=args.ack_fsync_every,
     )
+    if config.cluster_workers:
+        from repro.service.cluster import ClusterCoordinator
+
+        return ClusterCoordinator(config)
     if args.wal_dir is not None and wal_exists(args.wal_dir):
         from pathlib import Path
 
@@ -248,16 +276,20 @@ def _run_serve(args: argparse.Namespace) -> int:
 
     engine = _build_engine(args)
     durability = args.wal_dir if args.wal_dir else "disabled (no --wal-dir)"
+    tier = (
+        f"{args.workers} worker processes"
+        if args.workers
+        else f"{args.shards} shards in-process"
+    )
     print(
         f"repro service on http://{args.host}:{args.port} "
-        f"({args.shards} shards, WAL: {durability}); Ctrl-C to stop"
+        f"({tier}, WAL: {durability}); SIGTERM or Ctrl-C to stop"
     )
-    try:
-        serve(engine, host=args.host, port=args.port, quiet=not args.verbose)
-    finally:
-        if args.wal_dir:
-            engine.snapshot()
-            print(f"final snapshot written to {args.wal_dir}")
+    # serve() owns the full shutdown path: stop accepting, final
+    # snapshot (while the WAL is still open), then engine close.
+    serve(engine, host=args.host, port=args.port, quiet=not args.verbose)
+    if args.wal_dir:
+        print(f"final snapshot written to {args.wal_dir}")
     return 0
 
 

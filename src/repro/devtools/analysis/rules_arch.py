@@ -19,7 +19,11 @@ layer   name         subpackages
 3       composition  ``core``, ``simulation``, ``audit``
 4       application  ``experiments``, ``presets``, ``service``
                      (incl. ``service.ensemble``, the pluggable
-                     online detector sources)
+                     online detector sources, and
+                     ``service.cluster``, the multi-process serving
+                     tier -- its coordinator declares
+                     ``__effect_contracts__`` so DP01--DP03 cover
+                     the WAL-append-before-ack ingest path)
 5       interface    ``cli``, ``__main__``, the root package
 ======  ===========  ====================================================
 

@@ -13,9 +13,16 @@ numpy hot windows, :mod:`repro.ratings.tiered`), dependency-free
 Prometheus metrics (:mod:`repro.service.metrics`), and a stdlib JSON
 HTTP API (:mod:`repro.service.http`).
 
+When one process is not enough, :mod:`repro.service.cluster` runs the
+same engine as a multi-process sharded tier -- a coordinator process
+acking ratings from its own WAL and routing them to single-shard
+worker processes over a consistent-hash ring (true multi-core scaling,
+no GIL contention between shards).
+
 Run it from the command line::
 
     repro serve --port 8080 --shards 4 --wal-dir ./wal
+    repro serve --port 8080 --workers 4 --wal-dir ./wal   # multi-process
     repro replay trace.csv --shards 4
 
 or embed it::

@@ -122,6 +122,24 @@ class ServiceConfig:
             whole log, so only superseded snapshots are pruned.
         snapshot_every: write an automatic snapshot every N accepted
             ratings (0 = only explicit :meth:`snapshot` calls).
+        cluster_workers: run the multi-process serving tier with this
+            many worker processes (0 = the in-process engine; see
+            :mod:`repro.service.cluster`).  Products are
+            consistent-hashed across workers, each running a
+            single-shard engine in its own process with its own WAL
+            subdirectory, store, and ensemble; the coordinator owns
+            the trust manager and the ingest WAL.  Requires
+            ``wal_dir``.
+        cluster_queue_depth: bounded per-worker ingest queue; a full
+            queue blocks the coordinator's submit (backpressure)
+            instead of growing memory without bound.
+        cluster_batch_max: max ratings packed into one transport frame
+            by the coordinator's per-worker sender thread.
+        cluster_ack_fsync_every: fsync the coordinator's ingest WAL
+            every N appends -- the ack durability/latency trade, held
+            separately from the workers' ``wal_fsync_every`` (group
+            commit at the coordinator, per-rating durability at the
+            workers by default).
     """
 
     n_shards: int = 4
@@ -150,6 +168,10 @@ class ServiceConfig:
     wal_segment_entries: int = 100_000
     wal_gc: bool = True
     snapshot_every: int = 0
+    cluster_workers: int = 0
+    cluster_queue_depth: int = 4096
+    cluster_batch_max: int = 64
+    cluster_ack_fsync_every: int = 64
 
     def __post_init__(self) -> None:
         if self.n_shards < 1:
@@ -187,6 +209,28 @@ class ServiceConfig:
         if self.snapshot_every < 0:
             raise ConfigurationError(
                 f"snapshot_every must be >= 0, got {self.snapshot_every}"
+            )
+        if self.cluster_workers < 0:
+            raise ConfigurationError(
+                f"cluster_workers must be >= 0, got {self.cluster_workers}"
+            )
+        if self.cluster_workers and self.wal_dir is None:
+            raise ConfigurationError(
+                "cluster_workers needs a wal_dir (the coordinator acks from "
+                "its ingest WAL; there is no non-durable cluster mode)"
+            )
+        if self.cluster_queue_depth < 1:
+            raise ConfigurationError(
+                f"cluster_queue_depth must be >= 1, got {self.cluster_queue_depth}"
+            )
+        if self.cluster_batch_max < 1:
+            raise ConfigurationError(
+                f"cluster_batch_max must be >= 1, got {self.cluster_batch_max}"
+            )
+        if self.cluster_ack_fsync_every < 1:
+            raise ConfigurationError(
+                f"cluster_ack_fsync_every must be >= 1, "
+                f"got {self.cluster_ack_fsync_every}"
             )
         self._validate_ensemble()
         # Detector / trust ranges are validated by their owners; fail
@@ -321,6 +365,34 @@ class ServiceConfig:
             name: int(period)
             for name, period in zip(self.ensemble_sources, self.ensemble_periods)
         }
+
+    def worker_config(self, index: int) -> "ServiceConfig":
+        """Derive worker ``index``'s engine config from this cluster config.
+
+        Each worker runs a plain single-shard engine: its own WAL
+        subdirectory (``<wal_dir>/worker-NNN``), ``n_shards=1`` (the
+        cluster's sharding happens at the coordinator's hash ring),
+        ``cluster_workers=0`` (a worker never nests a cluster), and
+        automatic snapshots disabled -- snapshotting is coordinated
+        cluster-wide so the coordinator's state and the workers' never
+        disagree about which trust digests a snapshot covers.
+        """
+        if not 0 <= index < max(self.cluster_workers, 1):
+            raise ConfigurationError(
+                f"worker index {index} out of range for "
+                f"{self.cluster_workers} workers"
+            )
+        if self.wal_dir is None:
+            raise ConfigurationError("worker_config needs a wal_dir")
+        return ServiceConfig.from_dict(
+            {
+                **self.to_dict(),
+                "n_shards": 1,
+                "cluster_workers": 0,
+                "wal_dir": f"{self.wal_dir}/worker-{index:03d}",
+                "snapshot_every": 0,
+            }
+        )
 
     def to_dict(self) -> dict:
         """Plain-dict form (embedded in snapshots)."""

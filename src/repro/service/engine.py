@@ -42,7 +42,7 @@ import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.aggregation.methods import ModifiedWeightedAverage
 from repro.errors import ConfigurationError, UnknownProductError
@@ -61,6 +61,7 @@ from repro.service.wal import (
     list_snapshots,
     prune_snapshots,
     read_snapshot,
+    replay_wal_meta,
     write_snapshot,
 )
 from repro.trust.manager import TrustManager, TrustManagerConfig
@@ -81,7 +82,11 @@ __effect_contracts__ = {
         ],
     },
     "state_keys_since": {
-        "RatingEngine": {"suspicion_totals": 2, "n_trust_updates": 2},
+        "RatingEngine": {
+            "suspicion_totals": 2,
+            "n_trust_updates": 2,
+            "client_meta": 2,
+        },
     },
 }
 
@@ -97,12 +102,17 @@ class SubmitResult:
         reason: human-readable rejection reason for refused ratings.
         flagged: True when this rating's arrival triggered a suspicious
             window verdict.
+        queued: True when the rating was durably logged and enqueued
+            for asynchronous processing (cluster ingest) rather than
+            fully applied before the ack; ``flagged`` is then always
+            False because detection runs after the ack.
     """
 
     accepted: bool
     seq: Optional[int] = None
     reason: Optional[str] = None
     flagged: bool = False
+    queued: bool = False
 
 
 @dataclass
@@ -225,6 +235,18 @@ class RatingEngine:
         metrics: registry to record observability metrics into; a
             private registry is created when omitted (exposed as
             :attr:`metrics` either way).
+        trust_delegate: when set, the engine runs in **cluster-worker
+            mode**: instead of applying trust flushes to its own
+            :class:`~repro.trust.manager.TrustManager`, each flush is
+            packaged as a digest dict (``seq``/``provided``/
+            ``suspicion``/``flagged``) and handed to this callable,
+            which must return the authoritative rater->trust table.
+            The returned table is installed as a read mirror serving
+            :meth:`trust`, :meth:`trust_table`, :meth:`score`
+            weighting, and :meth:`detected_malicious`.  Digest ``seq``
+            equals the engine's trust-update counter, which is
+            deterministic under WAL replay, so the receiver can
+            deduplicate redelivered digests after a crash.
     """
 
     # Lint contract (CC03): cross-shard state and its owning locks.
@@ -233,6 +255,7 @@ class RatingEngine:
         "_n_trust_updates": "_trust_lock",
         "_trust_epoch": "_trust_lock",
         "_suspicion_totals": "_trust_lock",
+        "_trust_mirror": "_trust_lock",
         "_n_accepted": "_count_lock",
     }
 
@@ -240,6 +263,7 @@ class RatingEngine:
         self,
         config: Optional[ServiceConfig] = None,
         metrics: Optional[MetricsRegistry] = None,
+        trust_delegate: Optional[Callable[[dict], Dict[int, float]]] = None,
     ) -> None:
         self.config = config if config is not None else ServiceConfig()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
@@ -252,6 +276,15 @@ class RatingEngine:
             )
         )
         self._trust_lock = threading.Lock()
+        self._trust_delegate = trust_delegate
+        # Cluster-worker mode: the last trust table the delegate
+        # returned (authoritative values live in the coordinator).
+        self._trust_mirror: Dict[int, float] = {}
+        # Opaque client bookkeeping persisted with every snapshot; the
+        # cluster worker records the coordinator sequence number it has
+        # processed through here, so redelivery after recovery can skip
+        # entries the snapshot already covers.
+        self.client_meta: Dict[str, int] = {}
         self._gate = _ReadWriteGate()
         self._count_lock = threading.Lock()
         self._n_accepted = 0
@@ -417,16 +450,21 @@ class RatingEngine:
 
     # -- ingest ------------------------------------------------------------
 
-    def submit(self, rating: Rating) -> SubmitResult:
+    def submit(self, rating: Rating, wal_meta: Optional[dict] = None) -> SubmitResult:
         """Ingest one rating: log, store, detect, and batch-update trust.
 
         Rejections (a rating older than the product's newest rating)
         are reported in the result, never raised -- a serving loop must
         not die on one bad client.
+
+        ``wal_meta`` is an optional JSON-serializable dict stored with
+        the rating's WAL entry (see :meth:`WriteAheadLog.append`); the
+        cluster worker threads its coordinator sequence number through
+        here.
         """
         start = time.perf_counter()
         with self._gate.read():
-            result = self._ingest(rating, log=True)
+            result = self._ingest(rating, log=True, wal_meta=wal_meta)
         self._m_latency.observe(time.perf_counter() - start)
         if (
             result.accepted
@@ -443,7 +481,11 @@ class RatingEngine:
         return [self.submit(rating) for rating in ratings]
 
     def _ingest(
-        self, rating: Rating, log: bool, seq: Optional[int] = None
+        self,
+        rating: Rating,
+        log: bool,
+        seq: Optional[int] = None,
+        wal_meta: Optional[dict] = None,
     ) -> SubmitResult:
         shard = self._shard_for(rating.product_id)
         with shard.lock:
@@ -459,7 +501,7 @@ class RatingEngine:
                     ),
                 )
             if log and self.wal is not None:
-                seq = self.wal.append(rating)
+                seq = self.wal.append(rating, meta=wal_meta)
             with self._count_lock:
                 if seq is None:
                     seq = self._n_accepted
@@ -493,7 +535,7 @@ class RatingEngine:
             # dropped (the next score() repopulates it).
             with self._trust_lock:
                 epoch = self._trust_epoch
-                trust = self.trust_manager.trust(rid)
+                trust = self._trust_value(rid)
             if entry.epoch == epoch:
                 weight = max(trust - self.aggregator.floor, 0.0)
                 entry.n += 1
@@ -513,6 +555,13 @@ class RatingEngine:
         shard.n_accepted += 1
         self._m_queue_depth[shard.index].set(shard.since_flush)
 
+        if self._recovering and self._trust_delegate is not None:
+            # In delegate mode every flush leaves a control marker in
+            # the WAL, and recovery replays flushes from those markers
+            # alone; letting the cadence triggers fire here too would
+            # flush at different positions than the original run and
+            # desynchronize the digest seq numbering.
+            return flagged
         if shard.since_flush >= self.config.batch_max_ratings:
             self._flush_shard(shard)
         elif (
@@ -552,20 +601,58 @@ class RatingEngine:
                         flagged_counts.get(rater_id, 0) + count
                     )
         combined = self._combine(per_source, self._source_weights)
-        with self._trust_lock:
-            observations = self.trust_manager.observations
-            for rater_id, count in shard.pending_provided.items():
-                observations.record_provided(rater_id, count)
-            for rater_id, value in combined.items():
-                observations.record_suspicion_value(rater_id, value)
-                self._suspicion_totals[rater_id] = (
-                    self._suspicion_totals.get(rater_id, 0.0) + value
-                )
-            for rater_id, count in flagged_counts.items():
-                observations.record_suspicious(rater_id, count)
-            self.trust_manager.update()
-            self._n_trust_updates += 1
-            self._trust_epoch += 1
+        if self._trust_delegate is not None:
+            # Cluster-worker mode: package the flush as a digest for
+            # the coordinator's trust manager instead of applying it
+            # locally.  The digest seq is this engine's deterministic
+            # trust-update counter, so a coordinator that already saw
+            # it (a replayed flush after recovery) can discard it while
+            # still replying with the current table.
+            with self._trust_lock:
+                self._n_trust_updates += 1
+                digest = {
+                    "seq": self._n_trust_updates,
+                    "provided": dict(shard.pending_provided),
+                    "suspicion": dict(combined),
+                    "flagged": dict(flagged_counts),
+                }
+                for rater_id, value in combined.items():
+                    self._suspicion_totals[rater_id] = (
+                        self._suspicion_totals.get(rater_id, 0.0) + value
+                    )
+            # The digest's underlying WAL entries must be durable
+            # before the digest escapes the process: if the receiver
+            # applies it and we crash with an unfsynced tail, replay
+            # would regenerate a *different* digest under the same seq
+            # and the receiver's dedup would silently drop it.  The
+            # flush itself is recorded as a control marker so replay
+            # reproduces it at exactly this log position -- without
+            # the marker, recovery would re-accumulate the flushed
+            # tallies and re-use this digest's seq for different
+            # contents.
+            if self.wal is not None:
+                if not self._recovering:
+                    self.wal.append_control({"flush": shard.index})
+                self.wal.sync()
+            # The delegate call (an RPC in the cluster) runs outside
+            # _trust_lock so trust reads stay available meanwhile.
+            table = self._trust_delegate(digest)
+            self.install_trust_mirror(table)
+        else:
+            with self._trust_lock:
+                observations = self.trust_manager.observations
+                for rater_id, count in shard.pending_provided.items():
+                    observations.record_provided(rater_id, count)
+                for rater_id, value in combined.items():
+                    observations.record_suspicion_value(rater_id, value)
+                    self._suspicion_totals[rater_id] = (
+                        self._suspicion_totals.get(rater_id, 0.0) + value
+                    )
+                for rater_id, count in flagged_counts.items():
+                    observations.record_suspicious(rater_id, count)
+                self.trust_manager.update()
+                self._n_trust_updates += 1
+                self._trust_epoch += 1
         shard.pending_provided = {}
         shard.since_flush = 0
         shard.last_flush = time.monotonic()
@@ -579,6 +666,45 @@ class RatingEngine:
         for shard in self._shards:
             with shard.lock:
                 self._flush_shard(shard)
+
+    def _replay_control(self, meta: Optional[dict]) -> None:
+        """Re-execute one WAL control row during recovery.
+
+        The only control row today is the delegate-mode flush marker
+        ``{"flush": shard_index}``: replaying it flushes the named
+        shard at the marker's log position, regenerating the original
+        digest (same seq, same contents) for the coordinator to
+        deduplicate or apply.
+        """
+        control = (meta or {}).get("control") or {}
+        if "flush" in control:
+            shard = self._shards[int(control["flush"])]
+            with shard.lock:
+                self._flush_shard(shard)
+
+    def install_trust_mirror(self, table: Dict[int, float]) -> None:
+        """Install an authoritative trust table (cluster-worker mode).
+
+        Replaces the read mirror that serves :meth:`trust`,
+        :meth:`score` weighting, and :meth:`detected_malicious`, and
+        bumps the trust epoch so stale score-cache entries are dropped.
+        Called with each delegate reply, and by the cluster worker when
+        the coordinator pushes the current table after (re)connect.
+        """
+        with self._trust_lock:
+            self._trust_mirror = {int(k): float(v) for k, v in table.items()}
+            self._trust_epoch += 1
+
+    def _trust_value(self, rater_id: int) -> float:
+        """Trust used for read paths; caller holds ``_trust_lock``.
+
+        In delegate (cluster-worker) mode the authoritative manager
+        lives in the coordinator, so reads come from the mirror of the
+        last table it sent (0.5 prior for raters not yet in it).
+        """
+        if self._trust_delegate is not None:
+            return self._trust_mirror.get(rater_id, 0.5)
+        return self.trust_manager.trust(rater_id)
 
     # -- queries -------------------------------------------------------------
 
@@ -615,7 +741,7 @@ class RatingEngine:
             # the entry is stamped with the epoch its weights belong to.
             with self._trust_lock:
                 epoch = self._trust_epoch
-                trusts = [self.trust_manager.trust(r.rater_id) for r in ratings]
+                trusts = [self._trust_value(r.rater_id) for r in ratings]
             values = [r.value for r in ratings]
             floor = self.aggregator.floor
             weights = [max(t - floor, 0.0) for t in trusts]
@@ -644,22 +770,29 @@ class RatingEngine:
         if not ratings:
             return None
         with self._trust_lock:
-            trusts = [self.trust_manager.trust(r.rater_id) for r in ratings]
+            trusts = [self._trust_value(r.rater_id) for r in ratings]
         return float(self.aggregator.aggregate([r.value for r in ratings], trusts))
 
     def trust(self, rater_id: int) -> float:
         """Current trust in a rater (0.5 prior for unseen raters)."""
         with self._trust_lock:
-            return self.trust_manager.trust(rater_id)
+            return self._trust_value(rater_id)
 
     def trust_table(self) -> Dict[int, float]:
         """rater_id -> trust for every rater with a record."""
         with self._trust_lock:
+            if self._trust_delegate is not None:
+                return dict(self._trust_mirror)
             return dict(self.trust_manager.trust_table())
 
     def detected_malicious(self) -> List[int]:
         """Raters currently below the detection threshold."""
         with self._trust_lock:
+            if self._trust_delegate is not None:
+                threshold = self.config.trust_detection_threshold
+                return sorted(
+                    rid for rid, t in self._trust_mirror.items() if t < threshold
+                )
             return self.trust_manager.detected_malicious()
 
     def suspicion_table(self) -> Dict[int, float]:
@@ -779,13 +912,21 @@ class RatingEngine:
             suspicion_state = {
                 str(rid): value for rid, value in self._suspicion_totals.items()
             }
+        # With a WAL, the covered position is its true entry count --
+        # delegate-mode flush markers occupy sequence numbers without
+        # being accepted ratings, so the two counters can differ.
+        wal_position = (
+            self.wal.n_entries if self.wal is not None else self._n_accepted
+        )
         return {
             "version": 2,
             "config": self.config.to_dict(),
-            "wal_position": self._n_accepted,
+            "wal_position": wal_position,
+            "n_accepted": self._n_accepted,
             "n_trust_updates": self._n_trust_updates,
             "trust": trust_state,
             "suspicion_totals": suspicion_state,
+            "client_meta": dict(self.client_meta),
             "shards": shards_state,
         }
 
@@ -877,8 +1018,15 @@ class RatingEngine:
                 for k, v in state.get("suspicion_totals", {}).items()
             }
         self._n_trust_updates = int(state.get("n_trust_updates", 0))
+        self.client_meta = {
+            str(k): int(v) for k, v in state.get("client_meta", {}).items()
+        }
         with self._count_lock:
-            self._n_accepted = int(state["wal_position"])
+            # Older snapshots predate control rows, where the WAL
+            # position and the accepted count were the same number.
+            self._n_accepted = int(
+                state.get("n_accepted", state["wal_position"])
+            )
 
     def _restore_rating(self, rating: Rating, seq: Optional[int] = None) -> None:
         """Re-insert a pre-snapshot WAL rating into the store only
@@ -926,6 +1074,7 @@ class RatingEngine:
         wal_dir: "str | Path",
         config: Optional[ServiceConfig] = None,
         metrics: Optional[MetricsRegistry] = None,
+        trust_delegate: Optional[Callable[[dict], Dict[int, float]]] = None,
     ) -> "RatingEngine":
         """Rebuild an engine from a WAL directory.
 
@@ -958,6 +1107,10 @@ class RatingEngine:
                 (a snapshot's embedded config always wins, since the
                 replay must match how the state was produced).
             metrics: optional registry for the rebuilt engine.
+            trust_delegate: cluster-worker trust delegate (see
+                :class:`RatingEngine`); replayed flushes re-emit their
+                digests through it, which the receiver deduplicates by
+                digest seq.
         """
         wal_dir = Path(wal_dir)
         snapshot_path = latest_snapshot(wal_dir)
@@ -973,7 +1126,7 @@ class RatingEngine:
             config = ServiceConfig.from_dict(
                 {**config.to_dict(), "wal_dir": str(wal_dir)}
             )
-        engine = cls(config=config, metrics=metrics)
+        engine = cls(config=config, metrics=metrics, trust_delegate=trust_delegate)
         engine._recovering = True
         try:
             position = int(state["wal_position"]) if state is not None else 0
@@ -1013,8 +1166,13 @@ class RatingEngine:
                                 )
                 if state is not None:
                     engine._load_state(state)
-                for seq, rating in engine.wal.replay(start=position):
-                    engine._ingest(rating, log=False, seq=seq)
+                for seq, rating, meta in replay_wal_meta(
+                    engine.wal.directory, start=position
+                ):
+                    if rating is None:
+                        engine._replay_control(meta)
+                    else:
+                        engine._ingest(rating, log=False, seq=seq)
             else:
                 if first_seq > 0:
                     raise ConfigurationError(
@@ -1023,15 +1181,24 @@ class RatingEngine:
                         f"(use store_backend='tiered' or wal_gc=False)"
                     )
                 suffix: List[tuple] = []
-                for seq, rating in engine.wal.replay():
-                    if seq < position:
+                for seq, rating, meta in replay_wal_meta(engine.wal.directory):
+                    if rating is None:
+                        # Prefix control rows record flushes the
+                        # snapshot state already covers; only suffix
+                        # ones are re-executed.
+                        if seq >= position:
+                            suffix.append((seq, None, meta))
+                    elif seq < position:
                         engine._restore_rating(rating, seq)
                     else:
-                        suffix.append((seq, rating))
+                        suffix.append((seq, rating, meta))
                 if state is not None:
                     engine._load_state(state)
-                for seq, rating in suffix:
-                    engine._ingest(rating, log=False, seq=seq)
+                for seq, rating, meta in suffix:
+                    if rating is None:
+                        engine._replay_control(meta)
+                    else:
+                        engine._ingest(rating, log=False, seq=seq)
         finally:
             engine._recovering = False
         return engine

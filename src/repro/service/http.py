@@ -18,13 +18,29 @@ dependencies) exposing the portal surface of Fig. 1:
 "value": float}`` plus optional ``time`` (seconds since engine start
 when omitted) and ``rating_id`` (auto-assigned when omitted).  Invalid
 payloads return 400; rejected ratings (out of time order for their
-product) return 409 with the reason.
+product) return 409 with the reason; behind a cluster coordinator
+(``repro serve --workers N``) accepted ratings return **202** -- the
+rating is durably logged and queued, with detection applied
+asynchronously by the owning worker.
+
+The ``engine`` may be any object with the :class:`RatingEngine`
+serving surface -- in particular
+:class:`~repro.service.cluster.coordinator.ClusterCoordinator`.  When
+it offers ``render_metrics()`` (the coordinator does, to refresh
+per-worker gauges), ``GET /metrics`` uses that instead of the bare
+registry render.
+
+``serve`` installs SIGTERM/SIGINT handlers so ``kill <pid>`` and
+Ctrl-C both take the drain-then-exit path: the HTTP socket closes
+first (no new acks), then the engine flushes, snapshots, and closes --
+an acked rating is never dropped by a graceful stop.
 """
 
 from __future__ import annotations
 
 import json
 import re
+import signal
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -103,8 +119,10 @@ class _Handler(BaseHTTPRequestHandler):
             )
             return
         if self.path == "/metrics":
+            render = getattr(engine, "render_metrics", None)
+            text = render() if render is not None else engine.metrics.render()
             self._send_text(
-                200, engine.metrics.render(), "text/plain; version=0.0.4; charset=utf-8"
+                200, text, "text/plain; version=0.0.4; charset=utf-8"
             )
             return
         if self.path == "/stats":
@@ -170,13 +188,16 @@ class _Handler(BaseHTTPRequestHandler):
         if not result.accepted:
             self._send_json(409, {"accepted": False, "error": result.reason})
             return
+        # 202 for cluster ingest: durably logged + queued, detection is
+        # asynchronous.  201 for the in-process engine: fully applied.
         self._send_json(
-            201,
+            202 if result.queued else 201,
             {
                 "accepted": True,
                 "seq": result.seq,
                 "rating_id": rating.rating_id,
                 "flagged": result.flagged,
+                "queued": result.queued,
             },
         )
 
@@ -219,15 +240,46 @@ def serve(
     port: int = 8080,
     quiet: bool = False,
 ) -> None:
-    """Serve until interrupted; flushes and closes the engine on exit."""
+    """Serve until SIGTERM/SIGINT; drains and closes the engine on exit.
+
+    The stop path is ordered for durability: stop accepting requests
+    (no new acks can race the drain), then ``engine.close()`` -- which
+    flushes pending work, takes a final snapshot, and for a cluster
+    coordinator drains every worker queue and shuts the workers down.
+    Every acked rating is therefore applied-or-WAL-durable before the
+    process exits.
+    """
     server = make_server(engine, host=host, port=port, quiet=quiet)
+
+    def request_stop(signum, frame):  # noqa: ARG001 - signal signature
+        # shutdown() waits for serve_forever to exit, and signal
+        # handlers run on the thread that runs serve_forever -- hand
+        # the call to a helper thread to avoid the self-deadlock.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    previous = {}
+    try:
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            previous[signum] = signal.signal(signum, request_stop)
+    except ValueError:
+        pass  # not the main thread (tests); Ctrl-C still works below
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
         server.server_close()
-        engine.close()
+        try:
+            # Final snapshot while the engine is still open (close()
+            # releases the WAL); the coordinator also snapshots inside
+            # close(), but doing it here surfaces failures loudly
+            # instead of swallowing them in best-effort shutdown.
+            if getattr(engine, "wal", None) is not None:
+                engine.snapshot()
+        finally:
+            engine.close()
 
 
 def start_background(

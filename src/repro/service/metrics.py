@@ -74,6 +74,18 @@ class Counter(_Metric):
         with self._lock:
             self._value += amount
 
+    def inc_to(self, value: float) -> None:
+        """Raise the counter to ``value`` if it is below it.
+
+        Monotone-set for mirroring an external cumulative counter
+        (e.g. aggregated worker-process totals) without double
+        counting: re-applying the same total is a no-op, and a stale
+        lower total never moves the counter backwards.
+        """
+        with self._lock:
+            if value > self._value:
+                self._value = float(value)
+
     @property
     def value(self) -> float:
         with self._lock:

@@ -80,6 +80,7 @@ __all__ = [
     "rating_to_dict",
     "rating_from_dict",
     "replay_wal",
+    "replay_wal_meta",
     "write_snapshot",
     "read_snapshot",
     "latest_snapshot",
@@ -100,6 +101,7 @@ __lint_contracts__ = {
     },
     "WriteAheadLog.gc": {"params": {"horizon": "[0, inf)"}},
     "replay_wal": {"params": {"start": "[0, inf)"}},
+    "replay_wal_meta": {"params": {"start": "[0, inf)"}},
     "prune_snapshots": {"params": {"keep": "[1, inf)"}},
 }
 
@@ -423,9 +425,47 @@ class WriteAheadLog:
 
     # -- writing ----------------------------------------------------------
 
-    def append(self, rating: Rating) -> int:
-        """Append one rating; returns its zero-based sequence number."""
-        line = json.dumps(rating_to_dict(rating), separators=(",", ":"))
+    def append(self, rating: Rating, meta: Optional[dict] = None) -> int:
+        """Append one rating; returns its zero-based sequence number.
+
+        ``meta`` is an optional JSON-serializable dict stored alongside
+        the rating under a ``"meta"`` key.  Readers that only want the
+        rating (:func:`replay_wal`, :func:`rating_from_dict`) ignore
+        it; :func:`replay_wal_meta` surfaces it.  The cluster tier uses
+        this to persist each entry's coordinator sequence number in the
+        worker's local log.
+        """
+        row = rating_to_dict(rating)
+        if meta is not None:
+            row["meta"] = meta
+        line = json.dumps(row, separators=(",", ":"))
+        with self._lock:
+            if self._handle.closed:
+                raise ConfigurationError(f"WAL {self._directory} is closed")
+            if self._segment_count >= self.segment_entries:
+                self._rotate_locked()
+            self._handle.write(line + "\n")
+            seq = self._count
+            self._count += 1
+            self._segment_count += 1
+            self._since_sync += 1
+            if self._since_sync >= self.fsync_every:
+                self._sync_locked()
+        return seq
+
+    def append_control(self, payload: dict) -> int:
+        """Append a non-rating **control row**; returns its sequence number.
+
+        Control rows record replayable events that are not ratings --
+        the cluster tier writes ``{"flush": shard_index}`` markers so a
+        recovering worker reproduces its explicit trust-digest flushes
+        at exactly the positions they originally happened.  They share
+        the rating rows' sequence space (so snapshot positions and GC
+        horizons stay consistent) and the same rotation/fsync policy.
+        :func:`replay_wal` skips them; :func:`replay_wal_meta` yields
+        them as ``(seq, None, {"control": payload})``.
+        """
+        line = json.dumps({"control": payload}, separators=(",", ":"))
         with self._lock:
             if self._handle.closed:
                 raise ConfigurationError(f"WAL {self._directory} is closed")
@@ -541,6 +581,31 @@ def replay_wal(path: PathLike, start: int = 0) -> Iterator[Tuple[int, Rating]]:
     tolerated: it is logged and dropped.  A corrupt line anywhere else
     raises :class:`~repro.errors.ConfigurationError`, as does a gap
     between consecutive segments.
+
+    Control rows (:meth:`WriteAheadLog.append_control`) occupy
+    sequence numbers but carry no rating; they are skipped here.
+    """
+    if start < 0:
+        raise ConfigurationError(f"replay start must be >= 0, got {start}")
+    for seq, rating, _ in replay_wal_meta(path, start=start):
+        if rating is not None:
+            yield seq, rating
+
+
+def replay_wal_meta(
+    path: PathLike, start: int = 0
+) -> Iterator[Tuple[int, Optional[Rating], Optional[dict]]]:
+    """Like :func:`replay_wal`, but also yields each entry's ``meta``.
+
+    Yields ``(seq, rating, meta)`` where ``meta`` is the dict passed to
+    :meth:`WriteAheadLog.append` for that entry, or ``None`` for
+    entries written without one.  The cluster tier reads it to recover
+    each worker-log entry's coordinator sequence number.
+
+    Control rows (:meth:`WriteAheadLog.append_control`) are yielded as
+    ``(seq, None, {"control": payload})`` so replay-driven recovery can
+    reproduce non-rating events (e.g. trust-digest flush markers) at
+    their original positions.
     """
     if start < 0:
         raise ConfigurationError(f"replay start must be >= 0, got {start}")
@@ -598,7 +663,10 @@ def replay_wal(path: PathLike, start: int = 0) -> Iterator[Tuple[int, Rating]]:
                         raise ConfigurationError(
                             f"{seg_path}:{line_number}: corrupt WAL line: {exc}"
                         ) from exc
-                    yield seq, rating_from_dict(row)
+                    if "control" in row:
+                        yield seq, None, {"control": row["control"]}
+                    else:
+                        yield seq, rating_from_dict(row), row.get("meta")
                 seq += 1
         expected = seq
 

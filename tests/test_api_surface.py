@@ -34,6 +34,7 @@ PUBLIC_MODULES = [
     "repro.presets",
     "repro.reporting",
     "repro.service",
+    "repro.service.cluster",
     "repro.service.ensemble",
     "repro.devtools",
     "repro.devtools.analysis",
@@ -364,6 +365,14 @@ EXPECTED_EXPORTS = {
         "serve",
         "wal_exists",
         "write_snapshot",
+    ],
+    "repro.service.cluster": [
+        "ClusterCoordinator",
+        "ConsistentHashRing",
+        "compute_watermark",
+        "recv_msg",
+        "send_msg",
+        "worker_main",
     ],
     "repro.service.ensemble": [
         "ARSuspicionSource",
